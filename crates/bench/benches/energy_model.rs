@@ -1,0 +1,29 @@
+//! Criterion benchmarks of the analytic energy model (it runs inside
+//! experiment inner loops, so it should be effectively free).
+
+use carf_energy::{RegFileGeometry, TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_model(c: &mut Criterion) {
+    let model = TechModel::default_model();
+    let geometries: Vec<RegFileGeometry> =
+        (1..=32).map(|i| RegFileGeometry::new(i * 8, 64, 8, 6)).collect();
+    c.bench_function("energy_area_time_32_geometries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for g in &geometries {
+                acc += model.read_energy(g) + model.write_energy(g);
+                acc += model.area(g) + model.access_time(g);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("paper_reference_ratio", |b| {
+        b.iter(|| {
+            black_box(model.read_energy(&PAPER_BASELINE) / model.read_energy(&PAPER_UNLIMITED))
+        })
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of simulator throughput: cycles per second on a
+//! representative kernel for each register-file organization.
+
+use carf_core::CarfParams;
+use carf_sim::{SimConfig, Simulator};
+use carf_workloads::int_suite;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    let wl = int_suite().into_iter().find(|w| w.name == "hash_table").expect("registered");
+    let program = wl.build(4);
+    let mut group = c.benchmark_group("simulate_50k_insts");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::paper_baseline(), &program);
+            black_box(sim.run(50_000).expect("clean run"))
+        })
+    });
+    group.bench_function("content_aware", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &program);
+            black_box(sim.run(50_000).expect("clean run"))
+        })
+    });
+    group.bench_function("baseline_with_cosim", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_baseline();
+            cfg.cosim = true;
+            let mut sim = Simulator::new(cfg, &program);
+            black_box(sim.run(50_000).expect("clean run"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the register-file structures themselves:
+//! classification, write/read paths, and the aging tick.
+
+use carf_core::{
+    classify, is_simple, BaselineRegFile, CarfParams, ContentAwareRegFile, IntRegFile,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const HEAP: u64 = 0x0000_7f3a_8000_0000;
+
+fn values() -> Vec<u64> {
+    // The SPEC-like magnitude mixture: simple / short-able / long.
+    (0..1024u64)
+        .map(|i| match i % 4 {
+            0 => i * 7,                                 // simple
+            1 => (-(i as i64 * 3)) as u64,              // simple negative
+            2 => HEAP + i * 64,                         // short (heap addresses)
+            _ => i.wrapping_mul(0x9E37_79B9_7F4A_7C15), // long
+        })
+        .collect()
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let params = CarfParams::paper_default();
+    let vals = values();
+    c.bench_function("classify_1024_values", |b| {
+        b.iter(|| {
+            let mut counts = [0u64; 3];
+            for v in &vals {
+                let class = classify(&params, *v, false);
+                counts[class as usize] += 1;
+            }
+            black_box(counts)
+        })
+    });
+    c.bench_function("is_simple_1024_values", |b| {
+        b.iter(|| vals.iter().filter(|v| is_simple(&params, **v)).count())
+    });
+}
+
+fn bench_write_read(c: &mut Criterion) {
+    let vals = values();
+    c.bench_function("carf_write_read_release_64", |b| {
+        let mut rf = ContentAwareRegFile::new(CarfParams::paper_default());
+        rf.observe_address(HEAP);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (tag, v) in vals.iter().take(64).enumerate() {
+                rf.on_alloc(tag);
+                rf.try_write(tag, *v, false).expect("48 longs cover 64 mixed writes");
+                acc ^= rf.read(tag);
+            }
+            for tag in 0..64 {
+                rf.release(tag);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("baseline_write_read_release_64", |b| {
+        let mut rf = BaselineRegFile::new(112);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (tag, v) in vals.iter().take(64).enumerate() {
+                rf.on_alloc(tag);
+                rf.try_write(tag, *v, false).expect("baseline writes cannot fail");
+                acc ^= rf.read(tag);
+            }
+            for tag in 0..64 {
+                rf.release(tag);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_aging(c: &mut Criterion) {
+    c.bench_function("rob_interval_tick", |b| {
+        let mut rf = ContentAwareRegFile::new(CarfParams::paper_default());
+        for i in 0..8u64 {
+            rf.observe_address(HEAP + (i << 17));
+        }
+        for tag in 0..48 {
+            rf.on_alloc(tag);
+            rf.try_write(tag, HEAP + (tag as u64) * 8, true).expect("short/long capacity");
+        }
+        b.iter(|| rf.rob_interval_tick())
+    });
+}
+
+criterion_group!(benches, bench_classification, bench_write_read, bench_aging);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Ablations of the design choices the paper discusses:
+//!
+//! * direct-indexed vs. fully associative Short file (§4: CAM gains little
+//!   IPC for much energy);
+//! * Short allocation from address computations only vs. from every result
+//!   (§3.1: allocate-everything thrashes);
+//! * the extra bypass level (§3.1: optional, small effect);
+//! * the pseudo-deadlock guard threshold (§3.1: stall at the issue width).
+
+use carf_bench::{mean, pct, print_table, run_suite, Budget};
+use carf_core::{CarfParams, Policies, ShortAllocPolicy, ShortIndexPolicy};
+use carf_sim::{SimConfig, SimStats};
+use carf_workloads::Suite;
+
+fn run_cfg(cfg: &SimConfig, budget: &Budget) -> (f64, Vec<SimStats>) {
+    let int = run_suite(cfg, Suite::Int, budget);
+    let fp = run_suite(cfg, Suite::Fp, budget);
+    let stats: Vec<SimStats> =
+        int.runs.into_iter().chain(fp.runs).map(|(_, s)| s).collect();
+    (mean(stats.iter().map(|s| s.ipc())), stats)
+}
+
+fn run(policies: Policies, budget: &Budget) -> (f64, Vec<SimStats>) {
+    let cfg = SimConfig::paper_carf_with(CarfParams::paper_default(), policies);
+    run_cfg(&cfg, budget)
+}
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Design-choice ablations at d+n = 20 ({} run)", budget.label());
+
+    let (ref_ipc, ref_stats) = run(Policies::default(), &budget);
+    let short_writes: u64 = ref_stats.iter().map(|s| s.int_rf.writes.short).sum();
+
+    let mut rows = vec![vec![
+        "paper default".into(),
+        "100.0%".into(),
+        format!("{short_writes}"),
+        "direct, addresses-only, extra bypass, guard=8".into(),
+    ]];
+
+    let variants: [(&str, Policies); 4] = [
+        (
+            "associative short",
+            Policies { short_index: ShortIndexPolicy::Associative, ..Policies::default() },
+        ),
+        (
+            "alloc on all results",
+            Policies { short_alloc: ShortAllocPolicy::AllResults, ..Policies::default() },
+        ),
+        ("no extra bypass", Policies { extra_bypass: false, ..Policies::default() }),
+        ("guard threshold 0", Policies { long_stall_threshold: 0, ..Policies::default() }),
+    ];
+    for (name, policies) in variants {
+        let (ipc, stats) = run(policies, &budget);
+        let sw: u64 = stats.iter().map(|s| s.int_rf.writes.short).sum();
+        let note = match name {
+            "associative short" => "paper: tiny IPC gain, large energy cost (CAM)",
+            "alloc on all results" => "paper: thrashes the small Short file",
+            "no extra bypass" => "paper: optional, little performance effect",
+            _ => "paper: stall at issue width avoids pseudo-deadlock",
+        };
+        rows.push(vec![
+            name.into(),
+            pct(ipc / ref_ipc),
+            format!("{sw}"),
+            note.into(),
+        ]);
+    }
+    print_table(
+        "IPC relative to the paper's policies",
+        &["variant", "rel IPC", "short writes", "note"],
+        &rows,
+    );
+
+    // Memory-dependence policy (beyond the paper): the optimistic default
+    // (loads run ahead of unresolved stores, squash on violation) vs a
+    // fully conservative LSQ.
+    {
+        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+        cfg.mem_dep = carf_sim::MemDepPolicy::Conservative;
+        let (ipc, _) = run_cfg(&cfg, &budget);
+        let violations: u64 = ref_stats.iter().map(|s| s.mem_dep_violations).sum();
+        println!(
+            "\nmemory-dependence ablation: a fully conservative LSQ reaches {} of\n\
+             the optimistic default's IPC; the default squashed {violations}\n\
+             violations across both suites.",
+            pct(ipc / ref_ipc)
+        );
+    }
+
+    // Short-file aging interval: the paper ticks once per ROB's worth of
+    // commits; never freeing shows whether the aging scheme earns its keep.
+    let mut rows = vec![];
+    for (label, interval) in
+        [("tick every 64 commits", 64u64), ("tick every 128 (paper)", 128), ("tick every 512", 512), ("never free shorts", 0)]
+    {
+        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+        cfg.rob_interval_commits = interval;
+        let (ipc, stats) = run_cfg(&cfg, &budget);
+        let sw: u64 = stats.iter().map(|s| s.int_rf.writes.short).sum();
+        let occupancy = mean(stats.iter().map(|s| s.short_mean_occupancy));
+        rows.push(vec![
+            label.into(),
+            pct(ipc / ref_ipc),
+            format!("{sw}"),
+            format!("{occupancy:.1} / 8"),
+        ]);
+    }
+    print_table(
+        "Short-file aging interval",
+        &["variant", "rel IPC", "short writes", "mean occupancy"],
+        &rows,
+    );
+
+    // Guard-pressure detail: deadlock recoveries must stay at zero with the
+    // paper's guard.
+    let recoveries: u64 = ref_stats.iter().map(|s| s.deadlock_recoveries).sum();
+    let guard_cycles: u64 = ref_stats.iter().map(|s| s.long_guard_stall_cycles).sum();
+    println!("\nwith the paper's guard: {recoveries} pseudo-deadlock recoveries,");
+    println!("{guard_cycles} guarded issue cycles across both suites.");
+}

@@ -1,0 +1,54 @@
+//! Per-workload detail behind the suite averages: IPC under all three
+//! machines, the relative IPC the paper's Figure 5 averages, and the
+//! write-classification mix per kernel.
+
+use carf_bench::{pct, print_table, run_workload, Budget};
+use carf_core::{CarfParams, ValueClass};
+use carf_sim::SimConfig;
+use carf_workloads::all_workloads;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Per-workload detail at d+n = 20 ({} run)", budget.label());
+
+    let unlimited = SimConfig::paper_unlimited();
+    let baseline = SimConfig::paper_baseline();
+    let carf = SimConfig::paper_carf(CarfParams::paper_default());
+
+    let mut rows = Vec::new();
+    for wl in all_workloads() {
+        let u = run_workload(&unlimited, &wl, &budget);
+        let b = run_workload(&baseline, &wl, &budget);
+        let c = run_workload(&carf, &wl, &budget);
+        let writes = c.int_rf.writes;
+        rows.push(vec![
+            format!("{} ({})", wl.name, wl.suite),
+            format!("{:.3}", u.ipc()),
+            format!("{:.3}", b.ipc()),
+            format!("{:.3}", c.ipc()),
+            pct(c.ipc() / b.ipc()),
+            pct(writes.fraction(ValueClass::Simple)),
+            pct(writes.fraction(ValueClass::Short)),
+            pct(writes.fraction(ValueClass::Long)),
+            format!("{:.1}", c.long_mean_live),
+            pct(c.bpred.cond_accuracy()),
+        ]);
+    }
+    print_table(
+        "IPC and write classification per kernel",
+        &[
+            "workload",
+            "unl ipc",
+            "base ipc",
+            "carf ipc",
+            "carf/base",
+            "w.simple",
+            "w.short",
+            "w.long",
+            "live L",
+            "bpred",
+        ],
+        &rows,
+    );
+    println!("\nThe paper reports suite averages only; this is the spread underneath.");
+}

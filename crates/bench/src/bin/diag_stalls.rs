@@ -1,0 +1,26 @@
+//! Diagnostic: stall/replay breakdown for selected kernels under the
+//! baseline and content-aware machines. Not a paper artifact — a tool for
+//! understanding where cycles go when the two machines diverge.
+
+use carf_core::CarfParams;
+use carf_sim::{SimConfig, Simulator};
+use carf_workloads::{all_workloads, SizeClass};
+
+fn main() {
+    for name in ["stencil3", "particle_push", "tridiag", "sort_kernel"] {
+        let wl = all_workloads().into_iter().find(|w| w.name == name).unwrap();
+        let program = wl.build_class(SizeClass::Quick);
+        for (label, cfg) in [
+            ("base", SimConfig::paper_baseline()),
+            ("carf", SimConfig::paper_carf(CarfParams::paper_default())),
+        ] {
+            let mut sim = Simulator::new(cfg, &program);
+            let r = sim.run(300_000).unwrap();
+            let s = sim.stats();
+            println!("{name:14} {label} ipc={:.3} replays={} mispred={} squashed={} rob_stall={} iq_stall={} preg_stall={} lsq_stall={} guard={}",
+                r.ipc, s.load_replays, s.mispredicts, s.squashed,
+                s.dispatch_stalls.rob, s.dispatch_stalls.iq, s.dispatch_stalls.pregs,
+                s.dispatch_stalls.lsq, s.long_guard_stall_cycles);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! §6 supporting measurements for the proposed extensions:
+//!
+//! * value-type clustering — most instructions read operands of a single
+//!   type (Table 4's corollary: >86%), so type-partitioned clusters would
+//!   see little inter-cluster traffic;
+//! * SMT sharing — the mean live Long count sits far below the provisioned
+//!   48 (paper: ≈12.7), so one Long file could feed several threads.
+
+use carf_bench::{mean, pct, print_table, run_suite, Budget};
+use carf_core::CarfParams;
+use carf_sim::SimConfig;
+use carf_workloads::Suite;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("§6 extension measurements ({} run)", budget.label());
+    let cfg = SimConfig::paper_carf(CarfParams::paper_default());
+
+    let int = run_suite(&cfg, Suite::Int, &budget);
+    let fp = run_suite(&cfg, Suite::Fp, &budget);
+
+    let same_type = |r: &carf_bench::SuiteResult| {
+        mean(r.runs.iter().map(|(_, s)| s.operand_mix.same_type_fraction()))
+    };
+    let rows = vec![
+        vec![
+            "same-type operand fraction (INT)".into(),
+            pct(same_type(&int)),
+            ">86%".into(),
+        ],
+        vec![
+            "same-type operand fraction (FP)".into(),
+            pct(same_type(&fp)),
+            ">86%".into(),
+        ],
+        vec![
+            "mean live Long registers".into(),
+            format!(
+                "{:.1}",
+                mean(int.runs.iter().chain(fp.runs.iter()).map(|(_, s)| s.long_mean_live))
+            ),
+            "~12.7".into(),
+        ],
+        vec![
+            "peak live Long registers".into(),
+            format!(
+                "{}",
+                int.runs
+                    .iter()
+                    .chain(fp.runs.iter())
+                    .map(|(_, s)| s.long_peak_live)
+                    .max()
+                    .unwrap_or(0)
+            ),
+            "≤48 (provisioned)".into(),
+        ],
+        vec![
+            "mean Short-file occupancy".into(),
+            format!(
+                "{:.1} / 8",
+                mean(int.runs.iter().chain(fp.runs.iter()).map(|(_, s)| s.short_mean_occupancy))
+            ),
+            "-".into(),
+        ],
+        vec![
+            "result type matches a source type".into(),
+            pct(mean(
+                int.runs
+                    .iter()
+                    .chain(fp.runs.iter())
+                    .map(|(_, s)| s.dest_class_match_fraction()),
+            )),
+            "\"typically\" (§6)".into(),
+        ],
+    ];
+    print_table("Clustering / SMT headroom", &["metric", "measured", "paper"], &rows);
+}

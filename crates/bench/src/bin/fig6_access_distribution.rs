@@ -1,0 +1,49 @@
+//! Figure 6: register-file READ and WRITE access distribution by value
+//! type as a function of `d+n` (n fixed at 3, 8 Short / 48 Long).
+//!
+//! The paper's trend: growing `d+n` reclassifies long values as short or
+//! simple — at `d+n = 24` over half of all accesses are short and long
+//! accesses drop below 20%.
+
+use carf_bench::{pct, print_table, run_suite, Budget, DN_SWEEP};
+use carf_core::{CarfParams, ValueClass};
+use carf_sim::SimConfig;
+use carf_workloads::Suite;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Figure 6: access distribution by value type ({} run)", budget.label());
+
+    let mut read_rows = Vec::new();
+    let mut write_rows = Vec::new();
+    for dn in DN_SWEEP {
+        let cfg = SimConfig::paper_carf(CarfParams::with_dn(dn));
+        let int = run_suite(&cfg, Suite::Int, &budget);
+        let fp = run_suite(&cfg, Suite::Fp, &budget);
+        let mut reads = int.access_totals().0;
+        let mut writes = int.access_totals().1;
+        let (fr, fw) = fp.access_totals();
+        reads.simple += fr.simple;
+        reads.short += fr.short;
+        reads.long += fr.long;
+        writes.simple += fw.simple;
+        writes.short += fw.short;
+        writes.long += fw.long;
+        read_rows.push(vec![
+            format!("{dn}"),
+            pct(reads.fraction(ValueClass::Simple)),
+            pct(reads.fraction(ValueClass::Short)),
+            pct(reads.fraction(ValueClass::Long)),
+        ]);
+        write_rows.push(vec![
+            format!("{dn}"),
+            pct(writes.fraction(ValueClass::Simple)),
+            pct(writes.fraction(ValueClass::Short)),
+            pct(writes.fraction(ValueClass::Long)),
+        ]);
+    }
+    print_table("READ accesses by value type", &["d+n", "simple", "short", "long"], &read_rows);
+    print_table("WRITE accesses by value type", &["d+n", "simple", "short", "long"], &write_rows);
+    println!("\nPaper anchors: long fraction falls as d+n grows; at d+n = 24 short");
+    println!("accesses exceed 50% of reads and long accesses sit below 20%.");
+}

@@ -1,0 +1,86 @@
+//! §5 headline: the chosen configuration (d+n = 20, 8 Short, 48 Long)
+//! against the baseline — IPC, energy, area, access time, and the
+//! frequency-scaling speed-up estimate.
+
+use carf_bench::{
+    baseline_geometry, carf_geometries, pct, print_table, rf_energy_carf, rf_energy_monolithic,
+    run_suite, unlimited_geometry, Budget, ClassTotals,
+};
+use carf_core::CarfParams;
+use carf_energy::TechModel;
+use carf_sim::SimConfig;
+use carf_workloads::Suite;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Headline summary at d+n = 20 ({} run)", budget.label());
+    let params = CarfParams::paper_default();
+    let model = TechModel::default_model();
+
+    let base_cfg = SimConfig::paper_baseline();
+    let carf_cfg = SimConfig::paper_carf(params);
+
+    let base_int = run_suite(&base_cfg, Suite::Int, &budget);
+    let base_fp = run_suite(&base_cfg, Suite::Fp, &budget);
+    let carf_int = run_suite(&carf_cfg, Suite::Int, &budget);
+    let carf_fp = run_suite(&carf_cfg, Suite::Fp, &budget);
+
+    let int_delta = carf_int.mean_relative_ipc(&base_int) - 1.0;
+    let fp_delta = carf_fp.mean_relative_ipc(&base_fp) - 1.0;
+
+    // Energy: measured access counts priced by the model.
+    let sum = |a: ClassTotals, b: ClassTotals| ClassTotals {
+        simple: a.simple + b.simple,
+        short: a.short + b.short,
+        long: a.long + b.long,
+        total: a.total + b.total,
+    };
+    let (bri, bwi) = base_int.access_totals();
+    let (brf, bwf) = base_fp.access_totals();
+    let (base_reads, base_writes) = (sum(bri, brf), sum(bwi, bwf));
+    let (cri, cwi) = carf_int.access_totals();
+    let (crf, cwf) = carf_fp.access_totals();
+    let (carf_reads, carf_writes) = (sum(cri, crf), sum(cwi, cwf));
+
+    let e_base =
+        rf_energy_monolithic(&model, &baseline_geometry(), &base_reads, &base_writes);
+    let e_unl =
+        rf_energy_monolithic(&model, &unlimited_geometry(), &base_reads, &base_writes);
+    let e_carf = rf_energy_carf(&model, &params, &carf_reads, &carf_writes);
+
+    let a_base = model.area(&baseline_geometry());
+    let a_carf: f64 = carf_geometries(&params).iter().map(|g| model.area(g)).sum();
+    let t_base = model.access_time(&baseline_geometry());
+    let t_carf = carf_geometries(&params)
+        .iter()
+        .map(|g| model.access_time(g))
+        .fold(0.0f64, f64::max);
+
+    let rows = vec![
+        vec![
+            "IPC delta (INT)".into(),
+            format!("{:+.2}%", int_delta * 100.0),
+            "-1.7%".into(),
+        ],
+        vec![
+            "IPC delta (FP)".into(),
+            format!("{:+.2}%", fp_delta * 100.0),
+            "-0.3%".into(),
+        ],
+        vec!["RF energy vs baseline".into(), pct(e_carf / e_base), "~50%".into()],
+        vec!["RF energy vs unlimited".into(), pct(e_carf / e_unl), "~23%".into()],
+        vec!["RF area vs baseline".into(), pct(a_carf / a_base), "82.1%".into()],
+        vec!["RF access time vs baseline".into(), pct(t_carf / t_base), "~85%".into()],
+    ];
+    print_table("Content-aware vs baseline", &["metric", "measured", "paper"], &rows);
+
+    // Frequency-scaling estimate, as in the paper's §5: if the access-time
+    // headroom converts into clock frequency, the IPC loss flips into a
+    // speed-up.
+    println!("\nFrequency-scaling estimate (paper: +5% clock → +3% perf; +10..15% → +8..13%):");
+    let loss = (int_delta + fp_delta) / 2.0;
+    for boost in [0.05, 0.10, 0.15] {
+        let speedup = (1.0 + loss) * (1.0 + boost) - 1.0;
+        println!("  clock +{:>4}: overall {:+.1}%", pct(boost), speedup * 100.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Run an assembly file on the simulated machine.
+//!
+//! ```text
+//! cargo run -p carf-bench --release --bin run_asm -- program.s [options]
+//!
+//! options:
+//!   --carf           use the content-aware register file (default: baseline)
+//!   --unlimited      use the unlimited-resource machine
+//!   --dn <N>         content-aware d+n (default 20; implies --carf)
+//!   --max <N>        instruction budget (default 10_000_000)
+//!   --cosim          check every commit against the functional model
+//!   --functional     skip the timing simulator; run the functional machine
+//!   --disasm         print the disassembly before running
+//!   --timeline <N>   print the pipeline timeline of the first N commits
+//! ```
+
+use carf_core::CarfParams;
+use carf_isa::{parse_asm, Machine};
+use carf_sim::{SimConfig, Simulator};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut carf = false;
+    let mut unlimited = false;
+    let mut dn: Option<u32> = None;
+    let mut max_insts: u64 = 10_000_000;
+    let mut cosim = false;
+    let mut functional = false;
+    let mut disasm = false;
+    let mut timeline: usize = 0;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--carf" => carf = true,
+            "--unlimited" => unlimited = true,
+            "--dn" => {
+                dn = Some(it.next().ok_or("--dn needs a value")?.parse()?);
+            }
+            "--max" => {
+                max_insts = it.next().ok_or("--max needs a value")?.parse()?;
+            }
+            "--cosim" => cosim = true,
+            "--functional" => functional = true,
+            "--disasm" => disasm = true,
+            "--timeline" => {
+                timeline = it.next().ok_or("--timeline needs a value")?.parse()?;
+            }
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+    }
+    let path = path.ok_or("usage: run_asm <file.s> [--carf|--unlimited] [--max N]")?;
+    let source = std::fs::read_to_string(&path)?;
+    let program = parse_asm(&source)?;
+    if disasm {
+        print!("{}", program.disassemble());
+    }
+
+    if functional {
+        let mut m = Machine::load(&program);
+        let retired = m.run(&program, max_insts)?;
+        println!("functional: {retired} instructions retired");
+        return Ok(());
+    }
+
+    let mut config = if let Some(dn) = dn {
+        SimConfig::paper_carf(CarfParams::with_dn(dn))
+    } else if carf {
+        SimConfig::paper_carf(CarfParams::paper_default())
+    } else if unlimited {
+        SimConfig::paper_unlimited()
+    } else {
+        SimConfig::paper_baseline()
+    };
+    config.cosim = cosim;
+
+    let mut sim = Simulator::new(config, &program);
+    if timeline > 0 {
+        sim.record_timeline(timeline);
+    }
+    let result = sim.run(max_insts)?;
+    if timeline > 0 {
+        println!("   seq  pc         Dispatch Issue  Exec   Commit");
+        for t in sim.timeline() {
+            println!("{t}");
+        }
+    }
+    let stats = sim.stats();
+    println!(
+        "{} instructions, {} cycles, ipc {:.3}{}",
+        result.committed,
+        result.cycles,
+        result.ipc,
+        if result.halted { "" } else { " (budget reached)" }
+    );
+    println!(
+        "branches: {:.1}% predicted | operands: {:.1}% bypassed | loads {} stores {}",
+        stats.bpred.cond_accuracy() * 100.0,
+        stats.bypass_fraction() * 100.0,
+        stats.loads,
+        stats.stores,
+    );
+    if stats.int_rf.writes.total() > 0 {
+        println!(
+            "value classes written: {} simple / {} short / {} long",
+            stats.int_rf.writes.simple, stats.int_rf.writes.short, stats.int_rf.writes.long
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,329 @@
+//! Experiment harness: reproduces every table and figure of the CARF
+//! paper's evaluation.
+//!
+//! Each binary in `src/bin/` regenerates one artifact (`fig5_ipc_sweep`,
+//! `table3_access_energy`, ...) and prints the measured series next to the
+//! paper's reported numbers. All binaries accept `--full` for the
+//! long-running configuration (the default is a quick run with the same
+//! shape); results land on stdout in fixed-width tables.
+//!
+//! The building blocks here are deliberately small:
+//!
+//! * [`Budget`] — instruction budget / workload sizing from the CLI;
+//! * [`run_workload`] — one (configuration × workload) timing simulation;
+//! * [`SuiteResult`] / [`run_suite`] — per-suite aggregation (the paper
+//!   reports INT and FP averages);
+//! * [`carf_geometries`], [`rf_energy_carf`], and [`rf_energy_monolithic`]
+//!   — the bridge from simulated
+//!   access counts to the analytic energy model, exactly as the paper
+//!   multiplies Table 3 per-access energies by measured access counts.
+
+use carf_core::{CarfParams, ValueClass};
+use carf_energy::{RegFileGeometry, TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
+use carf_sim::{SimConfig, SimStats, Simulator};
+use carf_workloads::{SizeClass, Suite, Workload};
+
+/// Per-run instruction budget and workload sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Workload problem-size class.
+    pub size: SizeClass,
+    /// Committed-instruction cap per simulation.
+    pub max_insts: u64,
+    /// Oracle sampling period (cycles) when an experiment needs it.
+    pub oracle_period: u64,
+}
+
+impl Budget {
+    /// Quick runs: a few hundred thousand instructions per point.
+    pub fn quick() -> Self {
+        Self { size: SizeClass::Quick, max_insts: 200_000, oracle_period: 16 }
+    }
+
+    /// Full runs: a million-plus instructions per point.
+    pub fn full() -> Self {
+        Self { size: SizeClass::Full, max_insts: 1_000_000, oracle_period: 8 }
+    }
+
+    /// Parses the process arguments: `--full` selects [`Budget::full`],
+    /// anything else (including `--quick`) the quick budget.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::quick()
+        }
+    }
+
+    /// A short human-readable tag for report headers.
+    pub fn label(&self) -> &'static str {
+        match self.size {
+            SizeClass::Full => "full",
+            SizeClass::Quick => "quick",
+            SizeClass::Test => "test",
+        }
+    }
+}
+
+/// Runs one workload under one machine configuration and returns the
+/// statistics.
+///
+/// # Panics
+///
+/// Panics on simulator errors (co-simulation mismatch, watchdog) — an
+/// experiment must not silently produce numbers from a broken run.
+pub fn run_workload(config: &SimConfig, workload: &Workload, budget: &Budget) -> SimStats {
+    let program = workload.build(workload.size(budget.size));
+    let mut sim = Simulator::new(config.clone(), &program);
+    sim.run(budget.max_insts)
+        .unwrap_or_else(|e| panic!("{} under {:?}: {e}", workload.name, config.regfile));
+    sim.stats().clone()
+}
+
+/// Aggregated results for one suite under one configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Which suite.
+    pub suite: Suite,
+    /// Per-workload names and stats, in registry order.
+    pub runs: Vec<(String, SimStats)>,
+}
+
+impl SuiteResult {
+    /// Arithmetic mean of per-workload IPC.
+    pub fn mean_ipc(&self) -> f64 {
+        mean(self.runs.iter().map(|(_, s)| s.ipc()))
+    }
+
+    /// Mean of per-workload relative IPC against a reference run of the
+    /// same suite (the paper's "relative IPC": 100% = unlimited machine).
+    pub fn mean_relative_ipc(&self, reference: &SuiteResult) -> f64 {
+        assert_eq!(self.runs.len(), reference.runs.len(), "suites must match");
+        mean(
+            self.runs
+                .iter()
+                .zip(reference.runs.iter())
+                .map(|((_, a), (_, b))| a.ipc() / b.ipc()),
+        )
+    }
+
+    /// Suite-wide bypass fraction (total operands, paper Table 2).
+    pub fn bypass_fraction(&self) -> f64 {
+        let byp: u64 = self.runs.iter().map(|(_, s)| s.bypassed_operands).sum();
+        let rf: u64 = self.runs.iter().map(|(_, s)| s.rf_operands).sum();
+        if byp + rf == 0 {
+            0.0
+        } else {
+            byp as f64 / (byp + rf) as f64
+        }
+    }
+
+    /// Summed register-file access counts by class over the suite.
+    pub fn access_totals(&self) -> (ClassTotals, ClassTotals) {
+        let mut reads = ClassTotals::default();
+        let mut writes = ClassTotals::default();
+        for (_, s) in &self.runs {
+            reads.simple += s.int_rf.reads.simple;
+            reads.short += s.int_rf.reads.short;
+            reads.long += s.int_rf.reads.long;
+            reads.total += s.int_rf.total_reads;
+            writes.simple += s.int_rf.writes.simple;
+            writes.short += s.int_rf.writes.short;
+            writes.long += s.int_rf.writes.long;
+            writes.total += s.int_rf.total_writes;
+        }
+        (reads, writes)
+    }
+}
+
+/// Summed access counts for one direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassTotals {
+    /// Simple-file-only accesses.
+    pub simple: u64,
+    /// Simple+Short accesses.
+    pub short: u64,
+    /// Simple+Long accesses.
+    pub long: u64,
+    /// All accesses (meaningful for the baseline too).
+    pub total: u64,
+}
+
+impl ClassTotals {
+    /// Fraction of classified accesses in `class`.
+    pub fn fraction(&self, class: ValueClass) -> f64 {
+        let sum = self.simple + self.short + self.long;
+        if sum == 0 {
+            return 0.0;
+        }
+        let n = match class {
+            ValueClass::Simple => self.simple,
+            ValueClass::Short => self.short,
+            ValueClass::Long => self.long,
+        };
+        n as f64 / sum as f64
+    }
+}
+
+/// Runs every workload of `suite` under `config`.
+pub fn run_suite(config: &SimConfig, suite: Suite, budget: &Budget) -> SuiteResult {
+    let workloads = match suite {
+        Suite::Int => carf_workloads::int_suite(),
+        Suite::Fp => carf_workloads::fp_suite(),
+    };
+    let runs = workloads
+        .iter()
+        .map(|w| (w.name.to_string(), run_workload(config, w, budget)))
+        .collect();
+    SuiteResult { suite, runs }
+}
+
+/// The three content-aware sub-file geometries for `params`, with the
+/// paper's port provisioning: every sub-file keeps the baseline's 8R/6W,
+/// and the Short file carries one extra read port per write port for the
+/// WR1 compares.
+pub fn carf_geometries(params: &CarfParams) -> [RegFileGeometry; 3] {
+    let (r, w) = (PAPER_BASELINE.read_ports, PAPER_BASELINE.write_ports);
+    [
+        RegFileGeometry::new(params.simple_entries, params.simple_width(), r, w),
+        RegFileGeometry::new(params.short_entries, params.short_width(), r + w, w),
+        RegFileGeometry::new(params.long_entries, params.long_width(), r, w),
+    ]
+}
+
+/// Total register-file energy of a content-aware run: measured access
+/// counts × per-access energies of each sub-file. Every access touches the
+/// Simple file; short/long accesses additionally touch their sub-file —
+/// mirroring the paper's RF1/RF2 and WR1/WR2 structure.
+pub fn rf_energy_carf(
+    model: &TechModel,
+    params: &CarfParams,
+    reads: &ClassTotals,
+    writes: &ClassTotals,
+) -> f64 {
+    let [simple, short, long] = carf_geometries(params);
+    let classified_reads = reads.simple + reads.short + reads.long;
+    let classified_writes = writes.simple + writes.short + writes.long;
+    classified_reads as f64 * model.read_energy(&simple)
+        + reads.short as f64 * model.read_energy(&short)
+        + reads.long as f64 * model.read_energy(&long)
+        + classified_writes as f64 * model.write_energy(&simple)
+        + writes.short as f64 * model.read_energy(&short) // WR1 probe reads the Short file
+        + writes.long as f64 * model.write_energy(&long)
+}
+
+/// Total register-file energy of a monolithic run (baseline or unlimited).
+pub fn rf_energy_monolithic(
+    model: &TechModel,
+    geometry: &RegFileGeometry,
+    reads: &ClassTotals,
+    writes: &ClassTotals,
+) -> f64 {
+    reads.total as f64 * model.read_energy(geometry)
+        + writes.total as f64 * model.write_energy(geometry)
+}
+
+/// The unlimited comparator geometry (re-exported for binaries).
+pub fn unlimited_geometry() -> RegFileGeometry {
+    PAPER_UNLIMITED
+}
+
+/// The baseline geometry (re-exported for binaries).
+pub fn baseline_geometry() -> RegFileGeometry {
+    PAPER_BASELINE
+}
+
+/// Arithmetic mean of an iterator (0.0 when empty).
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    // Normalize negative zero and float dust so tables print "0.0%".
+    let v = if v.abs() < 5e-12 { 0.0 } else { v };
+    format!("{:.1}%", v * 100.0)
+}
+
+/// The `d+n` sweep axis used throughout the paper's figures.
+pub const DN_SWEEP: [u32; 7] = [8, 12, 16, 20, 24, 28, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty_and_values() {
+        assert_eq!(mean([] as [f64; 0]), 0.0);
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_totals_fractions() {
+        let t = ClassTotals { simple: 50, short: 30, long: 20, total: 100 };
+        assert!((t.fraction(ValueClass::Simple) - 0.5).abs() < 1e-12);
+        assert!((t.fraction(ValueClass::Long) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometries_match_paper_at_dn20() {
+        let g = carf_geometries(&CarfParams::paper_default());
+        assert_eq!((g[0].entries, g[0].bits), (112, 22));
+        assert_eq!((g[1].entries, g[1].bits, g[1].read_ports), (8, 44, 14));
+        assert_eq!((g[2].entries, g[2].bits), (48, 50));
+    }
+
+    #[test]
+    fn carf_energy_is_cheaper_than_baseline_per_access_mix() {
+        // Same access volume through CARF (all simple) must cost less than
+        // through the monolithic baseline.
+        let model = TechModel::default_model();
+        let params = CarfParams::paper_default();
+        let reads = ClassTotals { simple: 1000, short: 0, long: 0, total: 1000 };
+        let writes = ClassTotals { simple: 600, short: 0, long: 0, total: 600 };
+        let carf = rf_energy_carf(&model, &params, &reads, &writes);
+        let base = rf_energy_monolithic(&model, &baseline_geometry(), &reads, &writes);
+        assert!(carf < base * 0.6, "carf={carf:.0} base={base:.0}");
+    }
+
+    #[test]
+    fn budget_labels() {
+        assert_eq!(Budget::quick().label(), "quick");
+        assert_eq!(Budget::full().label(), "full");
+    }
+}

@@ -1,0 +1,161 @@
+//! The conventional monolithic register file used as the paper's baseline
+//! (and, with more entries/ports, as the "unlimited" comparator).
+
+use crate::long_file::LongFileFull;
+use crate::regfile::IntRegFile;
+use crate::stats::AccessStats;
+use crate::value::ValueClass;
+
+/// A monolithic N×64-bit physical register file.
+///
+/// Single-cycle read, single-cycle writeback, no value typing. Port counts
+/// are a property of the surrounding pipeline configuration, not of this
+/// structure.
+///
+/// # Example
+///
+/// ```
+/// use carf_core::{BaselineRegFile, IntRegFile};
+///
+/// let mut rf = BaselineRegFile::new(112);
+/// rf.on_alloc(7);
+/// rf.try_write(7, 0xdead_beef, false)?;
+/// assert_eq!(rf.read(7), 0xdead_beef);
+/// # Ok::<(), carf_core::LongFileFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineRegFile {
+    values: Vec<u64>,
+    written: Vec<bool>,
+    stats: AccessStats,
+}
+
+impl BaselineRegFile {
+    /// Creates a file with `entries` physical registers.
+    pub fn new(entries: usize) -> Self {
+        Self { values: vec![0; entries], written: vec![false; entries], stats: AccessStats::new() }
+    }
+}
+
+impl IntRegFile for BaselineRegFile {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn num_tags(&self) -> usize {
+        self.values.len()
+    }
+
+    fn on_alloc(&mut self, tag: usize) {
+        self.written[tag] = false;
+    }
+
+    fn try_write(
+        &mut self,
+        tag: usize,
+        value: u64,
+        _from_address_op: bool,
+    ) -> Result<Option<ValueClass>, LongFileFull> {
+        self.values[tag] = value;
+        self.written[tag] = true;
+        self.stats.total_writes += 1;
+        Ok(None)
+    }
+
+    fn read(&mut self, tag: usize) -> u64 {
+        assert!(self.written[tag], "register read before write (tag {tag})");
+        self.stats.total_reads += 1;
+        self.values[tag]
+    }
+
+    fn peek(&self, tag: usize) -> Option<u64> {
+        self.written[tag].then(|| self.values[tag])
+    }
+
+    fn class_of(&self, _tag: usize) -> Option<ValueClass> {
+        None
+    }
+
+    fn release(&mut self, tag: usize) {
+        self.written[tag] = false;
+    }
+
+    fn observe_address(&mut self, _addr: u64) {}
+
+    fn rob_interval_tick(&mut self) {}
+
+    fn should_stall_issue(&self) -> bool {
+        false
+    }
+
+    fn read_stages(&self) -> u32 {
+        1
+    }
+
+    fn writeback_stages(&self) -> u32 {
+        1
+    }
+
+    fn extra_bypass_level(&self) -> bool {
+        false
+    }
+
+    fn sample_occupancy(&mut self) {}
+
+    fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut AccessStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_release() {
+        let mut rf = BaselineRegFile::new(4);
+        rf.on_alloc(2);
+        rf.try_write(2, 99, false).unwrap();
+        assert_eq!(rf.read(2), 99);
+        assert_eq!(rf.peek(2), Some(99));
+        rf.release(2);
+        assert_eq!(rf.peek(2), None);
+        assert_eq!(rf.stats().total_reads, 1);
+        assert_eq!(rf.stats().total_writes, 1);
+    }
+
+    #[test]
+    fn pipeline_shape_is_single_stage() {
+        let rf = BaselineRegFile::new(4);
+        assert_eq!(rf.read_stages(), 1);
+        assert_eq!(rf.writeback_stages(), 1);
+        assert!(!rf.extra_bypass_level());
+        assert!(!rf.should_stall_issue());
+        assert_eq!(rf.class_of(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before write")]
+    fn unwritten_read_panics() {
+        let mut rf = BaselineRegFile::new(4);
+        rf.on_alloc(0);
+        let _ = rf.read(0);
+    }
+
+    #[test]
+    fn writes_never_stall() {
+        let mut rf = BaselineRegFile::new(2);
+        for tag in 0..2 {
+            rf.on_alloc(tag);
+            assert!(rf.try_write(tag, u64::MAX, false).is_ok());
+        }
+    }
+}

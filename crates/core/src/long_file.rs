@@ -1,0 +1,255 @@
+//! The Long register file and its free list.
+
+/// Error returned when a long allocation finds no free entry — the paper's
+/// pseudo-deadlock condition, which the pipeline resolves by stalling until
+/// commit frees entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongFileFull;
+
+impl std::fmt::Display for LongFileFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "long register file has no free entries")
+    }
+}
+
+impl std::error::Error for LongFileFull {}
+
+/// The K-entry Long file.
+///
+/// Stores the high `64-d-n+m` bits of long values. Allocation happens at
+/// writeback (WR2), once the value type is known; entries are freed when
+/// their owning physical register is released at commit or squash. The
+/// paper maintains "a pointer to the next free register to use and a
+/// free-entry counter" — modeled here as a free-list stack, plus occupancy
+/// sampling used for the paper's SMT observation (mean live long count).
+#[derive(Debug, Clone)]
+pub struct LongFile {
+    values: Vec<u64>,
+    free: Vec<u32>,
+    occupancy_samples: u64,
+    occupancy_sum: u64,
+    occupancy_hist: Vec<u64>,
+    peak: usize,
+    /// Dynamic cap on live entries (≤ len). Models sharing the physical
+    /// array with another consumer (the paper's §6 SMT direction): the
+    /// co-runner's live entries shrink this thread's effective capacity.
+    capacity_limit: usize,
+}
+
+impl LongFile {
+    /// Creates an empty file with `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        Self {
+            values: vec![0; entries],
+            free: (0..entries as u32).rev().collect(),
+            occupancy_samples: 0,
+            occupancy_sum: 0,
+            occupancy_hist: vec![0; entries + 1],
+            peak: 0,
+            capacity_limit: entries,
+        }
+    }
+
+    /// Caps live entries at `limit` (clamped to the physical size).
+    /// Allocations fail once the live count reaches the cap; entries
+    /// already live are unaffected. Used to model sharing the array
+    /// between SMT threads.
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        self.capacity_limit = limit.min(self.len());
+    }
+
+    /// The current live-entry cap.
+    pub fn capacity_limit(&self) -> usize {
+        self.capacity_limit
+    }
+
+    /// Total number of slots (`K`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the file has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of allocatable slots (respects the capacity cap).
+    pub fn free_count(&self) -> usize {
+        self.capacity_limit.saturating_sub(self.live_count()).min(self.free.len())
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.len() - self.free.len()
+    }
+
+    /// Allocates a slot and stores `high` in it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LongFileFull`] when every slot is live.
+    pub fn alloc(&mut self, high: u64) -> Result<usize, LongFileFull> {
+        if self.live_count() >= self.capacity_limit {
+            return Err(LongFileFull);
+        }
+        let idx = self.free.pop().ok_or(LongFileFull)? as usize;
+        self.values[idx] = high;
+        self.peak = self.peak.max(self.live_count());
+        Ok(idx)
+    }
+
+    /// Reads slot `index` (the RF2 action for long values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read(&self, index: usize) -> u64 {
+        self.values[index]
+    }
+
+    /// Releases slot `index` back to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the slot is already free — double-freeing a long
+    /// register is a pipeline bug.
+    pub fn release(&mut self, index: usize) {
+        debug_assert!(
+            !self.free.contains(&(index as u32)),
+            "double free of long register {index}"
+        );
+        self.free.push(index as u32);
+    }
+
+    /// Records the current occupancy (call once per sampling period).
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_samples += 1;
+        let live = self.live_count();
+        self.occupancy_sum += live as u64;
+        self.occupancy_hist[live] += 1;
+    }
+
+    /// Sampled occupancy histogram: `hist[i]` = samples with `i` live
+    /// entries. Used for the paper's §6 SMT-sharing estimate (two threads'
+    /// demand distributions convolve under an independence assumption).
+    pub fn occupancy_histogram(&self) -> &[u64] {
+        &self.occupancy_hist
+    }
+
+    /// Mean sampled live count (the paper reports ≈12.7 for SPEC).
+    pub fn mean_live(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// Highest live count ever observed.
+    pub fn peak_live(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_release_cycle() {
+        let mut f = LongFile::new(4);
+        let a = f.alloc(0xabc).unwrap();
+        let b = f.alloc(0xdef).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(f.read(a), 0xabc);
+        assert_eq!(f.read(b), 0xdef);
+        assert_eq!(f.free_count(), 2);
+        f.release(a);
+        assert_eq!(f.free_count(), 3);
+        // The released slot is reusable.
+        let c = f.alloc(0x123).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn exhaustion_reports_full() {
+        let mut f = LongFile::new(2);
+        f.alloc(1).unwrap();
+        f.alloc(2).unwrap();
+        assert_eq!(f.alloc(3), Err(LongFileFull));
+        f.release(0);
+        assert!(f.alloc(3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)] // the guard is a debug_assert
+    fn double_free_is_a_bug() {
+        let mut f = LongFile::new(2);
+        let a = f.alloc(1).unwrap();
+        f.release(a);
+        f.release(a);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut f = LongFile::new(8);
+        f.alloc(1).unwrap();
+        f.sample_occupancy(); // 1 live
+        f.alloc(2).unwrap();
+        f.alloc(3).unwrap();
+        f.sample_occupancy(); // 3 live
+        assert_eq!(f.mean_live(), 2.0);
+        assert_eq!(f.peak_live(), 3);
+        assert_eq!(f.live_count(), 3);
+    }
+
+    #[test]
+    fn fresh_file_statistics_are_zero() {
+        let f = LongFile::new(8);
+        assert_eq!(f.mean_live(), 0.0);
+        assert_eq!(f.peak_live(), 0);
+        assert_eq!(f.free_count(), 8);
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn capacity_limit_caps_allocation() {
+        let mut f = LongFile::new(8);
+        f.set_capacity_limit(2);
+        f.alloc(1).unwrap();
+        f.alloc(2).unwrap();
+        assert_eq!(f.alloc(3), Err(LongFileFull));
+        assert_eq!(f.free_count(), 0);
+        // Raising the cap re-enables allocation.
+        f.set_capacity_limit(3);
+        assert!(f.alloc(3).is_ok());
+    }
+
+    #[test]
+    fn lowering_the_cap_below_live_is_safe() {
+        let mut f = LongFile::new(8);
+        for i in 0..4 {
+            f.alloc(i).unwrap();
+        }
+        f.set_capacity_limit(2); // already over: no new allocations
+        assert_eq!(f.free_count(), 0);
+        assert_eq!(f.alloc(9), Err(LongFileFull));
+        assert_eq!(f.live_count(), 4); // existing entries unaffected
+        f.release(0);
+        f.release(1);
+        f.release(2);
+        assert!(f.alloc(9).is_ok()); // back under the cap
+    }
+
+    #[test]
+    fn cap_is_clamped_to_physical_size() {
+        let mut f = LongFile::new(4);
+        f.set_capacity_limit(100);
+        assert_eq!(f.capacity_limit(), 4);
+    }
+}

@@ -1,0 +1,273 @@
+//! Similarity geometry: `d`, `n`, `m` and the derived sub-file widths.
+
+/// Errors from validating a [`CarfParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `d + n` must stay in `1..=32` (the paper sweeps 8..=32).
+    DnOutOfRange(u32),
+    /// The Short file size must be a power of two (it is direct-indexed by
+    /// `n` value bits).
+    ShortNotPowerOfTwo(usize),
+    /// The Long file must have at least one entry.
+    EmptyLongFile,
+    /// The Simple file must have at least one entry (one per physical tag).
+    EmptySimpleFile,
+    /// The Long pointer plus long low bits must fit in the Value field:
+    /// `m <= d + n`.
+    LongPointerTooWide {
+        /// Long pointer width (`ceil(log2 K)`).
+        m: u32,
+        /// Value-field width (`d + n`).
+        dn: u32,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::DnOutOfRange(dn) => write!(f, "d+n = {dn} outside 1..=32"),
+            ParamError::ShortNotPowerOfTwo(s) => {
+                write!(f, "short file size {s} is not a power of two")
+            }
+            ParamError::EmptyLongFile => write!(f, "long file must have at least one entry"),
+            ParamError::EmptySimpleFile => write!(f, "simple file must have at least one entry"),
+            ParamError::LongPointerTooWide { m, dn } => {
+                write!(f, "long pointer width {m} exceeds value field width {dn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Geometry of a content-aware register file.
+///
+/// Following the paper's notation:
+///
+/// * `d` — two values are *(64-d)-similar* when they agree in their top
+///   `64-d` bits;
+/// * `M = 2^n` — Short file entries, direct-indexed by value bits
+///   `[d, d+n)`;
+/// * `K` — Long file entries, `m = ceil(log2 K)` pointer bits;
+/// * `N` — Simple file entries, one per physical register tag.
+///
+/// Derived widths (paper §3):
+///
+/// * Simple file: `N × (d + n + 2)` bits (2-bit Register Descriptor +
+///   `d+n`-bit Value field);
+/// * Short file: `M × (64 - d - n)` bits;
+/// * Long file: `K × (64 - d - n + m)` bits.
+///
+/// # Example
+///
+/// ```
+/// use carf_core::CarfParams;
+///
+/// let p = CarfParams::paper_default();
+/// assert_eq!(p.dn(), 20);
+/// assert_eq!(p.n(), 3);
+/// assert_eq!(p.m(), 6);
+/// assert_eq!(p.short_width(), 44);
+/// assert_eq!(p.long_width(), 50);
+/// assert_eq!(p.simple_width(), 22);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarfParams {
+    /// Low-order difference window: values are grouped on their top `64-d`
+    /// bits.
+    pub d: u32,
+    /// Short file entries (`M`); must be a power of two.
+    pub short_entries: usize,
+    /// Long file entries (`K`).
+    pub long_entries: usize,
+    /// Simple file entries (`N`), equal to the number of physical registers.
+    pub simple_entries: usize,
+}
+
+impl CarfParams {
+    /// The paper's chosen configuration: `d+n = 20` with 8 Short entries
+    /// (`n = 3`, so `d = 17`), 48 Long entries, and 112 Simple entries
+    /// (one per physical integer register).
+    pub fn paper_default() -> Self {
+        Self { d: 17, short_entries: 8, long_entries: 48, simple_entries: 112 }
+    }
+
+    /// A configuration with the given `d+n`, keeping the paper's `n = 3`,
+    /// 48 Long and 112 Simple entries (the Figure 5–9 sweep axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dn < 4` or `dn > 32` (the sweep range plus slack).
+    pub fn with_dn(dn: u32) -> Self {
+        assert!((4..=32).contains(&dn), "d+n = {dn} outside the supported sweep range");
+        Self { d: dn - 3, short_entries: 8, long_entries: 48, simple_entries: 112 }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.simple_entries == 0 {
+            return Err(ParamError::EmptySimpleFile);
+        }
+        if self.long_entries == 0 {
+            return Err(ParamError::EmptyLongFile);
+        }
+        if !self.short_entries.is_power_of_two() {
+            return Err(ParamError::ShortNotPowerOfTwo(self.short_entries));
+        }
+        let dn = self.dn();
+        if dn == 0 || dn > 32 {
+            return Err(ParamError::DnOutOfRange(dn));
+        }
+        if self.m() > dn {
+            return Err(ParamError::LongPointerTooWide { m: self.m(), dn });
+        }
+        Ok(())
+    }
+
+    /// `n = log2(M)`: Short pointer width in bits.
+    pub fn n(&self) -> u32 {
+        self.short_entries.trailing_zeros()
+    }
+
+    /// `m = ceil(log2 K)`: Long pointer width in bits.
+    pub fn m(&self) -> u32 {
+        (usize::BITS - (self.long_entries - 1).leading_zeros()).max(1)
+    }
+
+    /// `d + n`: the Simple Value-field width, the paper's main sweep axis.
+    pub fn dn(&self) -> u32 {
+        self.d + self.n()
+    }
+
+    /// Width in bits of one Simple entry (`d + n + 2`).
+    pub fn simple_width(&self) -> u32 {
+        self.dn() + 2
+    }
+
+    /// Width in bits of one Short entry (`64 - d - n`).
+    pub fn short_width(&self) -> u32 {
+        64 - self.dn()
+    }
+
+    /// Width in bits of one Long entry (`64 - d - n + m`).
+    pub fn long_width(&self) -> u32 {
+        64 - self.dn() + self.m()
+    }
+
+    /// Mask selecting the low `d+n` bits of a value.
+    pub fn value_field_mask(&self) -> u64 {
+        mask(self.dn())
+    }
+
+    /// Mask selecting the low `d` bits (the per-instance difference window).
+    pub fn d_mask(&self) -> u64 {
+        mask(self.d)
+    }
+}
+
+impl Default for CarfParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A mask of `bits` low-order ones (`bits` may be 0..=64).
+pub(crate) fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let p = CarfParams::paper_default();
+        assert_eq!(p.d, 17);
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.dn(), 20);
+        assert_eq!(p.m(), 6); // ceil(log2 48)
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn widths_match_paper_formulas() {
+        let p = CarfParams::paper_default();
+        assert_eq!(p.simple_width(), 22);
+        assert_eq!(p.short_width(), 44);
+        assert_eq!(p.long_width(), 50);
+    }
+
+    #[test]
+    fn with_dn_covers_sweep_axis() {
+        for dn in [8u32, 12, 16, 20, 24, 28, 32] {
+            let p = CarfParams::with_dn(dn);
+            assert_eq!(p.dn(), dn);
+            assert!(p.validate().is_ok(), "dn={dn}");
+        }
+    }
+
+    #[test]
+    fn m_is_ceil_log2() {
+        let mut p = CarfParams::paper_default();
+        p.long_entries = 48;
+        assert_eq!(p.m(), 6);
+        p.long_entries = 64;
+        assert_eq!(p.m(), 6);
+        p.long_entries = 65;
+        assert_eq!(p.m(), 7);
+        p.long_entries = 1;
+        assert_eq!(p.m(), 1);
+        p.long_entries = 2;
+        assert_eq!(p.m(), 1);
+        p.long_entries = 3;
+        assert_eq!(p.m(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let ok = CarfParams::paper_default();
+        assert_eq!(
+            CarfParams { short_entries: 6, ..ok }.validate(),
+            Err(ParamError::ShortNotPowerOfTwo(6))
+        );
+        assert_eq!(
+            CarfParams { long_entries: 0, ..ok }.validate(),
+            Err(ParamError::EmptyLongFile)
+        );
+        assert_eq!(
+            CarfParams { simple_entries: 0, ..ok }.validate(),
+            Err(ParamError::EmptySimpleFile)
+        );
+        assert_eq!(
+            CarfParams { d: 40, ..ok }.validate(),
+            Err(ParamError::DnOutOfRange(43))
+        );
+        // m > d+n: 1024 long entries need 10 pointer bits but d+n = 4.
+        let tight = CarfParams { d: 1, short_entries: 8, long_entries: 1024, simple_entries: 4 };
+        assert_eq!(tight.validate(), Err(ParamError::LongPointerTooWide { m: 10, dn: 4 }));
+    }
+
+    #[test]
+    fn masks() {
+        let p = CarfParams::paper_default();
+        assert_eq!(p.value_field_mask(), (1 << 20) - 1);
+        assert_eq!(p.d_mask(), (1 << 17) - 1);
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep range")]
+    fn with_dn_rejects_wild_values() {
+        let _ = CarfParams::with_dn(40);
+    }
+}

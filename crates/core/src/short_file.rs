@@ -1,0 +1,299 @@
+//! The Short register file with Tcur/Tarch/Told reference-bit aging.
+
+use crate::params::CarfParams;
+use crate::value::{short_high, short_index};
+
+/// One Short-file slot: the shared high bits of a `(64-d)`-similarity group
+/// plus the three reference bits that govern freeing (paper §3.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShortSlot {
+    /// The stored high `64-d-n` bits, valid only when `occupied`.
+    pub high: u64,
+    /// `true` while the slot holds a similarity group.
+    pub occupied: bool,
+    /// Referenced during the current ROB interval.
+    pub tcur: bool,
+    /// Referenced by the current architectural register state.
+    pub tarch: bool,
+    /// Referenced during the previous ROB interval.
+    pub told: bool,
+}
+
+impl ShortSlot {
+    /// A slot is reclaimable when it is unoccupied or none of its
+    /// reference bits are set.
+    pub fn is_free(&self) -> bool {
+        !self.occupied || (!self.tcur && !self.tarch && !self.told)
+    }
+}
+
+/// The M-entry Short file.
+///
+/// Direct-indexed by value bits `[d, d+n)` (the paper rejected a CAM as too
+/// energy-hungry; see `ShortIndexPolicy` for the ablation). A slot stores
+/// the high `64-d-n` bits shared by a group of `(64-d)`-similar values.
+///
+/// Freeing follows the paper's virtual-memory-style reference bits:
+/// `tcur` is set whenever a write classifies as short during the current
+/// ROB interval; at each interval boundary `told = tcur | tarch`, `tcur` is
+/// cleared and `tarch` is recomputed from the architectural state by a
+/// background scan. A slot with all three bits clear may be reallocated.
+#[derive(Debug, Clone)]
+pub struct ShortFile {
+    slots: Vec<ShortSlot>,
+    allocations: u64,
+    rejected_allocations: u64,
+}
+
+impl ShortFile {
+    /// Creates an empty file sized by `params.short_entries`.
+    pub fn new(params: &CarfParams) -> Self {
+        Self {
+            slots: vec![ShortSlot::default(); params.short_entries],
+            allocations: 0,
+            rejected_allocations: 0,
+        }
+    }
+
+    /// Number of slots (`M`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the file has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn slot(&self, index: usize) -> &ShortSlot {
+        &self.slots[index]
+    }
+
+    /// Direct-indexed probe (the WR1 compare): returns the slot index when
+    /// the slot indexed by `value` holds `value`'s high bits.
+    pub fn probe(&self, params: &CarfParams, value: u64) -> Option<usize> {
+        let idx = short_index(params, value);
+        let slot = &self.slots[idx];
+        (slot.occupied && slot.high == short_high(params, value)).then_some(idx)
+    }
+
+    /// Fully associative probe (ablation): returns any slot holding
+    /// `value`'s high bits.
+    pub fn probe_associative(&self, params: &CarfParams, value: u64) -> Option<usize> {
+        let high = short_high(params, value);
+        self.slots.iter().position(|s| s.occupied && s.high == high)
+    }
+
+    /// Attempts to allocate a slot for `value` at its direct index.
+    ///
+    /// Succeeds only when the indexed slot is free (paper: "only if the
+    /// indexed Short Register File location is free"). Returns the slot
+    /// index on success. Idempotent when the slot already holds this
+    /// group's high bits.
+    pub fn try_alloc(&mut self, params: &CarfParams, value: u64) -> Option<usize> {
+        let idx = short_index(params, value);
+        let high = short_high(params, value);
+        let slot = &mut self.slots[idx];
+        if slot.occupied && slot.high == high {
+            return Some(idx);
+        }
+        if slot.is_free() {
+            *slot = ShortSlot { high, occupied: true, tcur: true, tarch: false, told: false };
+            self.allocations += 1;
+            Some(idx)
+        } else {
+            self.rejected_allocations += 1;
+            None
+        }
+    }
+
+    /// Attempts to allocate any free slot for `value` (associative
+    /// ablation). Prefers the direct index when free.
+    pub fn try_alloc_associative(&mut self, params: &CarfParams, value: u64) -> Option<usize> {
+        if let Some(idx) = self.probe_associative(params, value) {
+            return Some(idx);
+        }
+        let direct = short_index(params, value);
+        let idx = if self.slots[direct].is_free() {
+            direct
+        } else {
+            match self.slots.iter().position(ShortSlot::is_free) {
+                Some(i) => i,
+                None => {
+                    self.rejected_allocations += 1;
+                    return None;
+                }
+            }
+        };
+        self.slots[idx] = ShortSlot {
+            high: short_high(params, value),
+            occupied: true,
+            tcur: true,
+            tarch: false,
+            told: false,
+        };
+        self.allocations += 1;
+        Some(idx)
+    }
+
+    /// Records a use of slot `index` during the current ROB interval (the
+    /// WR1 `tcur` set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn mark_used(&mut self, index: usize) {
+        self.slots[index].tcur = true;
+    }
+
+    /// Ends a ROB interval: `told = tcur | tarch`, clears `tcur`, then
+    /// recomputes `tarch` from `arch_refs` (slot indices referenced by the
+    /// current architectural register state — the paper's "simple
+    /// background mechanism").
+    pub fn rob_interval_tick<I: IntoIterator<Item = usize>>(&mut self, arch_refs: I) {
+        for slot in &mut self.slots {
+            slot.told = slot.tcur | slot.tarch;
+            slot.tcur = false;
+            slot.tarch = false;
+        }
+        for idx in arch_refs {
+            if let Some(slot) = self.slots.get_mut(idx) {
+                slot.tarch = true;
+            }
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.occupied).count()
+    }
+
+    /// Successful allocations over the run.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Allocation attempts rejected because the slot was held (a thrash
+    /// indicator).
+    pub fn rejected_allocations(&self) -> u64 {
+        self.rejected_allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CarfParams {
+        CarfParams::paper_default() // d = 17, n = 3, M = 8
+    }
+
+    // A value that maps to Short slot `idx` with distinct high bits `hi`.
+    fn val(idx: u64, hi: u64) -> u64 {
+        (hi << 20) | (idx << 17) | 0x1abc
+    }
+
+    #[test]
+    fn alloc_then_probe_hits() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        let v = val(3, 0x7f3a);
+        let idx = f.try_alloc(&p, v).unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(f.probe(&p, v), Some(3));
+        // Another member of the same similarity group also hits.
+        assert_eq!(f.probe(&p, v ^ 0x1f00), Some(3));
+        assert_eq!(f.occupancy(), 1);
+    }
+
+    #[test]
+    fn probe_misses_on_wrong_high_bits() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        f.try_alloc(&p, val(3, 0x7f3a)).unwrap();
+        assert_eq!(f.probe(&p, val(3, 0x7f3b)), None); // same slot, other group
+        assert_eq!(f.probe(&p, val(4, 0x7f3a)), None); // other slot
+    }
+
+    #[test]
+    fn occupied_slot_rejects_new_group() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        f.try_alloc(&p, val(3, 0x1)).unwrap();
+        assert_eq!(f.try_alloc(&p, val(3, 0x2)), None);
+        assert_eq!(f.rejected_allocations(), 1);
+        // Re-allocating the same group is idempotent, not a rejection.
+        assert_eq!(f.try_alloc(&p, val(3, 0x1)), Some(3));
+        assert_eq!(f.allocations(), 1);
+    }
+
+    #[test]
+    fn aging_frees_unreferenced_slots_after_two_intervals() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        f.try_alloc(&p, val(3, 0x1)).unwrap(); // tcur set by alloc
+        assert!(!f.slot(3).is_free());
+        f.rob_interval_tick([]); // told <- tcur; tcur cleared
+        assert!(!f.slot(3).is_free()); // told still holds it
+        f.rob_interval_tick([]); // told <- 0
+        assert!(f.slot(3).is_free());
+        // Now a new group can claim the slot.
+        assert_eq!(f.try_alloc(&p, val(3, 0x2)), Some(3));
+        assert_eq!(f.slot(3).high, 0x2);
+    }
+
+    #[test]
+    fn arch_references_keep_slots_alive() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        f.try_alloc(&p, val(3, 0x1)).unwrap();
+        for _ in 0..10 {
+            f.rob_interval_tick([3usize]);
+            assert!(!f.slot(3).is_free());
+        }
+        // Once the architectural reference disappears it ages out.
+        f.rob_interval_tick([]);
+        f.rob_interval_tick([]);
+        assert!(f.slot(3).is_free());
+    }
+
+    #[test]
+    fn mark_used_refreshes_liveness() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        f.try_alloc(&p, val(3, 0x1)).unwrap();
+        f.rob_interval_tick([]);
+        f.mark_used(3); // a short write in the new interval
+        f.rob_interval_tick([]);
+        assert!(!f.slot(3).is_free()); // told = tcur from the mark
+    }
+
+    #[test]
+    fn associative_probe_finds_any_slot() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        // Fill the direct slot for group hi=0x2 at index 3 with group 0x1.
+        f.try_alloc(&p, val(3, 0x1)).unwrap();
+        // Associative alloc places group 0x2 elsewhere.
+        let idx = f.try_alloc_associative(&p, val(3, 0x2)).unwrap();
+        assert_ne!(idx, 3);
+        assert_eq!(f.probe_associative(&p, val(3, 0x2)), Some(idx));
+        // Direct-indexed probe cannot see it, by design.
+        assert_eq!(f.probe(&p, val(3, 0x2)), None);
+    }
+
+    #[test]
+    fn associative_alloc_fails_when_all_busy() {
+        let p = p();
+        let mut f = ShortFile::new(&p);
+        for i in 0..8 {
+            f.try_alloc(&p, val(i, 0x10 + i)).unwrap();
+        }
+        assert_eq!(f.try_alloc_associative(&p, val(0, 0xff)), None);
+    }
+}

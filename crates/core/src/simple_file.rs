@@ -1,0 +1,117 @@
+//! The Simple register file: one entry per physical tag.
+
+use crate::value::ValueClass;
+
+/// One Simple-file entry: the 2-bit Register Descriptor plus the
+/// `d+n`-bit Value field.
+///
+/// `rd` is `None` between allocation (rename) and writeback, mirroring the
+/// hardware where the descriptor is undefined until WR2 writes it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimpleEntry {
+    /// Register Descriptor: the value type, or `None` before the first
+    /// write.
+    pub rd: Option<ValueClass>,
+    /// Value field (`d+n` significant bits; interpretation depends on
+    /// `rd`).
+    pub value: u64,
+}
+
+/// The N-entry Simple file.
+///
+/// Every physical register has exactly one Simple entry, assigned at rename
+/// exactly like a baseline physical register (paper §3.1). The entry holds
+/// the value type and the low-order payload; Short/Long pointers are packed
+/// into the Value field by [`ContentAwareRegFile`](crate::ContentAwareRegFile).
+#[derive(Debug, Clone)]
+pub struct SimpleFile {
+    entries: Vec<SimpleEntry>,
+}
+
+impl SimpleFile {
+    /// Creates a file of `entries` cleared slots.
+    pub fn new(entries: usize) -> Self {
+        Self { entries: vec![SimpleEntry::default(); entries] }
+    }
+
+    /// Number of entries (`N`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the file has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads entry `tag` (the RF1 action: descriptor and Value field come
+    /// out together).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is out of range.
+    pub fn read(&self, tag: usize) -> SimpleEntry {
+        self.entries[tag]
+    }
+
+    /// Writes entry `tag` (the WR2 action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is out of range.
+    pub fn write(&mut self, tag: usize, rd: ValueClass, value: u64) {
+        self.entries[tag] = SimpleEntry { rd: Some(rd), value };
+    }
+
+    /// Clears entry `tag` back to the unwritten state (allocation at rename
+    /// or release at commit/squash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is out of range.
+    pub fn clear(&mut self, tag: usize) {
+        self.entries[tag] = SimpleEntry::default();
+    }
+
+    /// Iterates over `(tag, entry)` pairs of written entries.
+    pub fn iter_written(&self) -> impl Iterator<Item = (usize, &SimpleEntry)> {
+        self.entries.iter().enumerate().filter(|(_, e)| e.rd.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unwritten() {
+        let f = SimpleFile::new(4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.read(2).rd, None);
+    }
+
+    #[test]
+    fn write_read_clear() {
+        let mut f = SimpleFile::new(4);
+        f.write(1, ValueClass::Short, 0xabc);
+        assert_eq!(f.read(1), SimpleEntry { rd: Some(ValueClass::Short), value: 0xabc });
+        f.clear(1);
+        assert_eq!(f.read(1).rd, None);
+    }
+
+    #[test]
+    fn iter_written_skips_clear_entries() {
+        let mut f = SimpleFile::new(4);
+        f.write(0, ValueClass::Simple, 1);
+        f.write(3, ValueClass::Long, 2);
+        let tags: Vec<usize> = f.iter_written().map(|(t, _)| t).collect();
+        assert_eq!(tags, vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let f = SimpleFile::new(2);
+        let _ = f.read(2);
+    }
+}

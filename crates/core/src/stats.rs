@@ -1,0 +1,150 @@
+//! Register-file access statistics (the raw material for the paper's
+//! Figure 6, Figure 7, and Table 2).
+
+use crate::value::ValueClass;
+
+/// Whether an access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A source-operand read.
+    Read,
+    /// A result write.
+    Write,
+}
+
+/// Per-value-class access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Accesses that touched only the Simple file.
+    pub simple: u64,
+    /// Accesses that touched the Simple and Short files.
+    pub short: u64,
+    /// Accesses that touched the Simple and Long files.
+    pub long: u64,
+}
+
+impl ClassCounts {
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.simple + self.short + self.long
+    }
+
+    /// Count for one class.
+    pub fn get(&self, class: ValueClass) -> u64 {
+        match class {
+            ValueClass::Simple => self.simple,
+            ValueClass::Short => self.short,
+            ValueClass::Long => self.long,
+        }
+    }
+
+    /// Increments the counter for `class`.
+    pub fn bump(&mut self, class: ValueClass) {
+        match class {
+            ValueClass::Simple => self.simple += 1,
+            ValueClass::Short => self.short += 1,
+            ValueClass::Long => self.long += 1,
+        }
+    }
+
+    /// Fraction of all accesses that were `class` (0.0 when empty).
+    pub fn fraction(&self, class: ValueClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(class) as f64 / total as f64
+        }
+    }
+}
+
+/// Accumulated access statistics for one register file.
+///
+/// `total_reads`/`total_writes` count every architecture's accesses; the
+/// per-class breakdowns are populated only by the content-aware file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccessStats {
+    /// Reads by value class (content-aware file only).
+    pub reads: ClassCounts,
+    /// Writes by value class (content-aware file only).
+    pub writes: ClassCounts,
+    /// All reads, regardless of organization.
+    pub total_reads: u64,
+    /// All writes, regardless of organization.
+    pub total_writes: u64,
+    /// Write attempts deferred because the Long file was full (the paper's
+    /// pseudo-deadlock pressure indicator).
+    pub long_write_stalls: u64,
+}
+
+impl AccessStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.reads.simple += other.reads.simple;
+        self.reads.short += other.reads.short;
+        self.reads.long += other.reads.long;
+        self.writes.simple += other.writes.simple;
+        self.writes.short += other.writes.short;
+        self.writes.long += other.writes.long;
+        self.total_reads += other.total_reads;
+        self.total_writes += other.total_writes;
+        self.long_write_stalls += other.long_write_stalls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_fractions() {
+        let mut c = ClassCounts::default();
+        c.bump(ValueClass::Simple);
+        c.bump(ValueClass::Simple);
+        c.bump(ValueClass::Short);
+        c.bump(ValueClass::Long);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.get(ValueClass::Simple), 2);
+        assert!((c.fraction(ValueClass::Simple) - 0.5).abs() < 1e-12);
+        assert!((c.fraction(ValueClass::Long) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let c = ClassCounts::default();
+        assert_eq!(c.fraction(ValueClass::Short), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AccessStats::new();
+        a.reads.bump(ValueClass::Short);
+        a.total_reads = 1;
+        let mut b = AccessStats::new();
+        b.reads.bump(ValueClass::Short);
+        b.total_reads = 1;
+        b.long_write_stalls = 3;
+        a.merge(&b);
+        assert_eq!(a.reads.short, 2);
+        assert_eq!(a.total_reads, 2);
+        assert_eq!(a.long_write_stalls, 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut a = AccessStats::new();
+        a.total_writes = 10;
+        a.reset();
+        assert_eq!(a.total_writes, 0);
+    }
+}

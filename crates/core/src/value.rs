@@ -1,0 +1,225 @@
+//! The value-type algebra: classification, splitting, and reconstruction.
+
+use crate::params::{mask, CarfParams};
+
+/// The three value types of the content-aware organization (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueClass {
+    /// The value sign-extends from its low `d+n` bits (high bits all zeros
+    /// or all ones). Stored entirely in the Simple file.
+    Simple,
+    /// The value shares its high `64-d` bits with a resident Short entry.
+    /// Low `d+n` bits live in the Simple file, the rest in the Short file.
+    Short,
+    /// Neither simple nor short. Low `d+n-m` bits live in the Simple file,
+    /// the rest in the Long file.
+    Long,
+}
+
+impl std::fmt::Display for ValueClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueClass::Simple => write!(f, "simple"),
+            ValueClass::Short => write!(f, "short"),
+            ValueClass::Long => write!(f, "long"),
+        }
+    }
+}
+
+/// `true` when `value` sign-extends from its low `d+n` bits — the paper's
+/// *simple* test (high `64-d-n` bits all zeros or all ones).
+///
+/// # Example
+///
+/// ```
+/// use carf_core::{is_simple, CarfParams};
+///
+/// let p = CarfParams::paper_default(); // d+n = 20
+/// assert!(is_simple(&p, 42));
+/// assert!(is_simple(&p, (-42i64) as u64));
+/// assert!(!is_simple(&p, 1 << 20)); // needs 21 bits
+/// ```
+pub fn is_simple(params: &CarfParams, value: u64) -> bool {
+    let dn = params.dn();
+    if dn >= 64 {
+        return true;
+    }
+    let shifted = ((value as i64) << (64 - dn)) >> (64 - dn);
+    shifted as u64 == value
+}
+
+/// The Short-file index a value maps to: bits `[d, d+n)`.
+pub fn short_index(params: &CarfParams, value: u64) -> usize {
+    ((value >> params.d) as usize) & (params.short_entries - 1)
+}
+
+/// The high bits stored in a Short entry: bits `[d+n, 64)`.
+pub fn short_high(params: &CarfParams, value: u64) -> u64 {
+    value >> params.dn()
+}
+
+/// Splits a short value into `(short_file_high_bits, value_field_low_bits)`.
+pub fn split_short(params: &CarfParams, value: u64) -> (u64, u64) {
+    (short_high(params, value), value & params.value_field_mask())
+}
+
+/// Reconstructs a short value from its Short entry and Value field.
+///
+/// Inverse of [`split_short`]:
+///
+/// ```
+/// use carf_core::{split_short, reconstruct_short, CarfParams};
+///
+/// let p = CarfParams::paper_default();
+/// let v = 0x0000_7fff_a3b4_c5d6;
+/// let (hi, lo) = split_short(&p, v);
+/// assert_eq!(reconstruct_short(&p, hi, lo), v);
+/// ```
+pub fn reconstruct_short(params: &CarfParams, high: u64, low: u64) -> u64 {
+    (high << params.dn()) | (low & params.value_field_mask())
+}
+
+/// Splits a long value into `(long_file_high_bits, value_field_low_bits)`.
+///
+/// The Value field of a long entry holds the `m`-bit Long pointer *plus*
+/// the low `d+n-m` bits of the value; the Long file holds the remaining
+/// high `64-d-n+m` bits.
+pub fn split_long(params: &CarfParams, value: u64) -> (u64, u64) {
+    let low_bits = params.dn() - params.m();
+    (value >> low_bits, value & mask(low_bits))
+}
+
+/// Reconstructs a long value from its Long entry and the low bits held in
+/// the Value field.
+///
+/// Inverse of [`split_long`].
+pub fn reconstruct_long(params: &CarfParams, high: u64, low: u64) -> u64 {
+    let low_bits = params.dn() - params.m();
+    (high << low_bits) | (low & mask(low_bits))
+}
+
+/// Classifies a value the way writeback stage WR1 does, given a probe of
+/// the Short file (`short_hit` says whether the indexed Short entry holds
+/// this value's high bits).
+///
+/// The precedence is the paper's: simple first, then short, else long.
+pub fn classify(params: &CarfParams, value: u64, short_hit: bool) -> ValueClass {
+    if is_simple(params, value) {
+        ValueClass::Simple
+    } else if short_hit {
+        ValueClass::Short
+    } else {
+        ValueClass::Long
+    }
+}
+
+/// Sign-extends a Value-field payload back to 64 bits (the RF2 action for
+/// simple values).
+pub fn extend_simple(params: &CarfParams, low: u64) -> u64 {
+    let dn = params.dn();
+    if dn >= 64 {
+        return low;
+    }
+    (((low << (64 - dn)) as i64) >> (64 - dn)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CarfParams {
+        CarfParams::paper_default()
+    }
+
+    #[test]
+    fn simple_boundaries() {
+        let p = p();
+        // Largest positive simple value with d+n = 20 is 2^19 - 1.
+        assert!(is_simple(&p, (1 << 19) - 1));
+        assert!(!is_simple(&p, 1 << 19));
+        // Smallest negative simple value is -2^19.
+        assert!(is_simple(&p, (-(1i64 << 19)) as u64));
+        assert!(!is_simple(&p, (-(1i64 << 19) - 1) as u64));
+        assert!(is_simple(&p, 0));
+        assert!(is_simple(&p, u64::MAX)); // -1
+    }
+
+    #[test]
+    fn simple_round_trip_via_extend() {
+        let p = p();
+        for v in [0u64, 1, 42, (1 << 19) - 1, (-1i64) as u64, (-524288i64) as u64] {
+            assert!(is_simple(&p, v), "{v:#x}");
+            let low = v & p.value_field_mask();
+            assert_eq!(extend_simple(&p, low), v, "{v:#x}");
+        }
+    }
+
+    #[test]
+    fn short_split_reconstruct_round_trip() {
+        let p = p();
+        for v in [0x0000_7f3a_1234_5678u64, 0xdead_beef_cafe_f00d, u64::MAX, 0] {
+            let (hi, lo) = split_short(&p, v);
+            assert_eq!(reconstruct_short(&p, hi, lo), v, "{v:#x}");
+            assert!(hi < (1 << p.short_width()), "high part fits in short width");
+        }
+    }
+
+    #[test]
+    fn long_split_reconstruct_round_trip() {
+        let p = p();
+        for v in [0x0123_4567_89ab_cdefu64, u64::MAX, 1 << 63, 0x8000_0000_0000_0001] {
+            let (hi, lo) = split_long(&p, v);
+            assert_eq!(reconstruct_long(&p, hi, lo), v, "{v:#x}");
+            // High part fits in the long entry width minus nothing: 50 bits.
+            assert!(hi < (1u64 << p.long_width()), "{hi:#x}");
+            assert!(lo < (1 << (p.dn() - p.m())));
+        }
+    }
+
+    #[test]
+    fn short_index_uses_bits_d_to_d_plus_n() {
+        let p = p(); // d = 17, n = 3
+        let v = 0b101u64 << 17;
+        assert_eq!(short_index(&p, v), 0b101);
+        // Bits below d do not affect the index.
+        assert_eq!(short_index(&p, v | 0x1ffff), 0b101);
+        // Bits at and above d+n do not affect the index.
+        assert_eq!(short_index(&p, v | (1 << 20)), 0b101);
+    }
+
+    #[test]
+    fn two_similar_values_share_short_high() {
+        let p = p();
+        // Two heap addresses differing only in their low d bits.
+        let a = 0x0000_7f3a_8000_0000u64;
+        let b = a + 0x1_0000; // differs within the low 17 bits
+        assert_eq!(short_high(&p, a), short_high(&p, b));
+        assert_eq!(short_index(&p, a), short_index(&p, b));
+    }
+
+    #[test]
+    fn classification_precedence() {
+        let p = p();
+        assert_eq!(classify(&p, 5, true), ValueClass::Simple); // simple wins
+        let big = 0x0000_7f3a_8000_0000u64;
+        assert_eq!(classify(&p, big, true), ValueClass::Short);
+        assert_eq!(classify(&p, big, false), ValueClass::Long);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ValueClass::Simple.to_string(), "simple");
+        assert_eq!(ValueClass::Short.to_string(), "short");
+        assert_eq!(ValueClass::Long.to_string(), "long");
+    }
+
+    #[test]
+    fn extreme_dn_32_still_round_trips() {
+        let p = CarfParams::with_dn(32);
+        let v = 0xfedc_ba98_7654_3210u64;
+        let (hi, lo) = split_long(&p, v);
+        assert_eq!(reconstruct_long(&p, hi, lo), v);
+        let (hi, lo) = split_short(&p, v);
+        assert_eq!(reconstruct_short(&p, hi, lo), v);
+    }
+}

@@ -1,0 +1,73 @@
+//! Register-file array geometry.
+
+/// The physical shape of one register-file array: entry count, word width,
+/// and port counts.
+///
+/// # Example
+///
+/// ```
+/// use carf_energy::RegFileGeometry;
+///
+/// let g = RegFileGeometry::new(112, 64, 8, 6);
+/// assert_eq!(g.ports(), 14);
+/// assert_eq!(g.storage_bits(), 112 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegFileGeometry {
+    /// Number of entries (words).
+    pub entries: usize,
+    /// Width of one entry in bits.
+    pub bits: u32,
+    /// Read ports.
+    pub read_ports: u32,
+    /// Write ports.
+    pub write_ports: u32,
+}
+
+impl RegFileGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries`, `bits`, or the total port count is zero.
+    pub fn new(entries: usize, bits: u32, read_ports: u32, write_ports: u32) -> Self {
+        assert!(entries > 0, "register file needs at least one entry");
+        assert!(bits > 0, "register file needs at least one bit");
+        assert!(read_ports + write_ports > 0, "register file needs at least one port");
+        Self { entries, bits, read_ports, write_ports }
+    }
+
+    /// Total port count (each adds a wordline and a bitline per cell).
+    pub fn ports(&self) -> u32 {
+        self.read_ports + self.write_ports
+    }
+
+    /// Raw storage capacity in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries as u64 * u64::from(self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let g = RegFileGeometry::new(48, 50, 8, 6);
+        assert_eq!(g.ports(), 14);
+        assert_eq!(g.storage_bits(), 2400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = RegFileGeometry::new(0, 64, 8, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        let _ = RegFileGeometry::new(8, 64, 0, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Analytic register-file area / access-time / energy model.
+//!
+//! The paper estimates area, access time, and access energy with the model
+//! of Rixner et al., *"Register Organization for Media Processing"*
+//! (HPCA 2000). This crate implements the same functional form from
+//! scratch:
+//!
+//! * a storage **cell** grows linearly with the port count in both
+//!   dimensions (each port adds a wordline horizontally and a bitline
+//!   vertically);
+//! * **area** is `entries × bits × cell_width × cell_height` (plus a
+//!   decoder/driver overhead);
+//! * **access time** is dominated by the RC of one wordline (length ∝ bits
+//!   × cell width) plus one bitline (length ∝ entries × cell height), plus
+//!   a `log2(entries)` decoder term;
+//! * **energy per access** is the switched capacitance of one wordline and
+//!   the `bits` bitlines it enables.
+//!
+//! All quantities are in arbitrary normalized units: the experiments only
+//! ever report *ratios* (to the unlimited-resource file), exactly as the
+//! paper does. The constants in [`TechModel::default_model`] are calibrated
+//! once so that the paper's baseline (112 entries, 8R/6W) lands near its
+//! reported 48.8% per-access energy of the unlimited file (160 entries,
+//! 16R/8W); everything else falls out of the model.
+//!
+//! # Example
+//!
+//! ```
+//! use carf_energy::{RegFileGeometry, TechModel};
+//!
+//! let model = TechModel::default_model();
+//! let unlimited = RegFileGeometry::new(160, 64, 16, 8);
+//! let baseline = RegFileGeometry::new(112, 64, 8, 6);
+//! let ratio = model.read_energy(&baseline) / model.read_energy(&unlimited);
+//! assert!(ratio > 0.4 && ratio < 0.6); // the paper reports 48.8%
+//! ```
+
+mod geometry;
+mod model;
+
+pub use geometry::RegFileGeometry;
+pub use model::{TechModel, PAPER_BASELINE, PAPER_UNLIMITED};

@@ -1,0 +1,219 @@
+//! The analytic technology model.
+
+use crate::geometry::RegFileGeometry;
+
+/// The paper's unlimited-resource comparator: 160 entries (ROB + 32
+/// architectural), 64 bits, 16 read / 8 write ports.
+pub const PAPER_UNLIMITED: RegFileGeometry =
+    RegFileGeometry { entries: 160, bits: 64, read_ports: 16, write_ports: 8 };
+
+/// The paper's baseline: 112 entries, 64 bits, 8 read / 6 write ports.
+pub const PAPER_BASELINE: RegFileGeometry =
+    RegFileGeometry { entries: 112, bits: 64, read_ports: 8, write_ports: 6 };
+
+/// Normalized circuit constants for the Rixner-style model.
+///
+/// A storage cell is `cell_w0 + ports` grid units wide and
+/// `cell_h0 + ports` tall (each port routes one wordline across and one
+/// bitline down every cell). From the cell geometry the model derives:
+///
+/// * area = `entries · bits · cell_w · cell_h`;
+/// * per-access energy = wordline capacitance (`bits · cell_w`) plus the
+///   capacitance of the `bits` bitlines it enables (`bits · entries ·
+///   cell_h`), scaled by `energy_word` / `energy_bit`;
+/// * access time = `delay_fixed` + `delay_decode · log2(entries)` +
+///   `delay_word · bits · cell_w` + `delay_bit · entries · cell_h`.
+///
+/// Units are arbitrary; only ratios are meaningful, which is how the paper
+/// reports every circuit-level number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechModel {
+    /// Cell width at zero ports (grid units).
+    pub cell_w0: f64,
+    /// Cell width added per port.
+    pub cell_dw: f64,
+    /// Cell height at zero ports.
+    pub cell_h0: f64,
+    /// Cell height added per port.
+    pub cell_dh: f64,
+    /// Energy per unit of wordline length.
+    pub energy_word: f64,
+    /// Energy per unit of bitline length (per enabled bit).
+    pub energy_bit: f64,
+    /// Extra energy a write spends driving bitlines, as a multiple of the
+    /// read bitline energy (differential writes drive both rails).
+    pub write_energy_factor: f64,
+    /// Fixed delay (sense amplifier, latching).
+    pub delay_fixed: f64,
+    /// Delay per address bit of decode.
+    pub delay_decode: f64,
+    /// Delay per unit of wordline length.
+    pub delay_word: f64,
+    /// Delay per unit of bitline length.
+    pub delay_bit: f64,
+}
+
+impl TechModel {
+    /// The calibrated default model.
+    ///
+    /// With these constants the paper's baseline file costs ≈43% of the
+    /// unlimited file per access (the paper reports 48.8%) and ≈27% of its
+    /// area; every other configuration is produced by the same constants.
+    pub fn default_model() -> Self {
+        Self {
+            cell_w0: 2.0,
+            cell_dw: 1.0,
+            cell_h0: 2.0,
+            cell_dh: 1.0,
+            energy_word: 1.0,
+            energy_bit: 1.0,
+            write_energy_factor: 1.1,
+            delay_fixed: 10.0,
+            delay_decode: 2.0,
+            delay_word: 0.02,
+            delay_bit: 0.02,
+        }
+    }
+
+    /// Width of one storage cell for `g`'s port count.
+    pub fn cell_width(&self, g: &RegFileGeometry) -> f64 {
+        self.cell_w0 + self.cell_dw * f64::from(g.ports())
+    }
+
+    /// Height of one storage cell for `g`'s port count.
+    pub fn cell_height(&self, g: &RegFileGeometry) -> f64 {
+        self.cell_h0 + self.cell_dh * f64::from(g.ports())
+    }
+
+    /// Cell-array area in grid units squared.
+    pub fn area(&self, g: &RegFileGeometry) -> f64 {
+        g.storage_bits() as f64 * self.cell_width(g) * self.cell_height(g)
+    }
+
+    /// Energy of one read access.
+    pub fn read_energy(&self, g: &RegFileGeometry) -> f64 {
+        let wordline = self.energy_word * f64::from(g.bits) * self.cell_width(g);
+        let bitlines =
+            self.energy_bit * f64::from(g.bits) * g.entries as f64 * self.cell_height(g);
+        wordline + bitlines
+    }
+
+    /// Energy of one write access (reads plus the write-driver factor on
+    /// the bitline term).
+    pub fn write_energy(&self, g: &RegFileGeometry) -> f64 {
+        let wordline = self.energy_word * f64::from(g.bits) * self.cell_width(g);
+        let bitlines =
+            self.energy_bit * f64::from(g.bits) * g.entries as f64 * self.cell_height(g);
+        wordline + bitlines * self.write_energy_factor
+    }
+
+    /// Access time (decode + wordline + bitline + fixed).
+    pub fn access_time(&self, g: &RegFileGeometry) -> f64 {
+        let address_bits = (g.entries as f64).log2().max(1.0);
+        self.delay_fixed
+            + self.delay_decode * address_bits
+            + self.delay_word * f64::from(g.bits) * self.cell_width(g)
+            + self.delay_bit * g.entries as f64 * self.cell_height(g)
+    }
+}
+
+impl Default for TechModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> TechModel {
+        TechModel::default_model()
+    }
+
+    #[test]
+    fn baseline_energy_calibration_band() {
+        let m = m();
+        let ratio = m.read_energy(&PAPER_BASELINE) / m.read_energy(&PAPER_UNLIMITED);
+        // The paper reports 48.8%; the un-fitted capacitance model lands a
+        // little lower. Anything in this band preserves the result's shape.
+        assert!(ratio > 0.38 && ratio < 0.55, "baseline/unlimited energy = {ratio:.3}");
+    }
+
+    #[test]
+    fn sub_file_energies_match_paper_shape_at_dn_20() {
+        let m = m();
+        let unlimited = m.read_energy(&PAPER_UNLIMITED);
+        // Paper Table 3 at d+n = 20 (single-access, relative to unlimited):
+        // simple ≈ 12%, short ≈ 2.9%, long ≈ 16.9%.
+        let simple = RegFileGeometry::new(112, 22, 8, 6);
+        let short = RegFileGeometry::new(8, 44, 14, 6); // +6 read ports for WR1 compares
+        let long = RegFileGeometry::new(48, 50, 8, 6);
+        let rs = m.read_energy(&simple) / unlimited;
+        let rsh = m.read_energy(&short) / unlimited;
+        let rl = m.read_energy(&long) / unlimited;
+        assert!(rs > 0.08 && rs < 0.20, "simple = {rs:.3}");
+        assert!(rsh > 0.01 && rsh < 0.06, "short = {rsh:.3}");
+        assert!(rl > 0.10 && rl < 0.22, "long = {rl:.3}");
+        // Ordering: short < simple/long; all far below the baseline.
+        let base = m.read_energy(&PAPER_BASELINE) / unlimited;
+        assert!(rsh < rs && rsh < rl && rl < base && rs < base);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_every_dimension() {
+        let m = m();
+        let g = RegFileGeometry::new(64, 32, 8, 4);
+        let more_entries = RegFileGeometry::new(128, 32, 8, 4);
+        let wider = RegFileGeometry::new(64, 64, 8, 4);
+        let more_ports = RegFileGeometry::new(64, 32, 16, 8);
+        assert!(m.read_energy(&more_entries) > m.read_energy(&g));
+        assert!(m.read_energy(&wider) > m.read_energy(&g));
+        assert!(m.read_energy(&more_ports) > m.read_energy(&g));
+        assert!(m.area(&more_ports) > m.area(&g));
+        assert!(m.access_time(&more_entries) > m.access_time(&g));
+    }
+
+    #[test]
+    fn writes_cost_at_least_as_much_as_reads() {
+        let m = m();
+        for g in [PAPER_BASELINE, PAPER_UNLIMITED, RegFileGeometry::new(8, 44, 14, 6)] {
+            assert!(m.write_energy(&g) >= m.read_energy(&g));
+        }
+    }
+
+    #[test]
+    fn carf_total_area_is_smaller_than_baseline() {
+        let m = m();
+        // d+n = 20 geometry from the paper.
+        let simple = RegFileGeometry::new(112, 22, 8, 6);
+        let short = RegFileGeometry::new(8, 44, 14, 6);
+        let long = RegFileGeometry::new(48, 50, 8, 6);
+        let carf = m.area(&simple) + m.area(&short) + m.area(&long);
+        let ratio = carf / m.area(&PAPER_BASELINE);
+        // Paper Figure 8: CARF ≈ 82% of the baseline area.
+        assert!(ratio > 0.65 && ratio < 0.95, "carf/baseline area = {ratio:.3}");
+    }
+
+    #[test]
+    fn carf_access_times_beat_baseline() {
+        let m = m();
+        let base_t = m.access_time(&PAPER_BASELINE);
+        let simple = m.access_time(&RegFileGeometry::new(112, 22, 8, 6));
+        let short = m.access_time(&RegFileGeometry::new(8, 44, 14, 6));
+        let long = m.access_time(&RegFileGeometry::new(48, 50, 8, 6));
+        // Paper Figure 9: every CARF component is faster than the baseline;
+        // the slowest (simple) leaves ≈15% headroom.
+        assert!(simple < base_t && short < base_t && long < base_t);
+        let headroom = 1.0 - simple.max(short).max(long) / base_t;
+        assert!(headroom > 0.08 && headroom < 0.30, "headroom = {headroom:.3}");
+    }
+
+    #[test]
+    fn named_geometries_match_table_1() {
+        assert_eq!(PAPER_BASELINE.entries, 112);
+        assert_eq!(PAPER_BASELINE.ports(), 14);
+        assert_eq!(PAPER_UNLIMITED.entries, 160);
+        assert_eq!(PAPER_UNLIMITED.ports(), 24);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the analytic model: monotonicity and scaling
+//! laws must hold over the whole geometry space, not just the paper's
+//! points.
+
+use carf_energy::{RegFileGeometry, TechModel};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = RegFileGeometry> {
+    (1usize..=512, 1u32..=128, 1u32..=32, 1u32..=16)
+        .prop_map(|(entries, bits, r, w)| RegFileGeometry::new(entries, bits, r, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn all_quantities_are_positive_and_finite(g in arb_geometry()) {
+        let m = TechModel::default_model();
+        for v in [m.area(&g), m.read_energy(&g), m.write_energy(&g), m.access_time(&g)] {
+            prop_assert!(v.is_finite() && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn adding_entries_never_reduces_cost(g in arb_geometry()) {
+        let m = TechModel::default_model();
+        let bigger = RegFileGeometry::new(g.entries + 1, g.bits, g.read_ports, g.write_ports);
+        prop_assert!(m.area(&bigger) > m.area(&g));
+        prop_assert!(m.read_energy(&bigger) > m.read_energy(&g));
+        prop_assert!(m.access_time(&bigger) >= m.access_time(&g));
+    }
+
+    #[test]
+    fn adding_width_never_reduces_cost(g in arb_geometry()) {
+        let m = TechModel::default_model();
+        let wider = RegFileGeometry::new(g.entries, g.bits + 1, g.read_ports, g.write_ports);
+        prop_assert!(m.area(&wider) > m.area(&g));
+        prop_assert!(m.read_energy(&wider) > m.read_energy(&g));
+        prop_assert!(m.access_time(&wider) >= m.access_time(&g));
+    }
+
+    #[test]
+    fn adding_ports_never_reduces_cost(g in arb_geometry()) {
+        let m = TechModel::default_model();
+        let ported =
+            RegFileGeometry::new(g.entries, g.bits, g.read_ports + 1, g.write_ports + 1);
+        prop_assert!(m.area(&ported) > m.area(&g));
+        prop_assert!(m.read_energy(&ported) > m.read_energy(&g));
+        prop_assert!(m.access_time(&ported) > m.access_time(&g));
+    }
+
+    #[test]
+    fn writes_cost_at_least_reads(g in arb_geometry()) {
+        let m = TechModel::default_model();
+        prop_assert!(m.write_energy(&g) >= m.read_energy(&g));
+    }
+
+    #[test]
+    fn area_scales_linearly_in_storage(g in arb_geometry()) {
+        // Doubling the entry count exactly doubles the cell-array area
+        // (cell geometry depends only on ports).
+        let m = TechModel::default_model();
+        let double = RegFileGeometry::new(2 * g.entries, g.bits, g.read_ports, g.write_ports);
+        let ratio = m.area(&double) / m.area(&g);
+        prop_assert!((ratio - 2.0).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn splitting_a_file_by_width_conserves_area(g in arb_geometry(), split in 1u32..64) {
+        // Cutting a file into two narrower files with the same ports and
+        // entry count conserves cell-array area exactly.
+        prop_assume!(g.bits > split % g.bits && g.bits >= 2);
+        let w1 = 1 + split % (g.bits - 1);
+        let w2 = g.bits - w1;
+        let m = TechModel::default_model();
+        let a = RegFileGeometry::new(g.entries, w1, g.read_ports, g.write_ports);
+        let b = RegFileGeometry::new(g.entries, w2, g.read_ports, g.write_ports);
+        let sum = m.area(&a) + m.area(&b);
+        prop_assert!((sum / m.area(&g) - 1.0).abs() < 1e-9);
+    }
+}

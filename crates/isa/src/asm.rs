@@ -1,0 +1,504 @@
+//! A small label-resolving assembler.
+
+use crate::inst::{Inst, Opcode};
+use crate::program::{DataSegment, Program, DEFAULT_CODE_BASE, INST_BYTES};
+use crate::reg::{FpReg, IntReg};
+use std::collections::HashMap;
+
+/// Errors produced while assembling a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A control-flow instruction referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Builds [`Program`]s instruction by instruction, with forward-referencing
+/// labels and a data-segment allocator.
+///
+/// Every opcode has a method; branch methods take a label that is resolved
+/// to an absolute byte address by [`Asm::finish`]. Data lives in a separate
+/// bump-allocated region whose base is configurable (workloads use this to
+/// place "heap", "stack", and "globals" at realistic 64-bit addresses).
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{Asm, x};
+///
+/// let mut asm = Asm::new();
+/// let table = asm.alloc_u64s(&[10, 20, 30]);
+/// asm.li(x(1), table);
+/// asm.ld(x(2), x(1), 8); // x2 = 20
+/// asm.halt();
+/// let p = asm.finish()?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), carf_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>, // instruction index -> label for imm
+    data: Vec<DataSegment>,
+    data_cursor: u64,
+    code_base: u64,
+    duplicate: Option<String>,
+}
+
+/// Default base of the bump-allocated data region (a typical static-data
+/// address).
+pub const DEFAULT_DATA_BASE: u64 = 0x0000_0000_0060_0000;
+
+impl Asm {
+    /// Creates an empty assembler at the default code and data bases.
+    pub fn new() -> Self {
+        Self {
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            data: Vec::new(),
+            data_cursor: DEFAULT_DATA_BASE,
+            code_base: DEFAULT_CODE_BASE,
+            duplicate: None,
+        }
+    }
+
+    /// Moves the data allocator to `base` (call before allocating).
+    pub fn set_data_base(&mut self, base: u64) -> &mut Self {
+        self.data_cursor = base;
+        self
+    }
+
+    /// Current position of the data allocator.
+    pub fn data_cursor(&self) -> u64 {
+        self.data_cursor
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.insts.len()).is_some()
+            && self.duplicate.is_none()
+        {
+            self.duplicate = Some(name.to_string());
+        }
+        self
+    }
+
+    /// Reserves `bytes` of zeroed data, returning its base address.
+    pub fn alloc_bytes_zeroed(&mut self, bytes: usize) -> u64 {
+        self.alloc_data(&vec![0u8; bytes])
+    }
+
+    /// Places `bytes` into the data region, returning its base address.
+    pub fn alloc_data(&mut self, bytes: &[u8]) -> u64 {
+        let addr = self.data_cursor;
+        self.data.push(DataSegment { addr, bytes: bytes.to_vec() });
+        // Keep allocations 8-byte aligned.
+        self.data_cursor += ((bytes.len() as u64) + 7) & !7;
+        addr
+    }
+
+    /// Places little-endian `u64` words, returning their base address.
+    pub fn alloc_u64s(&mut self, words: &[u64]) -> u64 {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.alloc_data(&bytes)
+    }
+
+    /// Places `f64` values (as IEEE bits), returning their base address.
+    pub fn alloc_f64s(&mut self, values: &[f64]) -> u64 {
+        let words: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        self.alloc_u64s(&words)
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn rrr(&mut self, op: Opcode, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.emit(Inst::rrr(op, rd.number(), rs1.number(), rs2.number()))
+    }
+
+    fn rri(&mut self, op: Opcode, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.emit(Inst::rri(op, rd.number(), rs1.number(), imm))
+    }
+
+    fn branch(&mut self, op: Opcode, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.emit(Inst {
+            op,
+            rd: 0,
+            rs1: rs1.number(),
+            rs2: rs2.number(),
+            imm: 0,
+        })
+    }
+
+    // --- integer register-register ---
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Add, rd, rs1, rs2)
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Sub, rd, rs1, rs2)
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::And, rd, rs1, rs2)
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Or, rd, rs1, rs2)
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Xor, rd, rs1, rs2)
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Sll, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Srl, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> rs2` (arithmetic)
+    pub fn sra(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Sra, rd, rs1, rs2)
+    }
+    /// `rd = rs1 <s rs2`
+    pub fn slt(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Slt, rd, rs1, rs2)
+    }
+    /// `rd = rs1 <u rs2`
+    pub fn sltu(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Sltu, rd, rs1, rs2)
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Mul, rd, rs1, rs2)
+    }
+    /// `rd = rs1 / rs2`
+    pub fn div(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) -> &mut Self {
+        self.rrr(Opcode::Div, rd, rs1, rs2)
+    }
+
+    // --- integer immediates ---
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Addi, rd, rs1, imm)
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Andi, rd, rs1, imm)
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Ori, rd, rs1, imm)
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Xori, rd, rs1, imm)
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Slli, rd, rs1, imm)
+    }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Srli, rd, rs1, imm)
+    }
+    /// `rd = rs1 >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Srai, rd, rs1, imm)
+    }
+    /// `rd = rs1 <s imm`
+    pub fn slti(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Slti, rd, rs1, imm)
+    }
+    /// `rd = imm` (any 64-bit value)
+    pub fn li(&mut self, rd: IntReg, imm: u64) -> &mut Self {
+        self.rri(Opcode::Li, rd, IntReg::ZERO, imm as i64)
+    }
+    /// `rd = rs1` (pseudo: `addi rd, rs1, 0`)
+    pub fn mv(&mut self, rd: IntReg, rs1: IntReg) -> &mut Self {
+        self.addi(rd, rs1, 0)
+    }
+
+    // --- memory ---
+
+    /// `rd = mem64[rs1 + imm]`
+    pub fn ld(&mut self, rd: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.rri(Opcode::Ld, rd, base, offset)
+    }
+    /// `rd = sext(mem32[rs1 + imm])`
+    pub fn lw(&mut self, rd: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.rri(Opcode::Lw, rd, base, offset)
+    }
+    /// `rd = zext(mem8[rs1 + imm])`
+    pub fn lbu(&mut self, rd: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.rri(Opcode::Lbu, rd, base, offset)
+    }
+    /// `mem64[base + offset] = src`
+    pub fn st(&mut self, src: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Inst { op: Opcode::St, rd: 0, rs1: base.number(), rs2: src.number(), imm: offset })
+    }
+    /// `mem32[base + offset] = src[31:0]`
+    pub fn sw(&mut self, src: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Inst { op: Opcode::Sw, rd: 0, rs1: base.number(), rs2: src.number(), imm: offset })
+    }
+    /// `mem8[base + offset] = src[7:0]`
+    pub fn sb(&mut self, src: IntReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Inst { op: Opcode::Sb, rd: 0, rs1: base.number(), rs2: src.number(), imm: offset })
+    }
+    /// `fd = mem_f64[base + offset]`
+    pub fn fld(&mut self, fd: FpReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Inst { op: Opcode::Fld, rd: fd.number(), rs1: base.number(), rs2: 0, imm: offset })
+    }
+    /// `mem_f64[base + offset] = fsrc`
+    pub fn fst(&mut self, fsrc: FpReg, base: IntReg, offset: i64) -> &mut Self {
+        self.emit(Inst { op: Opcode::Fst, rd: 0, rs1: base.number(), rs2: fsrc.number(), imm: offset })
+    }
+
+    // --- control flow ---
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Beq, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Bne, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 <s rs2`.
+    pub fn blt(&mut self, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Blt, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 >=s rs2`.
+    pub fn bge(&mut self, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Bge, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 <u rs2`.
+    pub fn bltu(&mut self, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Bltu, rs1, rs2, label)
+    }
+    /// Branch to `label` if `rs1 >=u rs2`.
+    pub fn bgeu(&mut self, rs1: IntReg, rs2: IntReg, label: &str) -> &mut Self {
+        self.branch(Opcode::Bgeu, rs1, rs2, label)
+    }
+    /// `rd = return address; pc = label`.
+    pub fn jal(&mut self, rd: IntReg, label: &str) -> &mut Self {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.emit(Inst { op: Opcode::Jal, rd: rd.number(), rs1: 0, rs2: 0, imm: 0 })
+    }
+    /// Unconditional jump to `label` (pseudo: `jal x0, label`).
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.jal(IntReg::ZERO, label)
+    }
+    /// `rd = return address; pc = rs1 + imm`.
+    pub fn jalr(&mut self, rd: IntReg, rs1: IntReg, imm: i64) -> &mut Self {
+        self.rri(Opcode::Jalr, rd, rs1, imm)
+    }
+    /// Return (pseudo: `jalr x0, rs1, 0`).
+    pub fn ret(&mut self, rs1: IntReg) -> &mut Self {
+        self.jalr(IntReg::ZERO, rs1, 0)
+    }
+
+    // --- floating point ---
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fadd, fd.number(), fs1.number(), fs2.number()))
+    }
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fsub, fd.number(), fs1.number(), fs2.number()))
+    }
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fmul, fd.number(), fs1.number(), fs2.number()))
+    }
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fdiv, fd.number(), fs1.number(), fs2.number()))
+    }
+    /// `fd = fs1`
+    pub fn fmov(&mut self, fd: FpReg, fs1: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fmov, fd.number(), fs1.number(), 0))
+    }
+    /// `fd = (f64) rs1`
+    pub fn fcvt_fi(&mut self, fd: FpReg, rs1: IntReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::FcvtFI, fd.number(), rs1.number(), 0))
+    }
+    /// `rd = (i64) fs1`
+    pub fn fcvt_if(&mut self, rd: IntReg, fs1: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::FcvtIF, rd.number(), fs1.number(), 0))
+    }
+    /// `rd = fs1 < fs2`
+    pub fn fcmplt(&mut self, rd: IntReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fcmplt, rd.number(), fs1.number(), fs2.number()))
+    }
+    /// `rd = fs1 == fs2`
+    pub fn fcmpeq(&mut self, rd: IntReg, fs1: FpReg, fs2: FpReg) -> &mut Self {
+        self.emit(Inst::rrr(Opcode::Fcmpeq, rd.number(), fs1.number(), fs2.number()))
+    }
+
+    // --- misc ---
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::nop())
+    }
+    /// Emits a `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::halt())
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a branch references a label
+    /// that was never defined, or [`AsmError::DuplicateLabel`] if a label was
+    /// defined more than once.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(dup) = self.duplicate.take() {
+            return Err(AsmError::DuplicateLabel(dup));
+        }
+        for (inst_index, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            self.insts[*inst_index].imm = (self.code_base + target as u64 * INST_BYTES) as i64;
+        }
+        Ok(Program {
+            insts: self.insts,
+            code_base: self.code_base,
+            entry: self.code_base,
+            data: self.data,
+        })
+    }
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{f, x};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new();
+        asm.label("top");
+        asm.addi(x(1), x(1), 1);
+        asm.beq(x(1), x(2), "done"); // forward
+        asm.j("top"); // backward
+        asm.label("done");
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.insts[1].imm, p.addr_of(3) as i64);
+        assert_eq!(p.insts[2].imm, p.addr_of(0) as i64);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut asm = Asm::new();
+        asm.j("nowhere");
+        assert_eq!(asm.finish(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut asm = Asm::new();
+        asm.label("a");
+        asm.nop();
+        asm.label("a");
+        asm.halt();
+        assert_eq!(asm.finish(), Err(AsmError::DuplicateLabel("a".into())));
+    }
+
+    #[test]
+    fn data_allocation_is_aligned_and_sequential() {
+        let mut asm = Asm::new();
+        let a = asm.alloc_data(&[1, 2, 3]); // 3 bytes, rounds to 8
+        let b = asm.alloc_u64s(&[42]);
+        assert_eq!(b, a + 8);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.data.len(), 2);
+        assert_eq!(p.data[1].bytes, 42u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn f64_data_round_trips() {
+        let mut asm = Asm::new();
+        let a = asm.alloc_f64s(&[1.5, -2.5]);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let seg = p.data.iter().find(|s| s.addr == a).unwrap();
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(seg.bytes[0..8].try_into().unwrap())),
+            1.5
+        );
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let mut asm = Asm::new();
+        asm.mv(x(2), x(1));
+        asm.ret(x(31));
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.insts[0].op, Opcode::Addi);
+        assert_eq!(p.insts[1].op, Opcode::Jalr);
+        assert_eq!(p.insts[1].rd, 0);
+    }
+
+    #[test]
+    fn stores_place_source_in_rs2() {
+        let mut asm = Asm::new();
+        asm.st(x(5), x(6), 24);
+        asm.fst(f(7), x(6), 32);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.insts[0].rs2, 5);
+        assert_eq!(p.insts[0].rs1, 6);
+        assert_eq!(p.insts[1].rs2, 7);
+    }
+}

@@ -1,0 +1,127 @@
+//! Fixed-width binary instruction encoding.
+//!
+//! Instructions encode into a 128-bit word:
+//!
+//! ```text
+//! bits   0..8    opcode
+//! bits   8..16   rd
+//! bits  16..24   rs1
+//! bits  24..32   rs2
+//! bits  32..64   reserved (zero)
+//! bits  64..128  imm (two's complement)
+//! ```
+//!
+//! The encoding exists for realism and round-trip testing; the simulators
+//! execute decoded [`Inst`]s directly.
+
+use crate::inst::{Inst, Opcode};
+
+/// Why a 128-bit word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeInstError {
+    /// The opcode byte does not name an instruction.
+    BadOpcode(u8),
+    /// A register field is out of range for its file.
+    BadRegister(u8),
+    /// The reserved field was non-zero.
+    ReservedBitsSet,
+}
+
+impl std::fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeInstError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#x}"),
+            DecodeInstError::BadRegister(r) => write!(f, "register field {r} out of range"),
+            DecodeInstError::ReservedBitsSet => write!(f, "reserved encoding bits set"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeInstError {}
+
+/// Encodes an instruction into its 128-bit binary form.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{encode, decode, Inst, Opcode};
+///
+/// let inst = Inst::rri(Opcode::Addi, 4, 5, -12);
+/// assert_eq!(decode(encode(&inst))?, inst);
+/// # Ok::<(), carf_isa::DecodeInstError>(())
+/// ```
+pub fn encode(inst: &Inst) -> u128 {
+    (inst.op as u128)
+        | ((inst.rd as u128) << 8)
+        | ((inst.rs1 as u128) << 16)
+        | ((inst.rs2 as u128) << 24)
+        | ((inst.imm as u64 as u128) << 64)
+}
+
+/// Decodes a 128-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeInstError`] when the opcode byte is unknown, a register
+/// field exceeds 31, or reserved bits are set.
+pub fn decode(word: u128) -> Result<Inst, DecodeInstError> {
+    let op_byte = (word & 0xff) as u8;
+    let op = Opcode::from_u8(op_byte).ok_or(DecodeInstError::BadOpcode(op_byte))?;
+    let rd = ((word >> 8) & 0xff) as u8;
+    let rs1 = ((word >> 16) & 0xff) as u8;
+    let rs2 = ((word >> 24) & 0xff) as u8;
+    for r in [rd, rs1, rs2] {
+        if r >= 32 {
+            return Err(DecodeInstError::BadRegister(r));
+        }
+    }
+    if (word >> 32) & 0xffff_ffff != 0 {
+        return Err(DecodeInstError::ReservedBitsSet);
+    }
+    let imm = ((word >> 64) as u64) as i64;
+    Ok(Inst { op, rd, rs1, rs2, imm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_opcode() {
+        for op in Opcode::ALL {
+            let inst = Inst { op, rd: 3, rs1: 17, rs2: 31, imm: -0x1234_5678_9abc };
+            assert_eq!(decode(encode(&inst)).unwrap(), inst, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let inst = Inst::rri(Opcode::Addi, 1, 2, i64::MIN);
+        assert_eq!(decode(encode(&inst)).unwrap().imm, i64::MIN);
+        let inst = Inst::rri(Opcode::Li, 1, 0, -1);
+        assert_eq!(decode(encode(&inst)).unwrap().imm, -1);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode(0xff), Err(DecodeInstError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let word = encode(&Inst::nop()) | (63 << 8);
+        assert_eq!(decode(word), Err(DecodeInstError::BadRegister(63)));
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        let word = encode(&Inst::nop()) | (1u128 << 40);
+        assert_eq!(decode(word), Err(DecodeInstError::ReservedBitsSet));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(DecodeInstError::BadOpcode(200).to_string().contains("0xc8"));
+        assert!(DecodeInstError::BadRegister(40).to_string().contains("40"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Instructions, opcodes, and operand introspection.
+
+use crate::reg::{FpReg, IntReg};
+use std::fmt;
+
+/// Every operation in the ISA.
+///
+/// The encoding discriminant is stable (used by [`crate::encode`]). The set
+/// mirrors what the paper's workloads need: full 64-bit integer ALU ops with
+/// register and immediate forms, loads/stores of several widths,
+/// compare-and-branch, jump-and-link, and a double-precision FP group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    // --- integer register-register ---
+    /// `rd = rs1 + rs2`
+    Add = 0,
+    /// `rd = rs1 - rs2`
+    Sub = 1,
+    /// `rd = rs1 & rs2`
+    And = 2,
+    /// `rd = rs1 | rs2`
+    Or = 3,
+    /// `rd = rs1 ^ rs2`
+    Xor = 4,
+    /// `rd = rs1 << (rs2 & 63)`
+    Sll = 5,
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    Srl = 6,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic)
+    Sra = 7,
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    Slt = 8,
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    Sltu = 9,
+    /// `rd = rs1 * rs2` (low 64 bits)
+    Mul = 10,
+    /// `rd = rs1 /s rs2` (RISC-V overflow/zero conventions)
+    Div = 11,
+    // --- integer register-immediate ---
+    /// `rd = rs1 + imm`
+    Addi = 12,
+    /// `rd = rs1 & imm`
+    Andi = 13,
+    /// `rd = rs1 | imm`
+    Ori = 14,
+    /// `rd = rs1 ^ imm`
+    Xori = 15,
+    /// `rd = rs1 << (imm & 63)`
+    Slli = 16,
+    /// `rd = rs1 >> (imm & 63)` (logical)
+    Srli = 17,
+    /// `rd = rs1 >> (imm & 63)` (arithmetic)
+    Srai = 18,
+    /// `rd = (rs1 <s imm) ? 1 : 0`
+    Slti = 19,
+    /// `rd = imm` (full 64-bit immediate load)
+    Li = 20,
+    // --- memory ---
+    /// `rd = mem64[rs1 + imm]`
+    Ld = 21,
+    /// `rd = sext(mem32[rs1 + imm])`
+    Lw = 22,
+    /// `rd = zext(mem8[rs1 + imm])`
+    Lbu = 23,
+    /// `mem64[rs1 + imm] = rs2`
+    St = 24,
+    /// `mem32[rs1 + imm] = rs2[31:0]`
+    Sw = 25,
+    /// `mem8[rs1 + imm] = rs2[7:0]`
+    Sb = 26,
+    /// `fd = mem_f64[rs1 + imm]`
+    Fld = 27,
+    /// `mem_f64[rs1 + imm] = fs2`
+    Fst = 28,
+    // --- control ---
+    /// branch to `imm` (absolute byte address) if `rs1 == rs2`
+    Beq = 29,
+    /// branch if `rs1 != rs2`
+    Bne = 30,
+    /// branch if `rs1 <s rs2`
+    Blt = 31,
+    /// branch if `rs1 >=s rs2`
+    Bge = 32,
+    /// branch if `rs1 <u rs2`
+    Bltu = 33,
+    /// branch if `rs1 >=u rs2`
+    Bgeu = 34,
+    /// `rd = pc + 8; pc = imm` (absolute)
+    Jal = 35,
+    /// `rd = pc + 8; pc = rs1 + imm`
+    Jalr = 36,
+    // --- floating point (double precision) ---
+    /// `fd = fs1 + fs2`
+    Fadd = 37,
+    /// `fd = fs1 - fs2`
+    Fsub = 38,
+    /// `fd = fs1 * fs2`
+    Fmul = 39,
+    /// `fd = fs1 / fs2`
+    Fdiv = 40,
+    /// `fd = fs1`
+    Fmov = 41,
+    /// `fd = (f64) rs1` (signed int to double)
+    FcvtFI = 42,
+    /// `rd = (i64) fs1` (double to signed int, truncating/saturating)
+    FcvtIF = 43,
+    /// `rd = (fs1 < fs2) ? 1 : 0`
+    Fcmplt = 44,
+    /// `rd = (fs1 == fs2) ? 1 : 0`
+    Fcmpeq = 45,
+    // --- misc ---
+    /// no operation
+    Nop = 46,
+    /// stop the machine
+    Halt = 47,
+}
+
+impl Opcode {
+    /// All opcodes, in discriminant order (useful for exhaustive tests).
+    pub const ALL: [Opcode; 48] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Li,
+        Opcode::Ld,
+        Opcode::Lw,
+        Opcode::Lbu,
+        Opcode::St,
+        Opcode::Sw,
+        Opcode::Sb,
+        Opcode::Fld,
+        Opcode::Fst,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Bltu,
+        Opcode::Bgeu,
+        Opcode::Jal,
+        Opcode::Jalr,
+        Opcode::Fadd,
+        Opcode::Fsub,
+        Opcode::Fmul,
+        Opcode::Fdiv,
+        Opcode::Fmov,
+        Opcode::FcvtFI,
+        Opcode::FcvtIF,
+        Opcode::Fcmplt,
+        Opcode::Fcmpeq,
+        Opcode::Nop,
+        Opcode::Halt,
+    ];
+
+    /// Recovers an opcode from its encoding discriminant.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Opcode::ALL.get(v as usize).copied()
+    }
+}
+
+/// Broad classification used for functional-unit selection and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Memory load (integer or FP destination).
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional direct jump (`jal`).
+    Jump,
+    /// Indirect jump (`jalr`).
+    JumpReg,
+    /// Pipelined FP operation.
+    FpAlu,
+    /// Unpipelined FP divide.
+    FpDiv,
+    /// No-op.
+    Nop,
+    /// Machine stop.
+    Halt,
+}
+
+/// Either register file an operand can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegRef {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl RegRef {
+    /// `true` when this names the integer file.
+    pub fn is_int(self) -> bool {
+        matches!(self, RegRef::Int(_))
+    }
+}
+
+/// One decoded instruction.
+///
+/// Register fields are raw numbers; which fields are meaningful, and which
+/// file they index, is determined by the opcode (see [`Inst::dest`] and
+/// [`Inst::sources`]). Branch/jump targets are absolute byte addresses in
+/// `imm`.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{Inst, Opcode, InstKind, RegRef, x};
+///
+/// let add = Inst::rrr(Opcode::Add, 3, 1, 2);
+/// assert_eq!(add.kind(), InstKind::IntAlu);
+/// assert_eq!(add.dest(), Some(RegRef::Int(x(3))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register number (meaning depends on `op`).
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Immediate / branch target (absolute byte address for control flow).
+    pub imm: i64,
+}
+
+impl Inst {
+    /// A three-register instruction (`rd`, `rs1`, `rs2`).
+    pub fn rrr(op: Opcode, rd: u8, rs1: u8, rs2: u8) -> Self {
+        Inst { op, rd, rs1, rs2, imm: 0 }
+    }
+
+    /// A register-register-immediate instruction (`rd`, `rs1`, `imm`).
+    pub fn rri(op: Opcode, rd: u8, rs1: u8, imm: i64) -> Self {
+        Inst { op, rd, rs1, rs2: 0, imm }
+    }
+
+    /// A `nop`.
+    pub fn nop() -> Self {
+        Inst { op: Opcode::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+    }
+
+    /// A `halt`.
+    pub fn halt() -> Self {
+        Inst { op: Opcode::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 }
+    }
+
+    /// The broad class of this instruction.
+    pub fn kind(&self) -> InstKind {
+        use Opcode::*;
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Li | Fcmplt | Fcmpeq | FcvtIF => InstKind::IntAlu,
+            Mul => InstKind::IntMul,
+            Div => InstKind::IntDiv,
+            Ld | Lw | Lbu | Fld => InstKind::Load,
+            St | Sw | Sb | Fst => InstKind::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => InstKind::Branch,
+            Jal => InstKind::Jump,
+            Jalr => InstKind::JumpReg,
+            Fadd | Fsub | Fmul | Fmov | FcvtFI => InstKind::FpAlu,
+            Fdiv => InstKind::FpDiv,
+            Nop => InstKind::Nop,
+            Halt => InstKind::Halt,
+        }
+    }
+
+    /// `true` for any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(self.kind(), InstKind::Branch | InstKind::Jump | InstKind::JumpReg)
+    }
+
+    /// `true` for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind(), InstKind::Load | InstKind::Store)
+    }
+
+    /// The destination register, if the instruction writes one.
+    ///
+    /// Writes to `x0` are architectural no-ops but are still reported here;
+    /// the renamer is responsible for discarding them.
+    pub fn dest(&self) -> Option<RegRef> {
+        use Opcode::*;
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Addi
+            | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | Ld | Lw | Lbu | Jal | Jalr
+            | FcvtIF | Fcmplt | Fcmpeq => Some(RegRef::Int(IntReg::new(self.rd))),
+            Fld | Fadd | Fsub | Fmul | Fdiv | Fmov | FcvtFI => {
+                Some(RegRef::Fp(FpReg::new(self.rd)))
+            }
+            St | Sw | Sb | Fst | Beq | Bne | Blt | Bge | Bltu | Bgeu | Nop | Halt => None,
+        }
+    }
+
+    /// The source registers, in operand order.
+    pub fn sources(&self) -> [Option<RegRef>; 2] {
+        use Opcode::*;
+        let int1 = Some(RegRef::Int(IntReg::new(self.rs1)));
+        let int2 = Some(RegRef::Int(IntReg::new(self.rs2)));
+        let fp1 = Some(RegRef::Fp(FpReg::new(self.rs1)));
+        let fp2 = Some(RegRef::Fp(FpReg::new(self.rs2)));
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div | Beq | Bne
+            | Blt | Bge | Bltu | Bgeu | St | Sw | Sb => [int1, int2],
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Ld | Lw | Lbu | Fld | Jalr => {
+                [int1, None]
+            }
+            Fst => [int1, fp2],
+            Fadd | Fsub | Fmul | Fdiv | Fcmplt | Fcmpeq => [fp1, fp2],
+            Fmov | FcvtIF => [fp1, None],
+            FcvtFI => [int1, None],
+            Li | Jal | Nop | Halt => [None, None],
+        }
+    }
+
+    /// `true` when the instruction computes a memory address from `rs1 + imm`
+    /// (load or store). The paper's Short-file allocation policy keys off
+    /// these.
+    pub fn is_address_computation(&self) -> bool {
+        self.is_mem()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, fo: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let op = format!("{:?}", self.op).to_lowercase();
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Div => {
+                write!(fo, "{op} x{}, x{}, x{}", self.rd, self.rs1, self.rs2)
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+                write!(fo, "{op} x{}, x{}, {}", self.rd, self.rs1, self.imm)
+            }
+            Li => write!(fo, "li x{}, {:#x}", self.rd, self.imm),
+            Ld | Lw | Lbu => write!(fo, "{op} x{}, {}(x{})", self.rd, self.imm, self.rs1),
+            Fld => write!(fo, "fld f{}, {}(x{})", self.rd, self.imm, self.rs1),
+            St | Sw | Sb => write!(fo, "{op} x{}, {}(x{})", self.rs2, self.imm, self.rs1),
+            Fst => write!(fo, "fst f{}, {}(x{})", self.rs2, self.imm, self.rs1),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                write!(fo, "{op} x{}, x{}, {:#x}", self.rs1, self.rs2, self.imm)
+            }
+            Jal => write!(fo, "jal x{}, {:#x}", self.rd, self.imm),
+            Jalr => write!(fo, "jalr x{}, x{}, {}", self.rd, self.rs1, self.imm),
+            Fadd | Fsub | Fmul | Fdiv => {
+                write!(fo, "{op} f{}, f{}, f{}", self.rd, self.rs1, self.rs2)
+            }
+            Fmov => write!(fo, "fmov f{}, f{}", self.rd, self.rs1),
+            FcvtFI => write!(fo, "fcvt.d.l f{}, x{}", self.rd, self.rs1),
+            FcvtIF => write!(fo, "fcvt.l.d x{}, f{}", self.rd, self.rs1),
+            Fcmplt => write!(fo, "fcmplt x{}, f{}, f{}", self.rd, self.rs1, self.rs2),
+            Fcmpeq => write!(fo, "fcmpeq x{}, f{}, f{}", self.rd, self.rs1, self.rs2),
+            Nop => write!(fo, "nop"),
+            Halt => write!(fo, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{f, x};
+
+    #[test]
+    fn opcode_discriminants_round_trip() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(*op as u8, i as u8);
+            assert_eq!(Opcode::from_u8(i as u8), Some(*op));
+        }
+        assert_eq!(Opcode::from_u8(48), None);
+        assert_eq!(Opcode::from_u8(255), None);
+    }
+
+    #[test]
+    fn kinds_are_sane() {
+        assert_eq!(Inst::rrr(Opcode::Add, 1, 2, 3).kind(), InstKind::IntAlu);
+        assert_eq!(Inst::rrr(Opcode::Mul, 1, 2, 3).kind(), InstKind::IntMul);
+        assert_eq!(Inst::rri(Opcode::Ld, 1, 2, 8).kind(), InstKind::Load);
+        assert_eq!(Inst::rrr(Opcode::Fst, 0, 2, 3).kind(), InstKind::Store);
+        assert_eq!(Inst::rrr(Opcode::Beq, 0, 1, 2).kind(), InstKind::Branch);
+        assert_eq!(Inst::rrr(Opcode::Fdiv, 1, 2, 3).kind(), InstKind::FpDiv);
+    }
+
+    #[test]
+    fn dest_register_file_follows_opcode() {
+        assert_eq!(Inst::rrr(Opcode::Add, 5, 1, 2).dest(), Some(RegRef::Int(x(5))));
+        assert_eq!(Inst::rrr(Opcode::Fadd, 5, 1, 2).dest(), Some(RegRef::Fp(f(5))));
+        // Loads write the file named by the opcode.
+        assert_eq!(Inst::rri(Opcode::Ld, 4, 1, 0).dest(), Some(RegRef::Int(x(4))));
+        assert_eq!(Inst::rri(Opcode::Fld, 4, 1, 0).dest(), Some(RegRef::Fp(f(4))));
+        // FP compares and conversions to int write the integer file.
+        assert_eq!(Inst::rrr(Opcode::Fcmplt, 3, 1, 2).dest(), Some(RegRef::Int(x(3))));
+        assert_eq!(Inst::rri(Opcode::FcvtIF, 3, 1, 0).dest(), Some(RegRef::Int(x(3))));
+        assert_eq!(Inst::rri(Opcode::FcvtFI, 3, 1, 0).dest(), Some(RegRef::Fp(f(3))));
+        // Stores and branches write nothing.
+        assert_eq!(Inst::rrr(Opcode::St, 0, 1, 2).dest(), None);
+        assert_eq!(Inst::rrr(Opcode::Bne, 0, 1, 2).dest(), None);
+    }
+
+    #[test]
+    fn sources_follow_operand_structure() {
+        let st = Inst { op: Opcode::St, rd: 0, rs1: 7, rs2: 8, imm: 16 };
+        assert_eq!(st.sources(), [Some(RegRef::Int(x(7))), Some(RegRef::Int(x(8)))]);
+        let fst = Inst { op: Opcode::Fst, rd: 0, rs1: 7, rs2: 8, imm: 16 };
+        assert_eq!(fst.sources(), [Some(RegRef::Int(x(7))), Some(RegRef::Fp(f(8)))]);
+        let li = Inst::rri(Opcode::Li, 1, 0, 42);
+        assert_eq!(li.sources(), [None, None]);
+        let jalr = Inst::rri(Opcode::Jalr, 1, 9, 0);
+        assert_eq!(jalr.sources(), [Some(RegRef::Int(x(9))), None]);
+    }
+
+    #[test]
+    fn address_computations_are_all_memory_ops() {
+        for op in Opcode::ALL {
+            let inst = Inst::rrr(op, 1, 2, 3);
+            assert_eq!(inst.is_address_computation(), inst.is_mem(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Inst::rrr(Opcode::Add, 1, 2, 3).to_string(), "add x1, x2, x3");
+        assert_eq!(Inst::rri(Opcode::Ld, 1, 2, -8).to_string(), "ld x1, -8(x2)");
+        assert_eq!(Inst::nop().to_string(), "nop");
+        assert_eq!(Inst::halt().to_string(), "halt");
+    }
+}

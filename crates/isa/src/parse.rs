@@ -1,0 +1,677 @@
+//! A text assembler: parse assembly source into a [`Program`].
+//!
+//! The builder API ([`crate::Asm`]) is the primary interface; this parser
+//! makes standalone `.s` files and quick experiments possible. Grammar, by
+//! example:
+//!
+//! ```text
+//! ; comments run to end of line (also // and #)
+//! .data 0x7f3a80000000      ; set the data allocator base
+//! table:  .words 1 2 0xff   ; 64-bit words; label = base address
+//! buf:    .zero 64          ; zeroed bytes
+//! vals:   .doubles 1.5 -2.5 ; f64 constants
+//!
+//! .text
+//!         li   x10, table   ; data symbols usable as immediates
+//!         li   x2, 3
+//! loop:   ld   x1, 0(x10)
+//!         add  x3, x3, x1
+//!         addi x10, x10, 8
+//!         addi x2, x2, -1
+//!         bne  x2, x0, loop
+//!         fld  f1, 0(x10)
+//!         halt
+//! ```
+//!
+//! Registers are `x0`–`x31` and `f0`–`f31`. Branch/jump targets are code
+//! labels; loads/stores use `offset(base)` addressing. Immediates are
+//! decimal or `0x` hex, optionally negative.
+
+use crate::asm::Asm;
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg};
+use std::collections::HashMap;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+/// Parses assembly text into a linked [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] naming the offending line for syntax
+/// errors, unknown mnemonics/registers, malformed numbers, duplicate or
+/// undefined labels.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{parse_asm, Machine, x};
+///
+/// let program = parse_asm(r"
+///     li   x1, 5
+///     li   x2, 0
+/// loop:
+///     add  x2, x2, x1
+///     addi x1, x1, -1
+///     bne  x1, x0, loop
+///     halt
+/// ")?;
+/// let mut m = Machine::load(&program);
+/// m.run(&program, 1000)?;
+/// assert_eq!(m.int_reg(x(2)), 5 + 4 + 3 + 2 + 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_asm(source: &str) -> Result<Program, ParseAsmError> {
+    // Pass 1: compute data-symbol addresses by replaying the directives.
+    let data_symbols = collect_data_symbols(source)?;
+
+    // Pass 2: emit code and data through the builder.
+    let mut asm = Asm::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = split_label(line);
+        let rest = rest.trim();
+        if let Some(label) = label {
+            // Data labels were resolved in pass 1; only code labels are
+            // declared to the builder.
+            if !is_data_line(rest) {
+                asm.label(label);
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            emit_directive(&mut asm, directive, lineno)?;
+        } else {
+            emit_instruction(&mut asm, rest, lineno, &data_symbols)?;
+        }
+    }
+    asm.finish().map_err(|e| err(0, e.to_string()))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for marker in [";", "//", "#"] {
+        if let Some(pos) = line.find(marker) {
+            end = end.min(pos);
+        }
+    }
+    &line[..end]
+}
+
+fn split_label(line: &str) -> (Option<&str>, &str) {
+    match line.find(':') {
+        Some(pos) if line[..pos].chars().all(|c| c.is_alphanumeric() || c == '_') => {
+            (Some(&line[..pos]), &line[pos + 1..])
+        }
+        _ => (None, line),
+    }
+}
+
+fn is_data_line(rest: &str) -> bool {
+    let rest = rest.trim();
+    rest.starts_with(".words") || rest.starts_with(".zero") || rest.starts_with(".doubles")
+        || rest.starts_with(".bytes")
+}
+
+fn parse_u64(token: &str, line: usize) -> Result<u64, ParseAsmError> {
+    let token = token.trim().trim_end_matches(',');
+    let (neg, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("malformed number `{token}`")))?;
+    Ok(if neg { (value as i64).wrapping_neg() as u64 } else { value })
+}
+
+fn parse_f64(token: &str, line: usize) -> Result<f64, ParseAsmError> {
+    token
+        .trim()
+        .trim_end_matches(',')
+        .parse::<f64>()
+        .map_err(|_| err(line, format!("malformed float `{token}`")))
+}
+
+fn collect_data_symbols(source: &str) -> Result<HashMap<String, u64>, ParseAsmError> {
+    let mut symbols = HashMap::new();
+    let mut cursor = crate::asm::DEFAULT_DATA_BASE;
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = split_label(line);
+        let rest = rest.trim();
+        if let Some(base) = rest.strip_prefix(".data") {
+            let base = base.trim();
+            if !base.is_empty() {
+                cursor = parse_u64(base, lineno)?;
+            }
+            continue;
+        }
+        if !is_data_line(rest) {
+            continue;
+        }
+        if let Some(label) = label {
+            if symbols.insert(label.to_string(), cursor).is_some() {
+                return Err(err(lineno, format!("duplicate data label `{label}`")));
+            }
+        }
+        let size = data_size(rest, lineno)?;
+        cursor += (size + 7) & !7; // the builder keeps 8-byte alignment
+    }
+    Ok(symbols)
+}
+
+fn data_size(rest: &str, line: usize) -> Result<u64, ParseAsmError> {
+    let mut parts = rest.split_whitespace();
+    let directive = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    match directive {
+        ".words" => Ok(args.len() as u64 * 8),
+        ".doubles" => Ok(args.len() as u64 * 8),
+        ".bytes" => Ok(args.len() as u64),
+        ".zero" => parse_u64(
+            args.first().ok_or_else(|| err(line, ".zero needs a byte count"))?,
+            line,
+        ),
+        other => Err(err(line, format!("unknown data directive `{other}`"))),
+    }
+}
+
+fn emit_directive(asm: &mut Asm, directive: &str, line: usize) -> Result<(), ParseAsmError> {
+    let mut parts = directive.split_whitespace();
+    let name = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    match name {
+        "data" => {
+            if let Some(base) = args.first() {
+                asm.set_data_base(parse_u64(base, line)?);
+            }
+            Ok(())
+        }
+        "text" => Ok(()), // sections are implicit; accepted for familiarity
+        "words" => {
+            let words = args
+                .iter()
+                .map(|a| parse_u64(a, line))
+                .collect::<Result<Vec<u64>, _>>()?;
+            asm.alloc_u64s(&words);
+            Ok(())
+        }
+        "doubles" => {
+            let vals = args
+                .iter()
+                .map(|a| parse_f64(a, line))
+                .collect::<Result<Vec<f64>, _>>()?;
+            asm.alloc_f64s(&vals);
+            Ok(())
+        }
+        "bytes" => {
+            let bytes = args
+                .iter()
+                .map(|a| parse_u64(a, line).map(|v| v as u8))
+                .collect::<Result<Vec<u8>, _>>()?;
+            asm.alloc_data(&bytes);
+            Ok(())
+        }
+        "zero" => {
+            let n = parse_u64(
+                args.first().ok_or_else(|| err(line, ".zero needs a byte count"))?,
+                line,
+            )?;
+            asm.alloc_bytes_zeroed(n as usize);
+            Ok(())
+        }
+        other => Err(err(line, format!("unknown directive `.{other}`"))),
+    }
+}
+
+fn parse_int_reg(token: &str, line: usize) -> Result<IntReg, ParseAsmError> {
+    let token = token.trim().trim_end_matches(',');
+    token
+        .strip_prefix('x')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|n| *n < 32)
+        .map(IntReg::new)
+        .ok_or_else(|| err(line, format!("expected integer register, got `{token}`")))
+}
+
+fn parse_fp_reg(token: &str, line: usize) -> Result<FpReg, ParseAsmError> {
+    let token = token.trim().trim_end_matches(',');
+    token
+        .strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|n| *n < 32)
+        .map(FpReg::new)
+        .ok_or_else(|| err(line, format!("expected fp register, got `{token}`")))
+}
+
+/// Parses `offset(base)` into `(offset, base)`.
+fn parse_mem_operand(token: &str, line: usize) -> Result<(i64, IntReg), ParseAsmError> {
+    let token = token.trim().trim_end_matches(',');
+    let open = token
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(base), got `{token}`")))?;
+    let close = token
+        .rfind(')')
+        .filter(|c| *c > open)
+        .ok_or_else(|| err(line, format!("unclosed memory operand `{token}`")))?;
+    let offset_str = &token[..open];
+    let offset = if offset_str.is_empty() { 0 } else { parse_u64(offset_str, line)? as i64 };
+    let base = parse_int_reg(&token[open + 1..close], line)?;
+    Ok((offset, base))
+}
+
+fn emit_instruction(
+    asm: &mut Asm,
+    text: &str,
+    line: usize,
+    data_symbols: &HashMap<String, u64>,
+) -> Result<(), ParseAsmError> {
+    let mut parts = text.split_whitespace();
+    let mnemonic = parts.next().unwrap_or_default().to_lowercase();
+    let rest: String = parts.collect::<Vec<&str>>().join(" ");
+    let ops: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+
+    let want = |n: usize| -> Result<(), ParseAsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+    let ireg = |i: usize| parse_int_reg(ops[i], line);
+    let freg = |i: usize| parse_fp_reg(ops[i], line);
+    let imm = |i: usize| parse_u64(ops[i], line).map(|v| v as i64);
+
+    match mnemonic.as_str() {
+        // Three-register ALU.
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+        | "mul" | "div" => {
+            want(3)?;
+            let (rd, rs1, rs2) = (ireg(0)?, ireg(1)?, ireg(2)?);
+            match mnemonic.as_str() {
+                "add" => asm.add(rd, rs1, rs2),
+                "sub" => asm.sub(rd, rs1, rs2),
+                "and" => asm.and(rd, rs1, rs2),
+                "or" => asm.or(rd, rs1, rs2),
+                "xor" => asm.xor(rd, rs1, rs2),
+                "sll" => asm.sll(rd, rs1, rs2),
+                "srl" => asm.srl(rd, rs1, rs2),
+                "sra" => asm.sra(rd, rs1, rs2),
+                "slt" => asm.slt(rd, rs1, rs2),
+                "sltu" => asm.sltu(rd, rs1, rs2),
+                "mul" => asm.mul(rd, rs1, rs2),
+                _ => asm.div(rd, rs1, rs2),
+            };
+        }
+        // Register-immediate ALU.
+        "addi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" | "slti" => {
+            want(3)?;
+            let (rd, rs1, v) = (ireg(0)?, ireg(1)?, imm(2)?);
+            match mnemonic.as_str() {
+                "addi" => asm.addi(rd, rs1, v),
+                "andi" => asm.andi(rd, rs1, v),
+                "ori" => asm.ori(rd, rs1, v),
+                "xori" => asm.xori(rd, rs1, v),
+                "slli" => asm.slli(rd, rs1, v),
+                "srli" => asm.srli(rd, rs1, v),
+                "srai" => asm.srai(rd, rs1, v),
+                _ => asm.slti(rd, rs1, v),
+            };
+        }
+        "li" => {
+            want(2)?;
+            let rd = ireg(0)?;
+            let value = match data_symbols.get(ops[1]) {
+                Some(addr) => *addr,
+                None => parse_u64(ops[1], line)?,
+            };
+            asm.li(rd, value);
+        }
+        "mv" => {
+            want(2)?;
+            let (rd, rs1) = (ireg(0)?, ireg(1)?);
+            asm.mv(rd, rs1);
+        }
+        // Memory.
+        "ld" | "lw" | "lbu" => {
+            want(2)?;
+            let rd = ireg(0)?;
+            let (off, base) = parse_mem_operand(ops[1], line)?;
+            match mnemonic.as_str() {
+                "ld" => asm.ld(rd, base, off),
+                "lw" => asm.lw(rd, base, off),
+                _ => asm.lbu(rd, base, off),
+            };
+        }
+        "st" | "sw" | "sb" => {
+            want(2)?;
+            let src = ireg(0)?;
+            let (off, base) = parse_mem_operand(ops[1], line)?;
+            match mnemonic.as_str() {
+                "st" => asm.st(src, base, off),
+                "sw" => asm.sw(src, base, off),
+                _ => asm.sb(src, base, off),
+            };
+        }
+        "fld" => {
+            want(2)?;
+            let fd = freg(0)?;
+            let (off, base) = parse_mem_operand(ops[1], line)?;
+            asm.fld(fd, base, off);
+        }
+        "fst" => {
+            want(2)?;
+            let fs = freg(0)?;
+            let (off, base) = parse_mem_operand(ops[1], line)?;
+            asm.fst(fs, base, off);
+        }
+        // Control flow. Targets are labels, or absolute byte addresses
+        // (so disassembly output re-parses).
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            want(3)?;
+            let (rs1, rs2, target) = (ireg(0)?, ireg(1)?, ops[2]);
+            if let Ok(addr) = parse_u64(target, line) {
+                let op = match mnemonic.as_str() {
+                    "beq" => crate::Opcode::Beq,
+                    "bne" => crate::Opcode::Bne,
+                    "blt" => crate::Opcode::Blt,
+                    "bge" => crate::Opcode::Bge,
+                    "bltu" => crate::Opcode::Bltu,
+                    _ => crate::Opcode::Bgeu,
+                };
+                asm.emit(crate::Inst {
+                    op,
+                    rd: 0,
+                    rs1: rs1.number(),
+                    rs2: rs2.number(),
+                    imm: addr as i64,
+                });
+            } else {
+                match mnemonic.as_str() {
+                    "beq" => asm.beq(rs1, rs2, target),
+                    "bne" => asm.bne(rs1, rs2, target),
+                    "blt" => asm.blt(rs1, rs2, target),
+                    "bge" => asm.bge(rs1, rs2, target),
+                    "bltu" => asm.bltu(rs1, rs2, target),
+                    _ => asm.bgeu(rs1, rs2, target),
+                };
+            }
+        }
+        "jal" => {
+            want(2)?;
+            let rd = ireg(0)?;
+            if let Ok(addr) = parse_u64(ops[1], line) {
+                asm.emit(crate::Inst {
+                    op: crate::Opcode::Jal,
+                    rd: rd.number(),
+                    rs1: 0,
+                    rs2: 0,
+                    imm: addr as i64,
+                });
+            } else {
+                asm.jal(rd, ops[1]);
+            }
+        }
+        "j" => {
+            want(1)?;
+            if let Ok(addr) = parse_u64(ops[0], line) {
+                asm.emit(crate::Inst {
+                    op: crate::Opcode::Jal,
+                    rd: 0,
+                    rs1: 0,
+                    rs2: 0,
+                    imm: addr as i64,
+                });
+            } else {
+                asm.j(ops[0]);
+            }
+        }
+        "jalr" => {
+            want(3)?;
+            let (rd, rs1, v) = (ireg(0)?, ireg(1)?, imm(2)?);
+            asm.jalr(rd, rs1, v);
+        }
+        "ret" => {
+            want(1)?;
+            let rs1 = ireg(0)?;
+            asm.ret(rs1);
+        }
+        // Floating point.
+        "fadd" | "fsub" | "fmul" | "fdiv" => {
+            want(3)?;
+            let (fd, f1, f2) = (freg(0)?, freg(1)?, freg(2)?);
+            match mnemonic.as_str() {
+                "fadd" => asm.fadd(fd, f1, f2),
+                "fsub" => asm.fsub(fd, f1, f2),
+                "fmul" => asm.fmul(fd, f1, f2),
+                _ => asm.fdiv(fd, f1, f2),
+            };
+        }
+        "fmov" => {
+            want(2)?;
+            let (fd, f1) = (freg(0)?, freg(1)?);
+            asm.fmov(fd, f1);
+        }
+        "fcvt.d.l" => {
+            want(2)?;
+            let (fd, rs1) = (freg(0)?, ireg(1)?);
+            asm.fcvt_fi(fd, rs1);
+        }
+        "fcvt.l.d" => {
+            want(2)?;
+            let (rd, f1) = (ireg(0)?, freg(1)?);
+            asm.fcvt_if(rd, f1);
+        }
+        "fcmplt" => {
+            want(3)?;
+            let (rd, f1, f2) = (ireg(0)?, freg(1)?, freg(2)?);
+            asm.fcmplt(rd, f1, f2);
+        }
+        "fcmpeq" => {
+            want(3)?;
+            let (rd, f1, f2) = (ireg(0)?, freg(1)?, freg(2)?);
+            asm.fcmpeq(rd, f1, f2);
+        }
+        "nop" => {
+            want(0)?;
+            asm.nop();
+        }
+        "halt" => {
+            want(0)?;
+            asm.halt();
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Machine;
+    use crate::reg::{f, x};
+
+    fn run(src: &str) -> Machine {
+        let p = parse_asm(src).expect("parse");
+        let mut m = Machine::load(&p);
+        m.run(&p, 1_000_000).expect("run");
+        m
+    }
+
+    #[test]
+    fn parses_a_counting_loop() {
+        let m = run(r"
+            li x1, 10
+            li x2, 0
+        loop:
+            add x2, x2, x1
+            addi x1, x1, -1
+            bne x1, x0, loop
+            halt
+        ");
+        assert_eq!(m.int_reg(x(2)), 55);
+    }
+
+    #[test]
+    fn data_symbols_resolve_to_addresses() {
+        let m = run(r"
+            .data 0x7f3a80000000
+        table: .words 11 22 33
+        buf:   .zero 16
+            li x10, table
+            li x11, buf
+            ld x1, 8(x10)
+            st x1, 0(x11)
+            ld x2, 0(x11)
+            halt
+        ");
+        assert_eq!(m.int_reg(x(1)), 22);
+        assert_eq!(m.int_reg(x(2)), 22);
+        assert_eq!(m.int_reg(x(11)), 0x7f3a_8000_0000 + 24);
+    }
+
+    #[test]
+    fn doubles_and_fp_ops() {
+        let m = run(r"
+        vals: .doubles 1.5 2.5
+            li x1, vals
+            fld f1, 0(x1)
+            fld f2, 8(x1)
+            fmul f3, f1, f2
+            fcvt.l.d x2, f3
+            halt
+        ");
+        assert_eq!(m.fp_reg(f(3)), 3.75);
+        assert_eq!(m.int_reg(x(2)), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let m = run(r"
+            ; a comment
+            li x1, 1   // trailing
+            # another style
+            halt
+        ");
+        assert_eq!(m.int_reg(x(1)), 1);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let m = run(r"
+            li x10, 3
+            jal x31, double
+            jal x31, double
+            halt
+        double:
+            add x10, x10, x10
+            ret x31
+        ");
+        assert_eq!(m.int_reg(x(10)), 12);
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let m = run(r"
+            li x1, 0xff
+            addi x2, x1, -0x0f
+            halt
+        ");
+        assert_eq!(m.int_reg(x(2)), 0xf0);
+    }
+
+    #[test]
+    fn byte_data_and_byte_loads() {
+        let m = run(r"
+        msg: .bytes 7 8 9
+            li x1, msg
+            lbu x2, 2(x1)
+            halt
+        ");
+        assert_eq!(m.int_reg(x(2)), 9);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("li x1, 1\nbogus x1, x2\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_asm("li x99, 1").unwrap_err();
+        assert!(e.message.contains("register"));
+
+        let e = parse_asm("addi x1, x2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+
+        let e = parse_asm("ld x1, 8[x2]").unwrap_err();
+        assert!(e.message.contains("offset(base)"));
+
+        let e = parse_asm("li x1, 0xzz").unwrap_err();
+        assert!(e.message.contains("malformed number"));
+    }
+
+    #[test]
+    fn undefined_branch_target_is_reported() {
+        let e = parse_asm("bne x1, x0, nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_data_label_is_reported() {
+        let e = parse_asm("a: .words 1\na: .words 2\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn parser_and_builder_agree() {
+        let parsed = parse_asm(r"
+            li x1, 7
+        top:
+            addi x1, x1, -1
+            bne x1, x0, top
+            halt
+        ").unwrap();
+        let mut asm = Asm::new();
+        asm.li(x(1), 7);
+        asm.label("top");
+        asm.addi(x(1), x(1), -1);
+        asm.bne(x(1), x(0), "top");
+        asm.halt();
+        let built = asm.finish().unwrap();
+        assert_eq!(parsed.insts, built.insts);
+    }
+}

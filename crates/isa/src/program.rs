@@ -1,0 +1,166 @@
+//! Executable program images.
+
+use crate::inst::Inst;
+use carf_mem::SparseMemory;
+
+/// Size of one encoded instruction in bytes; program counters advance by
+/// this much.
+pub const INST_BYTES: u64 = 8;
+
+/// Default base address of the code segment (a typical text-segment
+/// address, so code pointers look like real 64-bit addresses).
+pub const DEFAULT_CODE_BASE: u64 = 0x0000_0000_0040_0000;
+
+/// A chunk of initialized data placed into memory before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Base byte address.
+    pub addr: u64,
+    /// Contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A fully linked program: instructions, entry point, and initial data.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{Asm, x};
+///
+/// let mut asm = Asm::new();
+/// asm.li(x(1), 7);
+/// asm.halt();
+/// let p = asm.finish()?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.index_of(p.entry), Some(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The instruction stream.
+    pub insts: Vec<Inst>,
+    /// Byte address of instruction 0.
+    pub code_base: u64,
+    /// Byte address execution starts at.
+    pub entry: u64,
+    /// Initialized data image.
+    pub data: Vec<DataSegment>,
+}
+
+impl Program {
+    /// Wraps an instruction vector at the default code base with entry at
+    /// the first instruction and no data.
+    pub fn from_insts(insts: Vec<Inst>) -> Self {
+        Program { insts, code_base: DEFAULT_CODE_BASE, entry: DEFAULT_CODE_BASE, data: Vec::new() }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Byte address of instruction `index`.
+    pub fn addr_of(&self, index: usize) -> u64 {
+        self.code_base + (index as u64) * INST_BYTES
+    }
+
+    /// Instruction index of byte address `pc`, or `None` if `pc` is outside
+    /// the code segment or misaligned.
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < self.code_base {
+            return None;
+        }
+        let off = pc - self.code_base;
+        if !off.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = (off / INST_BYTES) as usize;
+        if idx < self.insts.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// The instruction at byte address `pc`, or `None` when out of range.
+    pub fn fetch(&self, pc: u64) -> Option<&Inst> {
+        self.index_of(pc).map(|i| &self.insts[i])
+    }
+
+    /// Writes the initial data image into `mem`.
+    pub fn load_data(&self, mem: &mut SparseMemory) {
+        for seg in &self.data {
+            mem.write_bytes(seg.addr, &seg.bytes);
+        }
+    }
+
+    /// A multi-line disassembly listing (address, instruction).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{:#010x}: {inst}", self.addr_of(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+
+    fn prog() -> Program {
+        Program::from_insts(vec![
+            Inst::rri(Opcode::Li, 1, 0, 5),
+            Inst::rrr(Opcode::Add, 2, 1, 1),
+            Inst::halt(),
+        ])
+    }
+
+    #[test]
+    fn addressing_round_trips() {
+        let p = prog();
+        for i in 0..p.len() {
+            assert_eq!(p.index_of(p.addr_of(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_misaligned_pcs() {
+        let p = prog();
+        assert_eq!(p.index_of(p.code_base - 8), None);
+        assert_eq!(p.index_of(p.addr_of(3)), None); // one past the end
+        assert_eq!(p.index_of(p.code_base + 1), None); // misaligned
+    }
+
+    #[test]
+    fn fetch_returns_instructions() {
+        let p = prog();
+        assert_eq!(p.fetch(p.addr_of(1)), Some(&Inst::rrr(Opcode::Add, 2, 1, 1)));
+        assert_eq!(p.fetch(0), None);
+    }
+
+    #[test]
+    fn data_is_loaded() {
+        let mut p = prog();
+        p.data.push(DataSegment { addr: 0x8000, bytes: vec![1, 2, 3, 4] });
+        let mut mem = SparseMemory::new();
+        p.load_data(&mut mem);
+        assert_eq!(mem.read_u32(0x8000), 0x0403_0201);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let p = prog();
+        let text = p.disassemble();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("halt"));
+        assert!(text.contains("0x00400000"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of integer architectural registers (x0 is hardwired to zero).
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// An integer architectural register, `x0`–`x31`.
+///
+/// `x0` always reads as zero and ignores writes, the usual RISC convention.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{x, IntReg};
+///
+/// assert_eq!(IntReg::ZERO, x(0));
+/// assert_eq!(x(7).index(), 7);
+/// assert_eq!(format!("{}", x(7)), "x7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: IntReg = IntReg(0);
+
+    /// Creates `x<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_INT_REGS, "integer register index {i} out of range");
+        IntReg(i)
+    }
+
+    /// The register number as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw register number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// `true` for `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, fo: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fo, "x{}", self.0)
+    }
+}
+
+/// A floating-point architectural register, `f0`–`f31`.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::f;
+///
+/// assert_eq!(f(3).index(), 3);
+/// assert_eq!(format!("{}", f(3)), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates `f<i>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_FP_REGS, "fp register index {i} out of range");
+        FpReg(i)
+    }
+
+    /// The register number as an array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw register number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, fo: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fo, "f{}", self.0)
+    }
+}
+
+/// Shorthand constructor for integer registers: `x(5)` is `x5`.
+///
+/// # Panics
+///
+/// Panics if `i >= 32`.
+pub fn x(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+
+/// Shorthand constructor for floating-point registers: `f(5)` is `f5`.
+///
+/// # Panics
+///
+/// Panics if `i >= 32`.
+pub fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_index() {
+        assert_eq!(x(0), IntReg::ZERO);
+        assert!(x(0).is_zero());
+        assert!(!x(1).is_zero());
+        assert_eq!(x(31).index(), 31);
+        assert_eq!(f(31).index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        let _ = x(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_out_of_range_panics() {
+        let _ = f(32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(x(12).to_string(), "x12");
+        assert_eq!(f(0).to_string(), "f0");
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared evaluation semantics.
+//!
+//! Both the functional executor ([`crate::Machine`]) and the cycle-level
+//! simulator in `carf-sim` call into this module to compute results, so the
+//! two can never disagree about *what* an instruction computes — only about
+//! *when*. This is the property the co-simulation tests rely on.
+
+use crate::inst::Opcode;
+
+/// Result width/extension of a memory load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadWidth {
+    /// 64-bit load.
+    U64,
+    /// 32-bit load, sign-extended.
+    I32,
+    /// 8-bit load, zero-extended.
+    U8,
+    /// 64-bit FP load.
+    F64,
+}
+
+/// Width of a memory store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreWidth {
+    /// 64-bit store.
+    U64,
+    /// 32-bit store (low bits).
+    U32,
+    /// 8-bit store (low byte).
+    U8,
+    /// 64-bit FP store.
+    F64,
+}
+
+/// Evaluates an integer ALU operation (register-register or
+/// register-immediate; for immediate forms pass the immediate as `b`).
+///
+/// # Panics
+///
+/// Panics if `op` is not an integer ALU/mul/div opcode.
+pub fn eval_int_alu(op: Opcode, a: u64, b: u64) -> u64 {
+    use Opcode::*;
+    match op {
+        Add | Addi => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        And | Andi => a & b,
+        Or | Ori => a | b,
+        Xor | Xori => a ^ b,
+        Sll | Slli => a.wrapping_shl((b & 63) as u32),
+        Srl | Srli => a.wrapping_shr((b & 63) as u32),
+        Sra | Srai => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Slt | Slti => ((a as i64) < (b as i64)) as u64,
+        Sltu => (a < b) as u64,
+        Mul => a.wrapping_mul(b),
+        Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                // RISC-V convention: divide by zero yields all ones.
+                u64::MAX
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        Li => b,
+        other => panic!("eval_int_alu called with non-ALU opcode {other:?}"),
+    }
+}
+
+/// Evaluates a conditional branch condition.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+pub fn eval_branch(op: Opcode, a: u64, b: u64) -> bool {
+    use Opcode::*;
+    match op {
+        Beq => a == b,
+        Bne => a != b,
+        Blt => (a as i64) < (b as i64),
+        Bge => (a as i64) >= (b as i64),
+        Bltu => a < b,
+        Bgeu => a >= b,
+        other => panic!("eval_branch called with non-branch opcode {other:?}"),
+    }
+}
+
+/// Evaluates an FP arithmetic operation that produces an FP result.
+///
+/// # Panics
+///
+/// Panics if `op` is not one of `Fadd`/`Fsub`/`Fmul`/`Fdiv`/`Fmov`.
+pub fn eval_fp_alu(op: Opcode, a: f64, b: f64) -> f64 {
+    use Opcode::*;
+    match op {
+        Fadd => a + b,
+        Fsub => a - b,
+        Fmul => a * b,
+        Fdiv => a / b,
+        Fmov => a,
+        other => panic!("eval_fp_alu called with non-FP opcode {other:?}"),
+    }
+}
+
+/// Evaluates an FP operation producing an *integer* result (compares and
+/// the FP→int conversion).
+///
+/// # Panics
+///
+/// Panics if `op` is not `Fcmplt`/`Fcmpeq`/`FcvtIF`.
+pub fn eval_fp_to_int(op: Opcode, a: f64, b: f64) -> u64 {
+    use Opcode::*;
+    match op {
+        Fcmplt => (a < b) as u64,
+        Fcmpeq => (a == b) as u64,
+        // `as` saturates and maps NaN to 0, which is deterministic across
+        // both simulators.
+        FcvtIF => (a as i64) as u64,
+        other => panic!("eval_fp_to_int called with non-FP-to-int opcode {other:?}"),
+    }
+}
+
+/// Evaluates the int→FP conversion.
+pub fn eval_int_to_fp(a: u64) -> f64 {
+    (a as i64) as f64
+}
+
+/// The load width of a load opcode.
+///
+/// # Panics
+///
+/// Panics if `op` is not a load.
+pub fn load_width(op: Opcode) -> LoadWidth {
+    match op {
+        Opcode::Ld => LoadWidth::U64,
+        Opcode::Lw => LoadWidth::I32,
+        Opcode::Lbu => LoadWidth::U8,
+        Opcode::Fld => LoadWidth::F64,
+        other => panic!("load_width called with non-load opcode {other:?}"),
+    }
+}
+
+/// The store width of a store opcode.
+///
+/// # Panics
+///
+/// Panics if `op` is not a store.
+pub fn store_width(op: Opcode) -> StoreWidth {
+    match op {
+        Opcode::St => StoreWidth::U64,
+        Opcode::Sw => StoreWidth::U32,
+        Opcode::Sb => StoreWidth::U8,
+        Opcode::Fst => StoreWidth::F64,
+        other => panic!("store_width called with non-store opcode {other:?}"),
+    }
+}
+
+/// Extends raw loaded bits according to the load width, returning the value
+/// as it lands in the destination register (bit pattern for FP).
+pub fn extend_load(width: LoadWidth, raw: u64) -> u64 {
+    match width {
+        LoadWidth::U64 | LoadWidth::F64 => raw,
+        LoadWidth::I32 => (raw as u32 as i32) as i64 as u64,
+        LoadWidth::U8 => raw as u8 as u64,
+    }
+}
+
+/// Number of bytes a store width covers.
+pub fn store_bytes(width: StoreWidth) -> u64 {
+    match width {
+        StoreWidth::U64 | StoreWidth::F64 => 8,
+        StoreWidth::U32 => 4,
+        StoreWidth::U8 => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Opcode::*;
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(eval_int_alu(Add, 2, 3), 5);
+        assert_eq!(eval_int_alu(Sub, 2, 3), u64::MAX); // wraps
+        assert_eq!(eval_int_alu(And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(eval_int_alu(Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(eval_int_alu(Xor, 0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn shifts_mask_amount_to_six_bits() {
+        assert_eq!(eval_int_alu(Sll, 1, 64), 1); // 64 & 63 == 0
+        assert_eq!(eval_int_alu(Sll, 1, 63), 1 << 63);
+        assert_eq!(eval_int_alu(Srl, u64::MAX, 63), 1);
+        assert_eq!(eval_int_alu(Sra, (-2i64) as u64, 1), (-1i64) as u64);
+    }
+
+    #[test]
+    fn comparisons_are_signed_and_unsigned() {
+        let neg1 = (-1i64) as u64;
+        assert_eq!(eval_int_alu(Slt, neg1, 0), 1); // signed: -1 < 0
+        assert_eq!(eval_int_alu(Sltu, neg1, 0), 0); // unsigned: MAX > 0
+    }
+
+    #[test]
+    fn div_conventions() {
+        assert_eq!(eval_int_alu(Div, 7, 2), 3);
+        assert_eq!(eval_int_alu(Div, (-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(eval_int_alu(Div, 5, 0), u64::MAX); // div by zero
+        // i64::MIN / -1 overflows; wrapping_div yields i64::MIN.
+        assert_eq!(
+            eval_int_alu(Div, i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let neg = (-5i64) as u64;
+        assert!(eval_branch(Beq, 4, 4));
+        assert!(eval_branch(Bne, 4, 5));
+        assert!(eval_branch(Blt, neg, 3));
+        assert!(!eval_branch(Bltu, neg, 3));
+        assert!(eval_branch(Bge, 3, 3));
+        assert!(eval_branch(Bgeu, neg, 3));
+    }
+
+    #[test]
+    fn fp_ops() {
+        assert_eq!(eval_fp_alu(Fadd, 1.5, 2.25), 3.75);
+        assert_eq!(eval_fp_alu(Fdiv, 1.0, 0.0), f64::INFINITY);
+        assert_eq!(eval_fp_to_int(Fcmplt, 1.0, 2.0), 1);
+        assert_eq!(eval_fp_to_int(Fcmpeq, f64::NAN, f64::NAN), 0);
+        assert_eq!(eval_fp_to_int(FcvtIF, -3.7, 0.0), (-3i64) as u64);
+        assert_eq!(eval_fp_to_int(FcvtIF, f64::NAN, 0.0), 0);
+        assert_eq!(eval_int_to_fp((-4i64) as u64), -4.0);
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(extend_load(LoadWidth::U64, 0xffff_ffff_ffff_ffff), u64::MAX);
+        assert_eq!(extend_load(LoadWidth::I32, 0x8000_0000), 0xffff_ffff_8000_0000);
+        assert_eq!(extend_load(LoadWidth::I32, 0x7fff_ffff), 0x7fff_ffff);
+        assert_eq!(extend_load(LoadWidth::U8, 0x1ff), 0xff);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(load_width(Ld), LoadWidth::U64);
+        assert_eq!(store_width(Sb), StoreWidth::U8);
+        assert_eq!(store_bytes(StoreWidth::U32), 4);
+        assert_eq!(store_bytes(StoreWidth::F64), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ALU")]
+    fn alu_rejects_branches() {
+        let _ = eval_int_alu(Beq, 0, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Architectural test suite: one directed case per opcode, checked
+//! against hand-computed results on the functional machine. (The timing
+//! pipeline is exercised on the same programs by `carf-sim`'s
+//! co-simulation tests.)
+
+use carf_isa::{f, x, Asm, Machine};
+
+fn run(asm: Asm) -> Machine {
+    let p = asm.finish().expect("assembles");
+    let mut m = Machine::load(&p);
+    m.run(&p, 100_000).expect("runs");
+    m
+}
+
+macro_rules! alu_case {
+    ($name:ident, $method:ident, $a:expr, $b:expr, $expect:expr) => {
+        #[test]
+        fn $name() {
+            let mut asm = Asm::new();
+            asm.li(x(1), $a);
+            asm.li(x(2), $b);
+            asm.$method(x(3), x(1), x(2));
+            asm.halt();
+            assert_eq!(run(asm).int_reg(x(3)), $expect, stringify!($name));
+        }
+    };
+}
+
+alu_case!(add_basic, add, 7, 5, 12);
+alu_case!(add_wraps, add, u64::MAX, 1, 0);
+alu_case!(sub_basic, sub, 7, 5, 2);
+alu_case!(sub_borrows, sub, 0, 1, u64::MAX);
+alu_case!(and_masks, and, 0b1100, 0b1010, 0b1000);
+alu_case!(or_merges, or, 0b1100, 0b1010, 0b1110);
+alu_case!(xor_toggles, xor, 0b1100, 0b1010, 0b0110);
+alu_case!(sll_shifts, sll, 1, 12, 1 << 12);
+alu_case!(sll_masks_amount, sll, 1, 64, 1);
+alu_case!(srl_logical, srl, u64::MAX, 60, 0xF);
+alu_case!(sra_arithmetic, sra, (-16i64) as u64, 2, (-4i64) as u64);
+alu_case!(slt_signed, slt, (-1i64) as u64, 0, 1);
+alu_case!(sltu_unsigned, sltu, (-1i64) as u64, 0, 0);
+alu_case!(mul_low_bits, mul, 1 << 40, 1 << 30, 0); // low 64 bits of 2^70
+alu_case!(div_signed, div, (-9i64) as u64, 2, (-4i64) as u64);
+alu_case!(div_by_zero_is_all_ones, div, 5, 0, u64::MAX);
+
+macro_rules! alui_case {
+    ($name:ident, $method:ident, $a:expr, $imm:expr, $expect:expr) => {
+        #[test]
+        fn $name() {
+            let mut asm = Asm::new();
+            asm.li(x(1), $a);
+            asm.$method(x(3), x(1), $imm);
+            asm.halt();
+            assert_eq!(run(asm).int_reg(x(3)), $expect, stringify!($name));
+        }
+    };
+}
+
+alui_case!(addi_negative, addi, 10, -3, 7);
+alui_case!(andi_masks, andi, 0xFF, 0x0F, 0x0F);
+alui_case!(ori_sets, ori, 0xF0, 0x0F, 0xFF);
+alui_case!(xori_flips, xori, 0xFF, 0x0F, 0xF0);
+alui_case!(slli_shifts, slli, 3, 4, 48);
+alui_case!(srli_shifts, srli, 48, 4, 3);
+alui_case!(srai_sign_extends, srai, (-8i64) as u64, 1, (-4i64) as u64);
+alui_case!(slti_signed, slti, (-5i64) as u64, -4, 1);
+
+#[test]
+fn li_loads_full_64_bits() {
+    let mut asm = Asm::new();
+    asm.li(x(1), 0xFEDC_BA98_7654_3210);
+    asm.halt();
+    assert_eq!(run(asm).int_reg(x(1)), 0xFEDC_BA98_7654_3210);
+}
+
+#[test]
+fn loads_and_stores_every_width() {
+    let mut asm = Asm::new();
+    let buf = asm.alloc_bytes_zeroed(32);
+    asm.li(x(1), buf);
+    asm.li(x(2), 0x1122_3344_5566_8899);
+    asm.st(x(2), x(1), 0); // 64-bit
+    asm.sw(x(2), x(1), 8); // 32-bit
+    asm.sb(x(2), x(1), 16); // 8-bit
+    asm.ld(x(3), x(1), 0);
+    asm.lw(x(4), x(1), 8); // sign-extends 0x55668899 (positive)
+    asm.lbu(x(5), x(1), 16); // 0x99 zero-extended
+    asm.lw(x(6), x(1), 0); // sign-extends 0x55668899
+    asm.halt();
+    let m = run(asm);
+    assert_eq!(m.int_reg(x(3)), 0x1122_3344_5566_8899);
+    assert_eq!(m.int_reg(x(4)), 0x5566_8899);
+    assert_eq!(m.int_reg(x(5)), 0x99);
+    assert_eq!(m.int_reg(x(6)), 0x5566_8899);
+}
+
+#[test]
+fn lw_sign_extends_negative_words() {
+    let mut asm = Asm::new();
+    let buf = asm.alloc_bytes_zeroed(8);
+    asm.li(x(1), buf);
+    asm.li(x(2), 0x8000_0001);
+    asm.sw(x(2), x(1), 0);
+    asm.lw(x(3), x(1), 0);
+    asm.halt();
+    assert_eq!(run(asm).int_reg(x(3)), 0xFFFF_FFFF_8000_0001);
+}
+
+macro_rules! branch_case {
+    ($name:ident, $method:ident, $a:expr, $b:expr, $taken:expr) => {
+        #[test]
+        fn $name() {
+            let mut asm = Asm::new();
+            asm.li(x(1), $a);
+            asm.li(x(2), $b);
+            asm.li(x(3), 0);
+            asm.$method(x(1), x(2), "taken");
+            asm.li(x(3), 1); // fallthrough marker
+            asm.label("taken");
+            asm.halt();
+            let expected = if $taken { 0 } else { 1 };
+            assert_eq!(run(asm).int_reg(x(3)), expected, stringify!($name));
+        }
+    };
+}
+
+branch_case!(beq_taken, beq, 4, 4, true);
+branch_case!(beq_not_taken, beq, 4, 5, false);
+branch_case!(bne_taken, bne, 4, 5, true);
+branch_case!(blt_signed_taken, blt, (-1i64) as u64, 0, true);
+branch_case!(bge_equal_taken, bge, 9, 9, true);
+branch_case!(bltu_unsigned_not_taken, bltu, (-1i64) as u64, 0, false);
+branch_case!(bgeu_unsigned_taken, bgeu, (-1i64) as u64, 0, true);
+
+#[test]
+fn jal_links_and_jumps() {
+    let mut asm = Asm::new();
+    asm.jal(x(1), "target"); // at code_base
+    asm.li(x(2), 99); // skipped
+    asm.label("target");
+    asm.halt();
+    let m = run(asm);
+    assert_eq!(m.int_reg(x(2)), 0);
+    assert_eq!(m.int_reg(x(1)), 0x40_0000 + 8);
+}
+
+#[test]
+fn jalr_computes_indirect_targets() {
+    let mut asm = Asm::new();
+    asm.li(x(1), 0x40_0000 + 4 * 8); // address of the halt
+    asm.jalr(x(2), x(1), 0);
+    asm.li(x(3), 99); // skipped
+    asm.nop();
+    asm.halt();
+    let m = run(asm);
+    assert_eq!(m.int_reg(x(3)), 0);
+    assert_eq!(m.int_reg(x(2)), 0x40_0000 + 16);
+}
+
+#[test]
+fn fp_arithmetic_matches_ieee() {
+    let mut asm = Asm::new();
+    let c = asm.alloc_f64s(&[0.5, -1.25]);
+    asm.li(x(1), c);
+    asm.fld(f(1), x(1), 0);
+    asm.fld(f(2), x(1), 8);
+    asm.fadd(f(3), f(1), f(2));
+    asm.fsub(f(4), f(1), f(2));
+    asm.fmul(f(5), f(1), f(2));
+    asm.fdiv(f(6), f(1), f(2));
+    asm.fmov(f(7), f(2));
+    asm.halt();
+    let m = run(asm);
+    assert_eq!(m.fp_reg(f(3)), -0.75);
+    assert_eq!(m.fp_reg(f(4)), 1.75);
+    assert_eq!(m.fp_reg(f(5)), -0.625);
+    assert_eq!(m.fp_reg(f(6)), -0.4);
+    assert_eq!(m.fp_reg(f(7)), -1.25);
+}
+
+#[test]
+fn fp_compares_and_conversions() {
+    let mut asm = Asm::new();
+    let c = asm.alloc_f64s(&[2.0, 3.0]);
+    asm.li(x(1), c);
+    asm.fld(f(1), x(1), 0);
+    asm.fld(f(2), x(1), 8);
+    asm.fcmplt(x(2), f(1), f(2));
+    asm.fcmplt(x(3), f(2), f(1));
+    asm.fcmpeq(x(4), f(1), f(1));
+    asm.fcvt_if(x(5), f(2));
+    asm.li(x(6), (-9i64) as u64);
+    asm.fcvt_fi(f(3), x(6));
+    asm.fcvt_if(x(7), f(3));
+    asm.halt();
+    let m = run(asm);
+    assert_eq!(m.int_reg(x(2)), 1);
+    assert_eq!(m.int_reg(x(3)), 0);
+    assert_eq!(m.int_reg(x(4)), 1);
+    assert_eq!(m.int_reg(x(5)), 3);
+    assert_eq!(m.int_reg(x(7)), (-9i64) as u64);
+}
+
+#[test]
+fn fst_round_trips_through_memory() {
+    let mut asm = Asm::new();
+    let c = asm.alloc_f64s(&[6.25]);
+    let out = asm.alloc_bytes_zeroed(8);
+    asm.li(x(1), c);
+    asm.li(x(2), out);
+    asm.fld(f(1), x(1), 0);
+    asm.fst(f(1), x(2), 0);
+    asm.fld(f(2), x(2), 0);
+    asm.halt();
+    assert_eq!(run(asm).fp_reg(f(2)), 6.25);
+}
+
+#[test]
+fn nop_does_nothing_and_halt_stops() {
+    let mut asm = Asm::new();
+    asm.li(x(1), 1);
+    asm.nop();
+    asm.nop();
+    asm.halt();
+    asm.li(x(1), 2); // never reached
+    asm.halt();
+    let m = run(asm);
+    assert_eq!(m.int_reg(x(1)), 1);
+    assert_eq!(m.retired(), 4); // li + 2 nops + halt
+}
+
+#[test]
+fn negative_offsets_address_backward() {
+    let mut asm = Asm::new();
+    let buf = asm.alloc_u64s(&[111, 222]);
+    asm.li(x(1), buf + 8);
+    asm.ld(x(2), x(1), -8);
+    asm.halt();
+    assert_eq!(run(asm).int_reg(x(2)), 111);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests of the ISA: encoding, assembly, and semantics.
+
+use carf_isa::semantics::{eval_branch, eval_int_alu, extend_load, LoadWidth};
+use carf_isa::{decode, encode, x, Asm, Inst, Machine, Opcode};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    (0usize..Opcode::ALL.len()).prop_map(|i| Opcode::ALL[i])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (arb_opcode(), 0u8..32, 0u8..32, 0u8..32, any::<i64>())
+        .prop_map(|(op, rd, rs1, rs2, imm)| Inst { op, rd, rs1, rs2, imm })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_is_identity(inst in arb_inst()) {
+        prop_assert_eq!(decode(encode(&inst)).unwrap(), inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u128>()) {
+        let _ = decode(word); // may be Err, must not panic
+    }
+
+    #[test]
+    fn display_never_panics(inst in arb_inst()) {
+        let text = inst.to_string();
+        prop_assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn sources_and_dest_are_always_in_range(inst in arb_inst()) {
+        if let Some(d) = inst.dest() {
+            match d {
+                carf_isa::RegRef::Int(r) => prop_assert!(r.index() < 32),
+                carf_isa::RegRef::Fp(r) => prop_assert!(r.index() < 32),
+            }
+        }
+        for s in inst.sources().into_iter().flatten() {
+            match s {
+                carf_isa::RegRef::Int(r) => prop_assert!(r.index() < 32),
+                carf_isa::RegRef::Fp(r) => prop_assert!(r.index() < 32),
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_are_inverses(a in any::<u64>(), b in any::<u64>()) {
+        let sum = eval_int_alu(Opcode::Add, a, b);
+        prop_assert_eq!(eval_int_alu(Opcode::Sub, sum, b), a);
+    }
+
+    #[test]
+    fn add_is_commutative_xor_self_inverse(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(
+            eval_int_alu(Opcode::Add, a, b),
+            eval_int_alu(Opcode::Add, b, a)
+        );
+        let x1 = eval_int_alu(Opcode::Xor, a, b);
+        prop_assert_eq!(eval_int_alu(Opcode::Xor, x1, b), a);
+    }
+
+    #[test]
+    fn shifts_compose_with_masks(v in any::<u64>(), s in 0u64..64) {
+        let left = eval_int_alu(Opcode::Sll, v, s);
+        prop_assert_eq!(left, v << s);
+        let logical = eval_int_alu(Opcode::Srl, v, s);
+        prop_assert_eq!(logical, v >> s);
+        // Arithmetic shift preserves the sign bit.
+        let arith = eval_int_alu(Opcode::Sra, v, s);
+        prop_assert_eq!(arith >> 63, v >> 63);
+    }
+
+    #[test]
+    fn branch_pairs_are_complements(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_ne!(eval_branch(Opcode::Beq, a, b), eval_branch(Opcode::Bne, a, b));
+        prop_assert_ne!(eval_branch(Opcode::Blt, a, b), eval_branch(Opcode::Bge, a, b));
+        prop_assert_ne!(eval_branch(Opcode::Bltu, a, b), eval_branch(Opcode::Bgeu, a, b));
+    }
+
+    #[test]
+    fn load_extension_is_idempotent(raw in any::<u64>()) {
+        for w in [LoadWidth::U64, LoadWidth::I32, LoadWidth::U8, LoadWidth::F64] {
+            let once = extend_load(w, raw);
+            prop_assert_eq!(extend_load(w, once), once);
+        }
+    }
+
+    #[test]
+    fn executor_computes_alu_chains(a in any::<u64>(), b in 1u64..1000) {
+        // (a + b) - b == a, computed by the machine.
+        let mut asm = Asm::new();
+        asm.li(x(1), a);
+        asm.li(x(2), b);
+        asm.add(x(3), x(1), x(2));
+        asm.sub(x(4), x(3), x(2));
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p);
+        m.run(&p, 100).unwrap();
+        prop_assert_eq!(m.int_reg(x(4)), a);
+    }
+
+    #[test]
+    fn executor_memory_is_last_writer_wins(
+        addr_off in 0u64..64,
+        v1 in any::<u64>(),
+        v2 in any::<u64>(),
+    ) {
+        let mut asm = Asm::new();
+        let base = asm.alloc_bytes_zeroed(128);
+        asm.li(x(1), base);
+        asm.li(x(2), v1);
+        asm.li(x(3), v2);
+        asm.st(x(2), x(1), (addr_off * 8 % 120) as i64);
+        asm.st(x(3), x(1), (addr_off * 8 % 120) as i64);
+        asm.ld(x(4), x(1), (addr_off * 8 % 120) as i64);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p);
+        m.run(&p, 100).unwrap();
+        prop_assert_eq!(m.int_reg(x(4)), v2);
+    }
+
+    #[test]
+    fn counted_loops_retire_exactly(n in 1u64..200) {
+        let mut asm = Asm::new();
+        asm.li(x(1), n);
+        asm.label("loop");
+        asm.addi(x(1), x(1), -1);
+        asm.bne(x(1), x(0), "loop");
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::load(&p);
+        m.run(&p, 10_000_000).unwrap();
+        // li + n * (addi + bne) + halt
+        prop_assert_eq!(m.retired(), 1 + 2 * n + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn disassembly_reparses_for_straight_line_code(
+        seeds in proptest::collection::vec((0u8..4, 1u8..16, 1u8..16, 1u8..16, -500i64..500), 1..30),
+    ) {
+        // Build straight-line programs from a safe subset, disassemble,
+        // re-parse, and compare instruction streams.
+        use carf_isa::{parse_asm, Opcode};
+        let mut asm = Asm::new();
+        for (kind, rd, rs1, rs2, imm) in seeds {
+            match kind {
+                0 => {
+                    asm.emit(Inst::rrr(Opcode::Add, rd, rs1, rs2));
+                }
+                1 => {
+                    asm.emit(Inst::rri(Opcode::Addi, rd, rs1, imm));
+                }
+                2 => {
+                    asm.emit(Inst::rri(Opcode::Ld, rd, rs1, imm));
+                }
+                _ => {
+                    asm.emit(Inst {
+                        op: Opcode::St,
+                        rd: 0,
+                        rs1,
+                        rs2,
+                        imm,
+                    });
+                }
+            }
+        }
+        asm.halt();
+        let original = asm.finish().unwrap();
+        let text = original.disassemble()
+            .lines()
+            .map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_asm(&text).unwrap();
+        prop_assert_eq!(original.insts, reparsed.insts);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "[ -~\n]{0,200}") {
+        let _ = carf_isa::parse_asm(&text); // Err is fine; panic is not
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory substrate for the CARF reproduction.
+//!
+//! The paper's simulator (Table 1) runs on top of a conventional memory
+//! hierarchy: a 32 KB 4-way L1 instruction cache (1-cycle), a 32 KB 4-way
+//! 2-ported L1 data cache (1-cycle), a unified 1 MB 4-way L2 (10-cycle) and a
+//! 100-cycle main memory. This crate provides that substrate from scratch:
+//!
+//! * [`SparseMemory`] — a paged, sparsely allocated 64-bit physical memory
+//!   that holds the *values*;
+//! * [`Cache`] — a set-associative, write-back, write-allocate tag array with
+//!   LRU replacement that models *timing* (hits, misses, evictions);
+//! * [`MemoryHierarchy`] — the composed IL1/DL1/L2/DRAM stack returning
+//!   access latencies in cycles and tracking per-cycle port usage.
+//!
+//! Caches are tag-only: data always lives in [`SparseMemory`], while the
+//! cache models decide how many cycles an access costs. This is the standard
+//! structure for execution-driven timing simulation and exactly what the
+//! paper's experiments need (they measure register-file behaviour; the memory
+//! system's job is to produce realistic load latencies and stalls).
+//!
+//! # Example
+//!
+//! ```
+//! use carf_mem::{MemoryHierarchy, HierarchyConfig, SparseMemory};
+//!
+//! let mut mem = SparseMemory::new();
+//! mem.write_u64(0x1000, 42);
+//! assert_eq!(mem.read_u64(0x1000), 42);
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::paper());
+//! let first = hier.data_access(0x1000, false);   // cold miss: L2 + DRAM
+//! let second = hier.data_access(0x1000, false);  // now an L1 hit
+//! assert!(first > second);
+//! assert_eq!(second, 1);
+//! ```
+
+mod cache;
+mod hierarchy;
+mod memory;
+mod ports;
+
+pub use cache::{Cache, CacheConfig, CacheStats, LineState};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use memory::SparseMemory;
+pub use ports::PortMeter;

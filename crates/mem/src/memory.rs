@@ -1,0 +1,197 @@
+//! Sparse, paged 64-bit physical memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparsely allocated flat 64-bit address space.
+///
+/// Pages (4 KiB) are allocated on first touch and zero-filled, so programs
+/// may freely read uninitialized memory and observe zeros — the same
+/// convention the functional executor and the timing simulator rely on.
+/// All multi-byte accesses are little-endian and may straddle page
+/// boundaries.
+///
+/// # Example
+///
+/// ```
+/// use carf_mem::SparseMemory;
+///
+/// let mut mem = SparseMemory::new();
+/// assert_eq!(mem.read_u64(0xdead_0000), 0);
+/// mem.write_u64(0xdead_0000, 0x0123_4567_89ab_cdef);
+/// assert_eq!(mem.read_u32(0xdead_0004), 0x0123_4567);
+/// ```
+#[derive(Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct pages that have been touched by a write.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes a single byte, allocating the containing page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+    }
+
+    /// Writes all of `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        let mut buf = [0u8; 2];
+        self.read_bytes(addr, &mut buf);
+        u16::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut buf = [0u8; 4];
+        self.read_bytes(addr, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `f64` stored as its IEEE-754 bit pattern.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+}
+
+impl std::fmt::Debug for SparseMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparseMemory")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(u64::MAX - 7), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x40, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(0x40), 0x1122_3344_5566_7788);
+        // Little-endian byte order.
+        assert_eq!(mem.read_u8(0x40), 0x88);
+        assert_eq!(mem.read_u8(0x47), 0x11);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = SparseMemory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles first/second page
+        mem.write_u64(addr, 0xaabb_ccdd_0011_2233);
+        assert_eq!(mem.read_u64(addr), 0xaabb_ccdd_0011_2233);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn narrow_and_wide_accesses_agree() {
+        let mut mem = SparseMemory::new();
+        mem.write_u32(0x100, 0xdead_beef);
+        mem.write_u32(0x104, 0xcafe_f00d);
+        assert_eq!(mem.read_u64(0x100), 0xcafe_f00d_dead_beef);
+        assert_eq!(mem.read_u16(0x102), 0xdead);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut mem = SparseMemory::new();
+        mem.write_f64(0x200, -1234.5678);
+        assert_eq!(mem.read_f64(0x200), -1234.5678);
+        mem.write_f64(0x208, f64::NEG_INFINITY);
+        assert_eq!(mem.read_f64(0x208), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overwrites_take_effect() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x300, 1);
+        mem.write_u64(0x300, 2);
+        assert_eq!(mem.read_u64(0x300), 2);
+        mem.write_u8(0x300, 0xff);
+        assert_eq!(mem.read_u64(0x300), 0xff | (2 & !0xff));
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut mem = SparseMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write_bytes(0xfff0, &data); // crosses a page boundary
+        let mut out = vec![0u8; 256];
+        mem.read_bytes(0xfff0, &mut out);
+        assert_eq!(out, data);
+    }
+}

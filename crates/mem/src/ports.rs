@@ -1,0 +1,133 @@
+//! Per-cycle port arbitration.
+
+/// Counts uses of a shared resource within one cycle.
+///
+/// Structures like the paper's 2-ported L1 data cache or the register file's
+/// read/write ports admit a fixed number of operations per cycle. A
+/// [`PortMeter`] is reset at the top of every simulated cycle and hands out
+/// grants until the limit is reached.
+///
+/// # Example
+///
+/// ```
+/// use carf_mem::PortMeter;
+///
+/// let mut ports = PortMeter::new(2);
+/// assert!(ports.try_acquire());
+/// assert!(ports.try_acquire());
+/// assert!(!ports.try_acquire()); // both ports busy this cycle
+/// ports.begin_cycle();
+/// assert!(ports.try_acquire());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortMeter {
+    limit: u32,
+    used: u32,
+    total_granted: u64,
+    total_denied: u64,
+}
+
+impl PortMeter {
+    /// Creates a meter allowing `limit` grants per cycle. A limit of 0 means
+    /// the resource is unconstrained (every request is granted).
+    pub fn new(limit: u32) -> Self {
+        Self { limit, used: 0, total_granted: 0, total_denied: 0 }
+    }
+
+    /// Starts a new cycle, releasing all ports.
+    pub fn begin_cycle(&mut self) {
+        self.used = 0;
+    }
+
+    /// Attempts to claim one port for this cycle.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.limit == 0 || self.used < self.limit {
+            self.used = self.used.saturating_add(1);
+            self.total_granted += 1;
+            true
+        } else {
+            self.total_denied += 1;
+            false
+        }
+    }
+
+    /// Attempts to claim `n` ports at once; either all are granted or none.
+    pub fn try_acquire_n(&mut self, n: u32) -> bool {
+        if self.limit == 0 || self.used.saturating_add(n) <= self.limit {
+            self.used = self.used.saturating_add(n);
+            self.total_granted += u64::from(n);
+            true
+        } else {
+            self.total_denied += u64::from(n);
+            false
+        }
+    }
+
+    /// Ports still free this cycle (`u32::MAX` when unconstrained).
+    pub fn available(&self) -> u32 {
+        if self.limit == 0 {
+            u32::MAX
+        } else {
+            self.limit - self.used.min(self.limit)
+        }
+    }
+
+    /// The per-cycle limit (0 = unconstrained).
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Grants handed out over the whole run.
+    pub fn total_granted(&self) -> u64 {
+        self.total_granted
+    }
+
+    /// Requests denied over the whole run (a proxy for port contention).
+    pub fn total_denied(&self) -> u64 {
+        self.total_denied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_up_to_limit() {
+        let mut m = PortMeter::new(3);
+        assert!(m.try_acquire());
+        assert!(m.try_acquire());
+        assert!(m.try_acquire());
+        assert!(!m.try_acquire());
+        assert_eq!(m.total_granted(), 3);
+        assert_eq!(m.total_denied(), 1);
+    }
+
+    #[test]
+    fn begin_cycle_releases() {
+        let mut m = PortMeter::new(1);
+        assert!(m.try_acquire());
+        assert!(!m.try_acquire());
+        m.begin_cycle();
+        assert!(m.try_acquire());
+    }
+
+    #[test]
+    fn zero_limit_is_unconstrained() {
+        let mut m = PortMeter::new(0);
+        for _ in 0..1000 {
+            assert!(m.try_acquire());
+        }
+        assert_eq!(m.available(), u32::MAX);
+    }
+
+    #[test]
+    fn acquire_n_is_all_or_nothing() {
+        let mut m = PortMeter::new(4);
+        assert!(m.try_acquire_n(3));
+        assert!(!m.try_acquire_n(2));
+        assert_eq!(m.available(), 1);
+        assert!(m.try_acquire_n(1));
+        assert_eq!(m.available(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Branch prediction: gshare direction predictor, BTB for indirect
+//! targets, and a return address stack.
+
+use crate::config::BpredConfig;
+
+/// Saturating 2-bit counter states.
+const WEAK_NOT_TAKEN: u8 = 1;
+
+/// A conditional-branch prediction and the state needed to resolve it
+/// precisely later (see [`BranchPredictor::predict_cond`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CondPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    index: usize,
+    history_before: u64,
+}
+
+
+/// Gshare + BTB + RAS front-end predictor (paper: gshare with 14 bits of
+/// history).
+///
+/// Direct branch/jump targets come from the instruction itself (decoded in
+/// the same fetch stage), so only the *direction* of conditional branches
+/// and the *target* of indirect jumps are predicted.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    counters: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    btb: Vec<Option<(u64, u64)>>, // (tag pc, target)
+    ras: Vec<u64>,
+    ras_limit: usize,
+    stats: BpredStats,
+}
+
+/// Predictor accuracy counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BpredStats {
+    /// Conditional-branch predictions made.
+    pub cond_predictions: u64,
+    /// Conditional-branch mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect-jump predictions made.
+    pub indirect_predictions: u64,
+    /// Indirect-jump mispredictions.
+    pub indirect_mispredicts: u64,
+}
+
+impl BpredStats {
+    /// Direction accuracy over conditional branches (1.0 when none seen).
+    pub fn cond_accuracy(&self) -> f64 {
+        if self.cond_predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.cond_mispredicts as f64 / self.cond_predictions as f64
+        }
+    }
+}
+
+impl BranchPredictor {
+    /// Creates a predictor sized by `config`.
+    pub fn new(config: &BpredConfig) -> Self {
+        let entries = 1usize << config.gshare_bits;
+        Self {
+            counters: vec![WEAK_NOT_TAKEN; entries],
+            history: 0,
+            history_mask: (entries as u64) - 1,
+            btb: vec![None; config.btb_entries.max(1)],
+            ras: Vec::new(),
+            ras_limit: config.ras_entries.max(1),
+            stats: BpredStats::default(),
+        }
+    }
+
+    fn index_with(&self, pc: u64, history: u64) -> usize {
+        (((pc >> 3) ^ history) & self.history_mask) as usize
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` and
+    /// speculatively updates the global history. The returned token travels
+    /// with the branch through the pipeline and is handed back to
+    /// [`BranchPredictor::resolve_cond`], so training hits exactly the
+    /// counter that produced the prediction and a mispredict can restore
+    /// the precise history — regardless of how many branches are in flight.
+    pub fn predict_cond(&mut self, pc: u64) -> CondPrediction {
+        self.stats.cond_predictions += 1;
+        let history_before = self.history;
+        let index = self.index_with(pc, history_before);
+        let taken = self.counters[index] >= 2;
+        self.history = ((history_before << 1) | u64::from(taken)) & self.history_mask;
+        CondPrediction { taken, index, history_before }
+    }
+
+    /// Resolves a conditional branch with its prediction token: trains the
+    /// predicting counter and, on a direction mispredict, rewinds the
+    /// history to the checkpoint plus the actual outcome (squashing the
+    /// wrong-path history bits).
+    pub fn resolve_cond(&mut self, pred: CondPrediction, taken: bool) {
+        if pred.taken != taken {
+            self.stats.cond_mispredicts += 1;
+            self.history =
+                ((pred.history_before << 1) | u64::from(taken)) & self.history_mask;
+        }
+        let c = &mut self.counters[pred.index];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Predicts the target of the indirect jump at `pc` (`is_return` pops
+    /// the RAS). Returns 0 when nothing is known — callers treat an unknown
+    /// target as "fall through and fix up at execute".
+    pub fn predict_indirect(&mut self, pc: u64, is_return: bool) -> u64 {
+        self.stats.indirect_predictions += 1;
+        if is_return {
+            if let Some(t) = self.ras.pop() {
+                return t;
+            }
+        }
+        let slot = (pc >> 3) as usize % self.btb.len();
+        match self.btb[slot] {
+            Some((tag, target)) if tag == pc => target,
+            _ => 0,
+        }
+    }
+
+    /// Current gshare history register (tests and diagnostics).
+    pub fn history(&self) -> u64 {
+        self.history
+    }
+
+    /// Resolves an indirect jump: trains the BTB.
+    pub fn resolve_indirect(&mut self, pc: u64, target: u64, mispredicted: bool) {
+        if mispredicted {
+            self.stats.indirect_mispredicts += 1;
+        }
+        let slot = (pc >> 3) as usize % self.btb.len();
+        self.btb[slot] = Some((pc, target));
+    }
+
+    /// Pushes a return address (on `jal`/`jalr` calls that write a link
+    /// register).
+    pub fn push_return(&mut self, return_addr: u64) {
+        if self.ras.len() == self.ras_limit {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_addr);
+    }
+
+    /// Accuracy counters.
+    pub fn stats(&self) -> &BpredStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(&BpredConfig { gshare_bits: 10, btb_entries: 64, ras_entries: 4 })
+    }
+
+    #[test]
+    fn counters_learn_a_biased_branch() {
+        let mut bp = bp();
+        let pc = 0x40_0000;
+        // Always-taken branch: once the history register saturates at
+        // all-ones, the same counter trains every time and the predictor
+        // agrees.
+        let mut correct = 0;
+        for _ in 0..100 {
+            let pred = bp.predict_cond(pc);
+            if pred.taken {
+                correct += 1;
+            }
+            bp.resolve_cond(pred, true);
+        }
+        assert!(correct > 80, "only {correct}/100 correct");
+        assert!(bp.stats().cond_accuracy() > 0.8);
+    }
+
+    #[test]
+    fn alternating_history_is_learnable() {
+        let mut bp = bp();
+        let pc = 0x40_0100;
+        let mut correct = 0;
+        for i in 0..200u32 {
+            let actual = i % 2 == 0;
+            let pred = bp.predict_cond(pc);
+            if pred.taken == actual {
+                correct += 1;
+            }
+            bp.resolve_cond(pred, actual);
+        }
+        // Gshare keys on history, so an alternating pattern becomes highly
+        // predictable after warm-up.
+        assert!(correct > 120, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn btb_learns_indirect_targets() {
+        let mut bp = bp();
+        let pc = 0x40_0200;
+        assert_eq!(bp.predict_indirect(pc, false), 0); // cold
+        bp.resolve_indirect(pc, 0x41_0000, true);
+        assert_eq!(bp.predict_indirect(pc, false), 0x41_0000);
+    }
+
+    #[test]
+    fn ras_predicts_returns_lifo() {
+        let mut bp = bp();
+        bp.push_return(0x100);
+        bp.push_return(0x200);
+        assert_eq!(bp.predict_indirect(0x40_0000, true), 0x200);
+        assert_eq!(bp.predict_indirect(0x40_0000, true), 0x100);
+        // Empty RAS falls back to the BTB (cold: 0).
+        assert_eq!(bp.predict_indirect(0x40_0000, true), 0);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut bp = bp();
+        for i in 1..=5u64 {
+            bp.push_return(i * 0x10);
+        }
+        assert_eq!(bp.predict_indirect(0, true), 0x50);
+        assert_eq!(bp.predict_indirect(0, true), 0x40);
+        assert_eq!(bp.predict_indirect(0, true), 0x30);
+        assert_eq!(bp.predict_indirect(0, true), 0x20);
+        assert_eq!(bp.predict_indirect(0, true), 0); // 0x10 was dropped
+    }
+
+    #[test]
+    fn mispredict_stats_accumulate() {
+        let mut bp = bp();
+        let p = bp.predict_cond(0x40_0000);
+        bp.resolve_cond(p, !p.taken);
+        assert_eq!(bp.stats().cond_mispredicts, 1);
+        assert!(bp.stats().cond_accuracy() < 1.0);
+    }
+
+    #[test]
+    fn mispredict_rewinds_wrong_path_history() {
+        let mut bp = bp();
+        let p = bp.predict_cond(0x40_0000);
+        // Wrong-path branches pollute the history...
+        let _ = bp.predict_cond(0x40_0100);
+        let _ = bp.predict_cond(0x40_0200);
+        // ...until the mispredict resolves and rewinds it.
+        bp.resolve_cond(p, !p.taken);
+        assert_eq!(bp.history() & !1, 0, "history must rewind to one outcome bit");
+    }
+}

@@ -1,0 +1,121 @@
+//! Functional-unit pools.
+
+/// A pool of identical functional units.
+///
+/// Pipelined operations occupy a unit for one cycle (a new operation can
+/// start every cycle); unpipelined operations (divides) hold the unit for
+/// their full latency. Units track the cycle until which they are busy.
+///
+/// # Example
+///
+/// ```
+/// use carf_sim::FuPool;
+///
+/// let mut pool = FuPool::new(2);
+/// assert!(pool.try_acquire(10, 1)); // pipelined op starting at cycle 10
+/// assert!(pool.try_acquire(10, 20)); // a divide occupies the other unit
+/// assert!(!pool.try_acquire(10, 1)); // no unit left this cycle
+/// assert!(pool.try_acquire(11, 1)); // the pipelined unit is free again
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// Per-unit first free cycle.
+    busy_until: Vec<u64>,
+    acquisitions: u64,
+    denials: u64,
+}
+
+impl FuPool {
+    /// Creates a pool of `units` functional units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn new(units: usize) -> Self {
+        assert!(units > 0, "a functional-unit pool needs at least one unit");
+        Self { busy_until: vec![0; units], acquisitions: 0, denials: 0 }
+    }
+
+    /// Number of units in the pool.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// `true` when the pool has no units (never; pools are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// Tries to start an operation at cycle `start` that holds its unit for
+    /// `duration` cycles (1 for pipelined operations).
+    pub fn try_acquire(&mut self, start: u64, duration: u64) -> bool {
+        match self.busy_until.iter_mut().find(|b| **b <= start) {
+            Some(b) => {
+                *b = start + duration.max(1);
+                self.acquisitions += 1;
+                true
+            }
+            None => {
+                self.denials += 1;
+                false
+            }
+        }
+    }
+
+    /// Units free at cycle `at`.
+    pub fn free_at(&self, at: u64) -> usize {
+        self.busy_until.iter().filter(|b| **b <= at).count()
+    }
+
+    /// Total successful acquisitions.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Total denials (structural-hazard pressure).
+    pub fn denials(&self) -> u64 {
+        self.denials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_units_restart_every_cycle() {
+        let mut p = FuPool::new(1);
+        assert!(p.try_acquire(5, 1));
+        assert!(!p.try_acquire(5, 1));
+        assert!(p.try_acquire(6, 1));
+        assert_eq!(p.acquisitions(), 2);
+        assert_eq!(p.denials(), 1);
+    }
+
+    #[test]
+    fn unpipelined_op_blocks_its_unit() {
+        let mut p = FuPool::new(1);
+        assert!(p.try_acquire(0, 20));
+        for c in 1..20 {
+            assert!(!p.try_acquire(c, 1), "cycle {c}");
+        }
+        assert!(p.try_acquire(20, 1));
+    }
+
+    #[test]
+    fn multiple_units_serve_concurrently() {
+        let mut p = FuPool::new(8);
+        for _ in 0..8 {
+            assert!(p.try_acquire(3, 1));
+        }
+        assert!(!p.try_acquire(3, 1));
+        assert_eq!(p.free_at(3), 0);
+        assert_eq!(p.free_at(4), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_pool_rejected() {
+        let _ = FuPool::new(0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Register renaming: map tables, free lists, and branch checkpoints.
+
+use carf_isa::{FpReg, IntReg};
+
+/// Physical register number.
+pub type Preg = u16;
+
+/// A saved rename-map snapshot taken at a branch.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    seq: u64,
+    int_map: [Preg; 32],
+    fp_map: [Preg; 32],
+}
+
+/// Rename state: one map per register file, free lists, and a checkpoint
+/// stack for branch recovery.
+///
+/// `x0` is never renamed: it permanently owns physical register 0, which is
+/// initialized to zero and never freed, and destination writes to it are
+/// discarded by the pipeline.
+///
+/// # Example
+///
+/// ```
+/// use carf_sim::RenameTables;
+/// use carf_isa::x;
+///
+/// let mut rt = RenameTables::new(64, 64);
+/// let (new, old) = rt.rename_int_dest(x(5)).unwrap();
+/// assert_eq!(old, 5);              // initial identity mapping
+/// assert_eq!(rt.lookup_int(x(5)), new);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RenameTables {
+    int_map: [Preg; 32],
+    fp_map: [Preg; 32],
+    int_free: Vec<Preg>,
+    fp_free: Vec<Preg>,
+    checkpoints: Vec<Checkpoint>,
+    checkpoint_limit: usize,
+}
+
+impl RenameTables {
+    /// Creates tables for `int_pregs`/`fp_pregs` physical registers with
+    /// identity initial mappings (arch reg `i` → preg `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either file has fewer than 33 physical registers (32
+    /// architectural plus at least one rename target).
+    pub fn new(int_pregs: usize, fp_pregs: usize) -> Self {
+        assert!(int_pregs > 32, "need more than 32 integer physical registers");
+        assert!(fp_pregs > 32, "need more than 32 fp physical registers");
+        let mut int_map = [0; 32];
+        let mut fp_map = [0; 32];
+        for i in 0..32 {
+            int_map[i] = i as Preg;
+            fp_map[i] = i as Preg;
+        }
+        Self {
+            int_map,
+            fp_map,
+            int_free: (32..int_pregs as Preg).rev().collect(),
+            fp_free: (32..fp_pregs as Preg).rev().collect(),
+            checkpoints: Vec::new(),
+            checkpoint_limit: usize::MAX,
+        }
+    }
+
+    /// Caps the number of simultaneously live checkpoints (rename stalls at
+    /// the cap).
+    pub fn set_checkpoint_limit(&mut self, limit: usize) {
+        self.checkpoint_limit = limit.max(1);
+    }
+
+    /// Current physical mapping of an integer architectural register.
+    pub fn lookup_int(&self, r: IntReg) -> Preg {
+        self.int_map[r.index()]
+    }
+
+    /// Current physical mapping of an FP architectural register.
+    pub fn lookup_fp(&self, r: FpReg) -> Preg {
+        self.fp_map[r.index()]
+    }
+
+    /// Free integer physical registers remaining.
+    pub fn int_free_count(&self) -> usize {
+        self.int_free.len()
+    }
+
+    /// Free FP physical registers remaining.
+    pub fn fp_free_count(&self) -> usize {
+        self.fp_free.len()
+    }
+
+    /// Renames an integer destination: allocates a new preg and returns
+    /// `(new, old)` where `old` is the previous mapping (to free at the
+    /// renaming instruction's commit). Returns `None` when the free list is
+    /// empty (rename must stall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for `x0` — the pipeline must treat `x0`
+    /// destinations as no-writes.
+    pub fn rename_int_dest(&mut self, r: IntReg) -> Option<(Preg, Preg)> {
+        assert!(!r.is_zero(), "x0 is not renamable");
+        let new = self.int_free.pop()?;
+        let old = std::mem::replace(&mut self.int_map[r.index()], new);
+        Some((new, old))
+    }
+
+    /// Renames an FP destination (see [`RenameTables::rename_int_dest`]).
+    pub fn rename_fp_dest(&mut self, r: FpReg) -> Option<(Preg, Preg)> {
+        let new = self.fp_free.pop()?;
+        let old = std::mem::replace(&mut self.fp_map[r.index()], new);
+        Some((new, old))
+    }
+
+    /// Returns an integer preg to the free list.
+    pub fn free_int(&mut self, preg: Preg) {
+        debug_assert!(!self.int_free.contains(&preg), "double free of int preg {preg}");
+        self.int_free.push(preg);
+    }
+
+    /// Returns an FP preg to the free list.
+    pub fn free_fp(&mut self, preg: Preg) {
+        debug_assert!(!self.fp_free.contains(&preg), "double free of fp preg {preg}");
+        self.fp_free.push(preg);
+    }
+
+    /// `true` when another checkpoint may be taken.
+    pub fn can_checkpoint(&self) -> bool {
+        self.checkpoints.len() < self.checkpoint_limit
+    }
+
+    /// Snapshots the maps for the branch with sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint limit is exceeded or `seq` is not strictly
+    /// increasing.
+    pub fn take_checkpoint(&mut self, seq: u64) {
+        assert!(self.can_checkpoint(), "checkpoint limit exceeded");
+        if let Some(last) = self.checkpoints.last() {
+            assert!(last.seq < seq, "checkpoints must be taken in program order");
+        }
+        self.checkpoints.push(Checkpoint { seq, int_map: self.int_map, fp_map: self.fp_map });
+    }
+
+    /// Restores the maps from the checkpoint taken at `seq`, dropping it
+    /// and every younger checkpoint. The caller separately returns the
+    /// squashed instructions' pregs via [`RenameTables::free_int`]/
+    /// [`RenameTables::free_fp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint with `seq` exists.
+    pub fn restore_checkpoint(&mut self, seq: u64) {
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|c| c.seq == seq)
+            .expect("restoring a checkpoint that was never taken");
+        let cp = &self.checkpoints[pos];
+        self.int_map = cp.int_map;
+        self.fp_map = cp.fp_map;
+        self.checkpoints.truncate(pos);
+    }
+
+    /// Drops the checkpoint for `seq` after the branch resolves correctly.
+    /// A missing checkpoint is a no-op (it may already have been dropped by
+    /// an older branch's recovery).
+    pub fn drop_checkpoint(&mut self, seq: u64) {
+        if let Some(pos) = self.checkpoints.iter().position(|c| c.seq == seq) {
+            self.checkpoints.remove(pos);
+        }
+    }
+
+    /// Drops every checkpoint younger than `seq` (used when an older
+    /// branch squashes).
+    pub fn drop_checkpoints_after(&mut self, seq: u64) {
+        self.checkpoints.retain(|c| c.seq <= seq);
+    }
+
+    /// Live checkpoints.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// The current integer map (for oracle/architectural scans).
+    pub fn int_map(&self) -> &[Preg; 32] {
+        &self.int_map
+    }
+
+    /// Replaces both maps wholesale (recovery paths that rebuild the map
+    /// from the committed state instead of restoring a stored checkpoint).
+    pub fn set_maps(&mut self, int_map: [Preg; 32], fp_map: [Preg; 32]) {
+        self.int_map = int_map;
+        self.fp_map = fp_map;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carf_isa::{f, x};
+
+    #[test]
+    fn initial_mappings_are_identity() {
+        let rt = RenameTables::new(64, 64);
+        for i in 0..32 {
+            assert_eq!(rt.lookup_int(x(i as u8)), i as Preg);
+            assert_eq!(rt.lookup_fp(f(i as u8)), i as Preg);
+        }
+        assert_eq!(rt.int_free_count(), 32);
+    }
+
+    #[test]
+    fn rename_allocates_and_remembers_old() {
+        let mut rt = RenameTables::new(64, 64);
+        let (n1, o1) = rt.rename_int_dest(x(3)).unwrap();
+        assert_eq!(o1, 3);
+        assert_eq!(rt.lookup_int(x(3)), n1);
+        let (n2, o2) = rt.rename_int_dest(x(3)).unwrap();
+        assert_eq!(o2, n1);
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn free_list_exhaustion_returns_none() {
+        let mut rt = RenameTables::new(33, 33);
+        assert!(rt.rename_int_dest(x(1)).is_some());
+        assert!(rt.rename_int_dest(x(2)).is_none());
+        // Freeing replenishes.
+        rt.free_int(32);
+        assert!(rt.rename_int_dest(x(2)).is_some());
+    }
+
+    #[test]
+    fn checkpoint_restore_recovers_maps() {
+        let mut rt = RenameTables::new(64, 64);
+        let (a, _) = rt.rename_int_dest(x(1)).unwrap();
+        rt.take_checkpoint(10);
+        let (_b, _) = rt.rename_int_dest(x(1)).unwrap();
+        let (_c, _) = rt.rename_fp_dest(f(2)).unwrap();
+        rt.restore_checkpoint(10);
+        assert_eq!(rt.lookup_int(x(1)), a);
+        assert_eq!(rt.lookup_fp(f(2)), 2);
+        assert_eq!(rt.checkpoint_count(), 0);
+    }
+
+    #[test]
+    fn restore_drops_younger_checkpoints() {
+        let mut rt = RenameTables::new(64, 64);
+        rt.take_checkpoint(1);
+        rt.rename_int_dest(x(1)).unwrap();
+        rt.take_checkpoint(2);
+        rt.rename_int_dest(x(1)).unwrap();
+        rt.take_checkpoint(3);
+        rt.restore_checkpoint(2);
+        assert_eq!(rt.checkpoint_count(), 1); // only seq 1 survives
+        rt.restore_checkpoint(1);
+        assert_eq!(rt.lookup_int(x(1)), 1);
+    }
+
+    #[test]
+    fn checkpoint_limit_is_enforced() {
+        let mut rt = RenameTables::new(64, 64);
+        rt.set_checkpoint_limit(2);
+        rt.take_checkpoint(1);
+        rt.take_checkpoint(2);
+        assert!(!rt.can_checkpoint());
+        rt.drop_checkpoint(1);
+        assert!(rt.can_checkpoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "x0 is not renamable")]
+    fn renaming_x0_is_a_bug() {
+        let mut rt = RenameTables::new(64, 64);
+        let _ = rt.rename_int_dest(x(0));
+    }
+
+    #[test]
+    fn drop_checkpoints_after_prunes_younger() {
+        let mut rt = RenameTables::new(64, 64);
+        rt.take_checkpoint(1);
+        rt.take_checkpoint(2);
+        rt.take_checkpoint(3);
+        rt.drop_checkpoints_after(1);
+        assert_eq!(rt.checkpoint_count(), 1);
+    }
+}

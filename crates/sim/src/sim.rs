@@ -1,0 +1,2083 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! An 8-wide superscalar with fetch (gshare + BTB + RAS), decode, rename
+//! (RAT + free lists), dispatch into ROB / issue queues / LSQ, oldest-first
+//! wakeup-select issue, one or two register-read stages (per the register
+//! file organization), execute on a functional-unit pool, a memory stage
+//! with store-to-load forwarding and a configurable dependence policy
+//! (optimistic with violation squash by default), a one- or two-stage
+//! writeback with port arbitration (and the content-aware file's
+//! Long-allocation stall), and in-order commit with golden-model
+//! co-simulation.
+//!
+//! Branch recovery rebuilds the rename map by walking the ROB from the
+//! committed map (equivalent to checkpoint restoration); the number of
+//! simultaneously unresolved branches is still bounded by
+//! [`SimConfig::checkpoints`], modeling the hardware checkpoint budget.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use carf_core::{BaselineRegFile, ContentAwareRegFile, IntRegFile};
+use carf_isa::semantics::{
+    eval_branch, eval_fp_alu, eval_fp_to_int, eval_int_alu, eval_int_to_fp, extend_load,
+    load_width, store_bytes, store_width, LoadWidth,
+};
+use carf_isa::{Inst, InstKind, Machine, Opcode, Program, StepOutcome, INST_BYTES};
+use carf_mem::{MemoryHierarchy, PortMeter, SparseMemory};
+
+use crate::bpred::{BranchPredictor, CondPrediction};
+use crate::config::{RegFileKind, SimConfig};
+use crate::fu::FuPool;
+use crate::lsq::{LoadDecision, LoadStoreQueue, MemDepPolicy};
+use crate::rename::{Preg, RenameTables};
+use crate::stats::SimStats;
+
+/// Sentinel for "not scheduled yet".
+const NEVER: u64 = u64::MAX;
+
+/// How many consecutive failed Long allocations at writeback trigger the
+/// pseudo-deadlock recovery flush.
+const LONG_RECOVERY_PATIENCE: u32 = 16;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A committed instruction disagreed with the functional golden model.
+    CosimMismatch {
+        /// Sequence number of the offending instruction.
+        seq: u64,
+        /// Its PC.
+        pc: u64,
+        /// What differed.
+        detail: String,
+    },
+    /// No instruction committed for the watchdog period — a simulator
+    /// deadlock.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+    /// The fetch unit left the code segment with nothing in flight to
+    /// redirect it (a runaway program).
+    RunawayFetch {
+        /// The wild PC.
+        pc: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CosimMismatch { seq, pc, detail } => {
+                write!(f, "co-simulation mismatch at seq {seq}, pc {pc:#x}: {detail}")
+            }
+            SimError::Watchdog { cycle } => write!(f, "no commit progress by cycle {cycle}"),
+            SimError::RunawayFetch { pc } => write!(f, "runaway fetch at pc {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// `true` when the program executed `halt` (vs. hitting the budget).
+    pub halted: bool,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+}
+
+/// Stage-by-stage timing of one committed instruction (see
+/// [`Simulator::timeline`]).
+#[derive(Debug, Clone)]
+pub struct InstTimeline {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// Disassembly.
+    pub text: String,
+    /// Cycle the instruction entered the ROB.
+    pub dispatched: u64,
+    /// Cycle it was selected for execution (0 for no-exec ops).
+    pub issued: u64,
+    /// Cycle its result was produced (0 for no-result ops).
+    pub executed: u64,
+    /// Cycle it retired.
+    pub committed: u64,
+}
+
+impl std::fmt::Display for InstTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>6} {:#010x} D{:<6} I{:<6} E{:<6} C{:<6} {}",
+            self.seq, self.pc, self.dispatched, self.issued, self.executed, self.committed,
+            self.text
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    None,
+    Zero,
+    Int(Preg),
+    Fp(Preg),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Dest {
+    is_int: bool,
+    arch: u8,
+    new: Preg,
+    old: Preg,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// In an issue queue (or, for nop/halt, nothing to do — see
+    /// `Completed`).
+    Waiting,
+    /// Selected; operand capture scheduled.
+    Issued,
+    /// Operands captured; execution completion scheduled.
+    Captured,
+    /// A load waiting for disambiguation or a cache port.
+    WaitDisambig,
+    /// A load with its access in flight.
+    WaitData,
+    /// Result computed, waiting in the writeback queue.
+    WbPending,
+    /// Writeback granted; committable once `wb_done_at` passes.
+    WbGranted,
+    /// Ready to commit.
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    kind: InstKind,
+    pred_next: u64,
+    dest: Option<Dest>,
+    srcs: [Src; 2],
+    src_from_rf: [bool; 2],
+    src_vals: [u64; 2],
+    state: SlotState,
+    wb_done_at: u64,
+    actual_next: u64,
+    mem_addr: Option<u64>,
+    load_data: u64,
+    result: u64,
+    branch_unresolved: bool,
+    wb_fail_cycles: u32,
+    cond_pred: Option<CondPrediction>,
+    dispatched_at: u64,
+    issued_at: u64,
+    executed_at: u64,
+}
+
+impl Slot {
+    fn is_mem(&self) -> bool {
+        matches!(self.kind, InstKind::Load | InstKind::Store)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PregState {
+    value: u64,
+    cap_avail_at: u64,
+    in_rf_at: u64,
+    valid: bool,
+}
+
+impl PregState {
+    fn reset() -> Self {
+        Self { value: 0, cap_avail_at: NEVER, in_rf_at: NEVER, valid: false }
+    }
+
+    fn architectural_zero() -> Self {
+        Self { value: 0, cap_avail_at: 0, in_rf_at: 0, valid: true }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    inst: Inst,
+    pc: u64,
+    pred_next: u64,
+    ready_at: u64,
+    cond_pred: Option<CondPrediction>,
+}
+
+/// The machine.
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{Asm, x};
+/// use carf_sim::{SimConfig, Simulator};
+///
+/// let mut asm = Asm::new();
+/// asm.li(x(1), 10);
+/// asm.label("loop");
+/// asm.addi(x(1), x(1), -1);
+/// asm.bne(x(1), x(0), "loop");
+/// asm.halt();
+/// let program = asm.finish()?;
+///
+/// let mut sim = Simulator::new(SimConfig::test_small(), &program);
+/// let result = sim.run(1_000_000)?;
+/// assert!(result.halted);
+/// assert!(result.ipc > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator {
+    config: SimConfig,
+    program: Program,
+    now: u64,
+    seq_counter: u64,
+    halted: bool,
+    // Front end.
+    fetch_pc: u64,
+    fetch_resume_at: u64,
+    fetch_wild: bool,
+    fetch_q: VecDeque<Fetched>,
+    bpred: BranchPredictor,
+    // Rename and in-flight structures.
+    rename: RenameTables,
+    unresolved_branches: usize,
+    rob: VecDeque<Slot>,
+    int_iq: Vec<u64>,
+    fp_iq: Vec<u64>,
+    lsq: LoadStoreQueue,
+    // Register files and the bypass scoreboard.
+    int_rf: Box<dyn IntRegFile>,
+    fp_rf: BaselineRegFile,
+    int_pregs: Vec<PregState>,
+    fp_pregs: Vec<PregState>,
+    // Execution machinery.
+    int_fus: FuPool,
+    fp_fus: FuPool,
+    int_read_ports: PortMeter,
+    int_write_ports: PortMeter,
+    fp_read_ports: PortMeter,
+    fp_write_ports: PortMeter,
+    captures: BTreeMap<u64, Vec<u64>>,
+    completions: BTreeMap<u64, Vec<u64>>,
+    pending_loads: Vec<u64>,
+    wb_pending: Vec<u64>,
+    // Memory.
+    hier: MemoryHierarchy,
+    mem: SparseMemory,
+    // Commit.
+    commit_int_rat: [Preg; 32],
+    commit_fp_rat: [Preg; 32],
+    rob_interval_count: u64,
+    last_commit_cycle: u64,
+    golden: Option<Machine>,
+    // Derived configuration.
+    read_stages: u64,
+    wb_stages: u64,
+    full_bypass: bool,
+    timeline: Vec<InstTimeline>,
+    timeline_limit: usize,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Builds a machine around `program` (the program's data image is
+    /// loaded into simulated memory).
+    pub fn new(config: SimConfig, program: &Program) -> Self {
+        let int_rf: Box<dyn IntRegFile> = match &config.regfile {
+            RegFileKind::Baseline => Box::new(BaselineRegFile::new(config.int_pregs)),
+            RegFileKind::ContentAware(params, policies) => {
+                let mut p = *params;
+                p.simple_entries = config.int_pregs;
+                Box::new(ContentAwareRegFile::with_policies(p, *policies))
+            }
+        };
+        let read_stages = u64::from(int_rf.read_stages());
+        let wb_stages = u64::from(int_rf.writeback_stages());
+        let full_bypass = int_rf.writeback_stages() == 1 || int_rf.extra_bypass_level();
+
+        let mut rename = RenameTables::new(config.int_pregs, config.fp_pregs);
+        rename.set_checkpoint_limit(config.checkpoints);
+
+        let mut mem = SparseMemory::new();
+        program.load_data(&mut mem);
+
+        let mut sim = Self {
+            now: 0,
+            seq_counter: 0,
+            halted: false,
+            fetch_pc: program.entry,
+            fetch_resume_at: 0,
+            fetch_wild: false,
+            fetch_q: VecDeque::new(),
+            bpred: BranchPredictor::new(&config.bpred),
+            rename,
+            unresolved_branches: 0,
+            rob: VecDeque::new(),
+            int_iq: Vec::new(),
+            fp_iq: Vec::new(),
+            lsq: LoadStoreQueue::new(config.lsq_size),
+            int_rf,
+            fp_rf: BaselineRegFile::new(config.fp_pregs),
+            int_pregs: vec![PregState::reset(); config.int_pregs],
+            fp_pregs: vec![PregState::reset(); config.fp_pregs],
+            int_fus: FuPool::new(config.int_units),
+            fp_fus: FuPool::new(config.fp_units),
+            int_read_ports: PortMeter::new(config.rf_read_ports),
+            int_write_ports: PortMeter::new(config.rf_write_ports),
+            fp_read_ports: PortMeter::new(config.rf_read_ports),
+            fp_write_ports: PortMeter::new(config.rf_write_ports),
+            captures: BTreeMap::new(),
+            completions: BTreeMap::new(),
+            pending_loads: Vec::new(),
+            wb_pending: Vec::new(),
+            hier: MemoryHierarchy::new(config.hierarchy),
+            mem,
+            commit_int_rat: std::array::from_fn(|i| i as Preg),
+            commit_fp_rat: std::array::from_fn(|i| i as Preg),
+            rob_interval_count: 0,
+            last_commit_cycle: 0,
+            golden: config.cosim.then(|| Machine::load(program)),
+            read_stages,
+            wb_stages,
+            full_bypass,
+            timeline: Vec::new(),
+            timeline_limit: 0,
+            stats: SimStats::default(),
+            program: program.clone(),
+            config,
+        };
+        // The 32 initial architectural registers hold zero and are readable
+        // from the register files.
+        for p in 0..32usize {
+            sim.int_rf.on_alloc(p);
+            sim.int_rf
+                .try_write(p, 0, false)
+                .expect("initializing an architectural register cannot fail");
+            sim.int_pregs[p] = PregState::architectural_zero();
+            sim.fp_rf.on_alloc(p);
+            sim.fp_rf.try_write(p, 0, false).expect("fp init write cannot fail");
+            sim.fp_pregs[p] = PregState::architectural_zero();
+        }
+        // Initialization writes are bookkeeping, not workload accesses.
+        sim.int_rf.stats_mut().reset();
+        sim.fp_rf.stats_mut().reset();
+        sim
+    }
+
+    /// The accumulated statistics (finalized by [`Simulator::run`]).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Records the pipeline timeline of the first `limit` committed
+    /// instructions (dispatch/issue/execute/commit cycles). Call before
+    /// [`Simulator::run`]; retrieve with [`Simulator::timeline`].
+    pub fn record_timeline(&mut self, limit: usize) {
+        self.timeline_limit = limit;
+        self.timeline.reserve(limit);
+    }
+
+    /// The recorded per-instruction timelines, in commit order.
+    pub fn timeline(&self) -> &[InstTimeline] {
+        &self.timeline
+    }
+
+    /// The integer register file (for inspection in tests and experiments).
+    pub fn int_regfile(&self) -> &dyn IntRegFile {
+        self.int_rf.as_ref()
+    }
+
+    /// Mutable access to the integer register file (experiment harnesses,
+    /// e.g. the SMT shared-Long-file study).
+    pub fn int_regfile_mut(&mut self) -> &mut dyn IntRegFile {
+        self.int_rf.as_mut()
+    }
+
+    /// `true` once `halt` has committed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Advances the machine one cycle (no-op once halted). External
+    /// harnesses use this to interleave several machines on one clock;
+    /// [`Simulator::run`] is the usual driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on co-simulation divergence, watchdog
+    /// expiry, or runaway fetch.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        self.cycle()?;
+        if self.now.saturating_sub(self.last_commit_cycle) > self.config.watchdog_cycles {
+            return Err(SimError::Watchdog { cycle: self.now });
+        }
+        // Keep aggregate statistics current for harnesses that read them
+        // between steps.
+        self.finalize_stats();
+        Ok(())
+    }
+
+    /// Runs until `halt` commits or `max_insts` instructions commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on co-simulation divergence, watchdog expiry,
+    /// or runaway fetch.
+    pub fn run(&mut self, max_insts: u64) -> Result<SimResult, SimError> {
+        while !self.halted && self.stats.committed < max_insts {
+            self.cycle()?;
+            if self.now.saturating_sub(self.last_commit_cycle) > self.config.watchdog_cycles {
+                return Err(SimError::Watchdog { cycle: self.now });
+            }
+        }
+        self.finalize_stats();
+        Ok(SimResult {
+            committed: self.stats.committed,
+            cycles: self.stats.cycles,
+            halted: self.halted,
+            ipc: self.stats.ipc(),
+        })
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.bpred = *self.bpred.stats();
+        self.stats.mem = self.hier.stats();
+        self.stats.int_rf = *self.int_rf.stats();
+        self.stats.fp_rf = *self.fp_rf.stats();
+        self.stats.stl_forwards = self.lsq.forwards();
+        if let Some(carf) = self.carf() {
+            let (mean, peak, short, hist) = (
+                carf.long_file().mean_live(),
+                carf.long_file().peak_live(),
+                carf.mean_short_occupancy(),
+                carf.long_file().occupancy_histogram().to_vec(),
+            );
+            self.stats.long_mean_live = mean;
+            self.stats.long_peak_live = peak;
+            self.stats.short_mean_occupancy = short;
+            self.stats.long_occupancy_hist = hist;
+        }
+    }
+
+    fn carf(&self) -> Option<&ContentAwareRegFile> {
+        self.int_rf.as_any().downcast_ref::<ContentAwareRegFile>()
+    }
+
+    fn slot_index(&self, seq: u64) -> Option<usize> {
+        if self.rob.is_empty() {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, self.rob.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.rob[mid].seq < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < self.rob.len() && self.rob[lo].seq == seq).then_some(lo)
+    }
+
+    // ----- per-cycle machinery ------------------------------------------
+
+    fn cycle(&mut self) -> Result<(), SimError> {
+        self.now += 1;
+        self.stats.cycles = self.now;
+        self.hier.begin_cycle();
+        self.int_read_ports.begin_cycle();
+        self.int_write_ports.begin_cycle();
+        self.fp_read_ports.begin_cycle();
+        self.fp_write_ports.begin_cycle();
+
+        self.commit()?;
+        if self.halted {
+            return Ok(());
+        }
+        self.writeback();
+        self.exec_complete();
+        self.capture_operands();
+        self.memory_stage();
+        self.issue();
+        self.dispatch();
+        self.fetch()?;
+        self.sample();
+        Ok(())
+    }
+
+    // ----- commit --------------------------------------------------------
+
+    fn commit(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.config.commit_width {
+            let ready = match self.rob.front() {
+                Some(slot) => match slot.state {
+                    SlotState::Completed => true,
+                    SlotState::WbGranted => self.now >= slot.wb_done_at,
+                    _ => false,
+                },
+                None => false,
+            };
+            if !ready {
+                break;
+            }
+            // Stores drain to memory at commit and need a cache port.
+            let (is_store, addr) = {
+                let slot = self.rob.front().expect("checked above");
+                (slot.kind == InstKind::Store, slot.mem_addr)
+            };
+            if is_store {
+                if !self.hier.try_dl1_port() {
+                    break;
+                }
+                let slot = self.rob.front().expect("checked above");
+                let addr = addr.expect("committing store without an address");
+                self.hier.data_access(addr, true);
+                let data = slot.src_vals[1];
+                match store_bytes(store_width(slot.inst.op)) {
+                    8 => self.mem.write_u64(addr, data),
+                    4 => self.mem.write_u32(addr, data as u32),
+                    _ => self.mem.write_u8(addr, data as u8),
+                }
+            }
+
+            let slot = self.rob.pop_front().expect("checked above");
+            self.check_golden(&slot)?;
+            self.retire_bookkeeping(&slot);
+            if slot.kind == InstKind::Halt {
+                self.halted = true;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn retire_bookkeeping(&mut self, slot: &Slot) {
+        self.stats.committed += 1;
+        self.last_commit_cycle = self.now;
+        if self.timeline.len() < self.timeline_limit {
+            self.timeline.push(InstTimeline {
+                seq: slot.seq,
+                pc: slot.pc,
+                text: slot.inst.to_string(),
+                dispatched: slot.dispatched_at,
+                issued: slot.issued_at,
+                executed: slot.executed_at,
+                committed: self.now,
+            });
+        }
+        match slot.kind {
+            InstKind::Load => self.stats.loads += 1,
+            InstKind::Store => self.stats.stores += 1,
+            InstKind::Branch => self.stats.branches += 1,
+            InstKind::FpAlu | InstKind::FpDiv => self.stats.fp_ops += 1,
+            _ => {}
+        }
+        // Table 4: the value types of this instruction's integer register
+        // operands (known by now — producers committed earlier).
+        let mut classes = Vec::new();
+        for src in slot.srcs {
+            if let Src::Int(p) = src {
+                if let Some(c) = self.int_rf.class_of(p as usize) {
+                    classes.push(c);
+                }
+            }
+        }
+        self.stats.operand_mix.record(&classes);
+        // §6 clustering measurement: does the result's type match a source?
+        if let Some(dest) = slot.dest {
+            if dest.is_int && !classes.is_empty() {
+                if let Some(dc) = self.int_rf.class_of(dest.new as usize) {
+                    self.stats.dest_class_total += 1;
+                    if classes.contains(&dc) {
+                        self.stats.dest_class_matches += 1;
+                    }
+                }
+            }
+        }
+
+        if slot.is_mem() {
+            self.lsq.pop_commit(slot.seq);
+        }
+        if let Some(dest) = slot.dest {
+            if dest.is_int {
+                self.commit_int_rat[dest.arch as usize] = dest.new;
+                self.int_rf.release(dest.old as usize);
+                self.rename.free_int(dest.old);
+                self.int_pregs[dest.old as usize] = PregState::reset();
+            } else {
+                self.commit_fp_rat[dest.arch as usize] = dest.new;
+                self.fp_rf.release(dest.old as usize);
+                self.rename.free_fp(dest.old);
+                self.fp_pregs[dest.old as usize] = PregState::reset();
+            }
+        }
+        // ROB-interval boundary: drive the Short file's reference-bit
+        // aging (paper §3.1: "when the entire ROB is consumed").
+        if self.config.rob_interval_commits > 0 {
+            self.rob_interval_count += 1;
+            if self.rob_interval_count >= self.config.rob_interval_commits {
+                self.rob_interval_count = 0;
+                self.int_rf.rob_interval_tick();
+            }
+        }
+    }
+
+    fn check_golden(&mut self, slot: &Slot) -> Result<(), SimError> {
+        let Some(golden) = self.golden.as_mut() else { return Ok(()) };
+        let mismatch = |detail: String| SimError::CosimMismatch {
+            seq: slot.seq,
+            pc: slot.pc,
+            detail,
+        };
+        let outcome = golden
+            .step(&self.program)
+            .map_err(|e| mismatch(format!("golden model error: {e}")))?;
+        let retired = match outcome {
+            StepOutcome::Retired(r) => r,
+            StepOutcome::Halted => return Err(mismatch("golden model already halted".into())),
+        };
+        if retired.pc != slot.pc {
+            return Err(mismatch(format!(
+                "control flow diverged: golden pc {:#x}",
+                retired.pc
+            )));
+        }
+        match (slot.dest, retired.int_write, retired.fp_write) {
+            (Some(d), Some((r, v)), None) if d.is_int => {
+                if r.index() != d.arch as usize || v != slot.result {
+                    return Err(mismatch(format!(
+                        "int dest x{} = {:#x}, golden x{} = {v:#x}",
+                        d.arch, slot.result, r.index()
+                    )));
+                }
+            }
+            (Some(d), None, Some((r, v))) if !d.is_int => {
+                if r.index() != d.arch as usize || v.to_bits() != slot.result {
+                    return Err(mismatch(format!(
+                        "fp dest f{} = {:#x}, golden f{} = {:#x}",
+                        d.arch,
+                        slot.result,
+                        r.index(),
+                        v.to_bits()
+                    )));
+                }
+            }
+            (None, None, None) => {}
+            other => {
+                return Err(mismatch(format!("write shape mismatch: {other:?}")));
+            }
+        }
+        if slot.is_mem() && retired.mem_addr != slot.mem_addr {
+            return Err(mismatch(format!(
+                "memory address {:?}, golden {:?}",
+                slot.mem_addr, retired.mem_addr
+            )));
+        }
+        Ok(())
+    }
+
+    // ----- writeback -----------------------------------------------------
+
+    fn writeback(&mut self) {
+        self.wb_pending.sort_unstable();
+        let mut remaining = Vec::new();
+        let mut recovery: Option<u64> = None;
+        for seq in std::mem::take(&mut self.wb_pending) {
+            let Some(idx) = self.slot_index(seq) else { continue };
+            if self.rob[idx].state != SlotState::WbPending {
+                continue;
+            }
+            let dest = self.rob[idx].dest.expect("writeback without a destination");
+            let result = self.rob[idx].result;
+            if dest.is_int {
+                if !self.int_write_ports.try_acquire() {
+                    remaining.push(seq);
+                    continue;
+                }
+                match self.int_rf.try_write(dest.new as usize, result, false) {
+                    Ok(_) => {
+                        let done = self.now + self.wb_stages;
+                        self.rob[idx].state = SlotState::WbGranted;
+                        self.rob[idx].wb_done_at = done;
+                        self.int_pregs[dest.new as usize].in_rf_at = done;
+                    }
+                    Err(_) => {
+                        self.stats.wb_long_retries += 1;
+                        self.rob[idx].wb_fail_cycles += 1;
+                        if self.rob[idx].wb_fail_cycles >= LONG_RECOVERY_PATIENCE
+                            && recovery.is_none()
+                        {
+                            recovery = Some(seq);
+                        }
+                        remaining.push(seq);
+                    }
+                }
+            } else {
+                if !self.fp_write_ports.try_acquire() {
+                    remaining.push(seq);
+                    continue;
+                }
+                self.fp_rf
+                    .try_write(dest.new as usize, result, false)
+                    .expect("baseline fp write cannot fail");
+                let done = self.now + 1; // the FP file keeps a 1-stage writeback
+                self.rob[idx].state = SlotState::WbGranted;
+                self.rob[idx].wb_done_at = done;
+                self.fp_pregs[dest.new as usize].in_rf_at = done;
+            }
+        }
+        self.wb_pending = remaining;
+
+        // Pseudo-deadlock recovery: the Long file stayed full long enough
+        // that commit cannot drain it (younger completed instructions hold
+        // every entry). Flush everything younger than the starving write.
+        if let Some(seq) = recovery {
+            if self.slot_index(seq).is_some_and(|i| i + 1 < self.rob.len()) {
+                self.stats.deadlock_recoveries += 1;
+                let redirect = self.next_pc_of(seq);
+                self.squash_younger_than(seq);
+                self.redirect_fetch(redirect);
+            }
+        }
+    }
+
+    fn next_pc_of(&self, seq: u64) -> u64 {
+        let idx = self.slot_index(seq).expect("sequence must be in the ROB");
+        let slot = &self.rob[idx];
+        if slot.inst.is_control() {
+            slot.actual_next
+        } else {
+            slot.pc + INST_BYTES
+        }
+    }
+
+    // ----- execute -------------------------------------------------------
+
+    fn exec_complete(&mut self) {
+        let Some(seqs) = self.completions.remove(&self.now) else { return };
+        for seq in seqs {
+            let Some(idx) = self.slot_index(seq) else { continue };
+            match self.rob[idx].state {
+                SlotState::Captured => self.finish_execution(seq),
+                SlotState::WaitData => self.finish_load(seq),
+                _ => {}
+            }
+        }
+    }
+
+    fn finish_execution(&mut self, seq: u64) {
+        let idx = self.slot_index(seq).expect("slot vanished mid-execution");
+        let slot = &self.rob[idx];
+        let (a, b) = (slot.src_vals[0], slot.src_vals[1]);
+        let inst = slot.inst;
+        let pc = slot.pc;
+        let kind = slot.kind;
+        let pred_next = slot.pred_next;
+
+        match kind {
+            InstKind::Load | InstKind::Store => {
+                let addr = a.wrapping_add(inst.imm as u64);
+                self.rob[idx].mem_addr = Some(addr);
+                self.lsq.set_addr(seq, addr);
+                // The Short file learns computed addresses here, in
+                // parallel with the AGU (paper §3.1).
+                self.int_rf.observe_address(addr);
+                if kind == InstKind::Store {
+                    self.lsq.set_store_data(seq, b);
+                    self.rob[idx].state = SlotState::Completed;
+                    // Optimistic disambiguation: a younger load may already
+                    // have read stale data for this address — squash from it.
+                    if self.config.mem_dep == MemDepPolicy::Optimistic {
+                        let size = self.lsq.get(seq).expect("store queued").size;
+                        if let Some(victim) = self.lsq.store_violation(seq, addr, size) {
+                            self.stats.mem_dep_violations += 1;
+                            let target = {
+                                let v = self
+                                    .slot_index(victim)
+                                    .expect("violating load is in flight");
+                                self.rob[v].pc
+                            };
+                            self.squash_younger_than(victim - 1);
+                            self.redirect_fetch(target);
+                        }
+                    }
+                } else {
+                    self.rob[idx].state = SlotState::WaitDisambig;
+                    self.pending_loads.push(seq);
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let result: Option<u64> = match kind {
+            InstKind::IntAlu | InstKind::IntMul | InstKind::IntDiv => Some(match inst.op {
+                Opcode::Fcmplt | Opcode::Fcmpeq | Opcode::FcvtIF => {
+                    eval_fp_to_int(inst.op, f64::from_bits(a), f64::from_bits(b))
+                }
+                Opcode::Li => inst.imm as u64,
+                Opcode::Addi
+                | Opcode::Andi
+                | Opcode::Ori
+                | Opcode::Xori
+                | Opcode::Slli
+                | Opcode::Srli
+                | Opcode::Srai
+                | Opcode::Slti => eval_int_alu(inst.op, a, inst.imm as u64),
+                _ => eval_int_alu(inst.op, a, b),
+            }),
+            InstKind::FpAlu | InstKind::FpDiv => Some(match inst.op {
+                Opcode::FcvtFI => eval_int_to_fp(a).to_bits(),
+                _ => eval_fp_alu(inst.op, f64::from_bits(a), f64::from_bits(b)).to_bits(),
+            }),
+            InstKind::Jump | InstKind::JumpReg => Some(pc + INST_BYTES),
+            InstKind::Branch => None,
+            InstKind::Nop | InstKind::Halt | InstKind::Load | InstKind::Store => None,
+        };
+
+        // Control resolution (may squash everything younger).
+        let mut squash_to: Option<u64> = None;
+        match kind {
+            InstKind::Branch => {
+                let taken = eval_branch(inst.op, a, b);
+                let actual = if taken { inst.imm as u64 } else { pc + INST_BYTES };
+                let mispredicted = actual != pred_next;
+                let pred = self.rob[idx]
+                    .cond_pred
+                    .expect("conditional branch without a prediction token");
+                self.bpred.resolve_cond(pred, taken);
+                self.rob[idx].actual_next = actual;
+                self.rob[idx].branch_unresolved = false;
+                self.unresolved_branches = self.unresolved_branches.saturating_sub(1);
+                if mispredicted {
+                    squash_to = Some(actual);
+                }
+            }
+            InstKind::JumpReg => {
+                let actual = a.wrapping_add(inst.imm as u64);
+                let mispredicted = actual != pred_next;
+                self.bpred.resolve_indirect(pc, actual, mispredicted);
+                self.rob[idx].actual_next = actual;
+                self.rob[idx].branch_unresolved = false;
+                self.unresolved_branches = self.unresolved_branches.saturating_sub(1);
+                if mispredicted {
+                    squash_to = Some(actual);
+                }
+            }
+            InstKind::Jump => {
+                self.rob[idx].actual_next = inst.imm as u64;
+            }
+            _ => {}
+        }
+
+        match result {
+            Some(value) => self.complete_with_result(seq, value),
+            None => {
+                let idx = self.slot_index(seq).expect("slot vanished");
+                self.rob[idx].state = SlotState::Completed;
+                self.rob[idx].executed_at = self.now;
+            }
+        }
+
+        if let Some(target) = squash_to {
+            self.stats.mispredicts += 1;
+            self.squash_younger_than(seq);
+            self.redirect_fetch(target);
+        }
+    }
+
+    /// Publishes a computed result: updates the bypass scoreboard and
+    /// queues the register write (or completes, for `x0` destinations).
+    fn complete_with_result(&mut self, seq: u64, value: u64) {
+        let idx = self.slot_index(seq).expect("slot vanished");
+        self.rob[idx].result = value;
+        self.rob[idx].executed_at = self.now;
+        match self.rob[idx].dest {
+            Some(dest) => {
+                let bank = if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
+                let st = &mut bank[dest.new as usize];
+                st.value = value;
+                st.cap_avail_at = self.now;
+                st.valid = true;
+                self.rob[idx].state = SlotState::WbPending;
+                self.wb_pending.push(seq);
+            }
+            None => {
+                self.rob[idx].state = SlotState::Completed;
+            }
+        }
+    }
+
+    fn finish_load(&mut self, seq: u64) {
+        let idx = self.slot_index(seq).expect("slot vanished");
+        let value = self.rob[idx].load_data;
+        self.complete_with_result(seq, value);
+    }
+
+    // ----- memory stage --------------------------------------------------
+
+    fn memory_stage(&mut self) {
+        let pending = std::mem::take(&mut self.pending_loads);
+        let mut still = Vec::new();
+        for seq in pending {
+            let Some(idx) = self.slot_index(seq) else { continue };
+            if self.rob[idx].state != SlotState::WaitDisambig {
+                continue;
+            }
+            let inst = self.rob[idx].inst;
+            let addr = self.rob[idx].mem_addr.expect("load in memory stage without address");
+            match self.lsq.load_decision_with(seq, self.config.mem_dep) {
+                LoadDecision::Forward(raw) => {
+                    let v = extend_load(load_width(inst.op), raw);
+                    self.rob[idx].load_data = v;
+                    self.rob[idx].state = SlotState::WaitData;
+                    self.lsq.mark_performed(seq);
+                    self.completions.entry(self.now + 1).or_default().push(seq);
+                }
+                LoadDecision::Memory => {
+                    if self.hier.try_dl1_port() {
+                        let latency = u64::from(self.hier.data_access(addr, false));
+                        let width = load_width(inst.op);
+                        let raw = match width {
+                            LoadWidth::U64 | LoadWidth::F64 => self.mem.read_u64(addr),
+                            LoadWidth::I32 => u64::from(self.mem.read_u32(addr)),
+                            LoadWidth::U8 => u64::from(self.mem.read_u8(addr)),
+                        };
+                        self.rob[idx].load_data = extend_load(width, raw);
+                        self.rob[idx].state = SlotState::WaitData;
+                        self.lsq.mark_performed(seq);
+                        let done = self.now + latency;
+                        self.completions.entry(done).or_default().push(seq);
+                        // Load-resolution wakeup: the return time is now
+                        // known, so dependents may schedule against it.
+                        if let Some(dest) = self.rob[idx].dest {
+                            let bank = if dest.is_int {
+                                &mut self.int_pregs
+                            } else {
+                                &mut self.fp_pregs
+                            };
+                            bank[dest.new as usize].cap_avail_at = done;
+                        }
+                    } else {
+                        still.push(seq);
+                    }
+                }
+                LoadDecision::Wait => still.push(seq),
+            }
+        }
+        // Any load that could not start this cycle has missed its hit
+        // speculation: cancel the optimistic wakeup until it is granted.
+        for seq in &still {
+            if let Some(idx) = self.slot_index(*seq) {
+                if let Some(dest) = self.rob[idx].dest {
+                    let bank =
+                        if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
+                    bank[dest.new as usize].cap_avail_at = NEVER;
+                }
+            }
+        }
+        self.pending_loads = still;
+    }
+
+    // ----- operand capture -----------------------------------------------
+
+    fn capture_operands(&mut self) {
+        let Some(seqs) = self.captures.remove(&self.now) else { return };
+        for seq in seqs {
+            let Some(idx) = self.slot_index(seq) else { continue };
+            if self.rob[idx].state != SlotState::Issued {
+                continue;
+            }
+            let srcs = self.rob[idx].srcs;
+            let from_rf = self.rob[idx].src_from_rf;
+            // Load-hit misspeculation replay: a bypassed operand whose
+            // producer has not actually delivered goes back to the issue
+            // queue (the select/read effort is wasted, as in hardware).
+            let misspeculated = srcs.iter().zip(from_rf.iter()).any(|(src, rf)| {
+                !rf && match *src {
+                    Src::Int(p) => !self.int_pregs[p as usize].valid,
+                    Src::Fp(p) => !self.fp_pregs[p as usize].valid,
+                    _ => false,
+                }
+            });
+            if misspeculated {
+                self.rob[idx].state = SlotState::Waiting;
+                self.stats.load_replays += 1;
+                let kind = self.rob[idx].kind;
+                // Revoke this instruction's own speculative wakeup — its
+                // completion time is unknown again, and leaving the stale
+                // estimate would let *its* consumers issue-and-replay every
+                // cycle (a replay storm).
+                if let Some(dest) = self.rob[idx].dest {
+                    let bank =
+                        if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
+                    bank[dest.new as usize].cap_avail_at = NEVER;
+                }
+                if matches!(kind, InstKind::FpAlu | InstKind::FpDiv) {
+                    self.fp_iq.push(seq);
+                } else {
+                    self.int_iq.push(seq);
+                }
+                continue;
+            }
+            let mut vals = [0u64; 2];
+            for (i, src) in srcs.iter().enumerate() {
+                vals[i] = match *src {
+                    Src::None => 0,
+                    Src::Zero => {
+                        self.stats.zero_operands += 1;
+                        0
+                    }
+                    Src::Int(p) => {
+                        if from_rf[i] {
+                            self.stats.rf_operands += 1;
+                            self.int_rf.read(p as usize)
+                        } else {
+                            self.stats.bypassed_operands += 1;
+                            debug_assert!(self.int_pregs[p as usize].valid);
+                            self.int_pregs[p as usize].value
+                        }
+                    }
+                    Src::Fp(p) => {
+                        if from_rf[i] {
+                            self.stats.rf_operands += 1;
+                            self.fp_rf.read(p as usize)
+                        } else {
+                            self.stats.bypassed_operands += 1;
+                            debug_assert!(self.fp_pregs[p as usize].valid);
+                            self.fp_pregs[p as usize].value
+                        }
+                    }
+                };
+            }
+            self.rob[idx].src_vals = vals;
+            self.rob[idx].state = SlotState::Captured;
+            let latency = self.exec_latency(self.rob[idx].kind);
+            self.completions.entry(self.now + latency).or_default().push(seq);
+        }
+    }
+
+    fn exec_latency(&self, kind: InstKind) -> u64 {
+        match kind {
+            InstKind::IntAlu | InstKind::Branch | InstKind::Jump | InstKind::JumpReg => 1,
+            InstKind::IntMul => self.config.mul_latency,
+            InstKind::IntDiv => self.config.div_latency,
+            InstKind::Load | InstKind::Store => 1, // address generation
+            InstKind::FpAlu => self.config.fp_latency,
+            InstKind::FpDiv => self.config.fpdiv_latency,
+            InstKind::Nop | InstKind::Halt => 1,
+        }
+    }
+
+    // ----- issue ---------------------------------------------------------
+
+    /// Can a source captured at cycle `c` get its value, and from the RF?
+    fn can_capture(&self, src: Src, c: u64) -> Option<bool> {
+        let st = match src {
+            Src::None | Src::Zero => return Some(false),
+            Src::Int(p) => &self.int_pregs[p as usize],
+            Src::Fp(p) => &self.fp_pregs[p as usize],
+        };
+        if st.in_rf_at <= c {
+            Some(true)
+        } else if st.cap_avail_at <= c
+            && (self.full_bypass || c < st.cap_avail_at.saturating_add(2))
+        {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn issue(&mut self) {
+        // The Long-file guard (paper §3.1) stalls issue when free Long
+        // entries drop to the threshold. The oldest instruction is exempt:
+        // it is the only guaranteed source of forward progress (its commit
+        // frees entries), so stalling it too would livelock.
+        let guard = self.int_rf.should_stall_issue();
+        if guard {
+            self.stats.long_guard_stall_cycles += 1;
+        }
+        let oldest = self.rob.front().map(|s| s.seq);
+        let capture_cycle = self.now + self.read_stages;
+        // Oldest-first across both queues.
+        let mut candidates: Vec<u64> = Vec::new();
+        candidates.extend(self.int_iq.iter().copied());
+        candidates.extend(self.fp_iq.iter().copied());
+        candidates.sort_unstable();
+
+        let mut issued = 0usize;
+        for seq in candidates {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            if guard && Some(seq) != oldest {
+                continue;
+            }
+            let Some(idx) = self.slot_index(seq) else { continue };
+            if self.rob[idx].state != SlotState::Waiting {
+                continue;
+            }
+            let kind = self.rob[idx].kind;
+            let srcs = self.rob[idx].srcs;
+
+            // Operand readiness and RF/bypass routing.
+            let mut from_rf = [false; 2];
+            let mut ready = true;
+            let mut int_reads = 0u32;
+            let mut fp_reads = 0u32;
+            for (i, src) in srcs.iter().enumerate() {
+                match self.can_capture(*src, capture_cycle) {
+                    Some(rf) => {
+                        // Zero/None sources report `false` but consume
+                        // nothing.
+                        let needs_port = rf && matches!(src, Src::Int(_) | Src::Fp(_));
+                        from_rf[i] = needs_port;
+                        if needs_port {
+                            match src {
+                                Src::Int(_) => int_reads += 1,
+                                Src::Fp(_) => fp_reads += 1,
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                    None => {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if !ready {
+                continue;
+            }
+
+            // Register-file read ports at the capture cycle (checked before
+            // the FU so a denial leaks nothing past this cycle).
+            if int_reads > 0 && !self.int_read_ports.try_acquire_n(int_reads) {
+                continue;
+            }
+            if fp_reads > 0 && !self.fp_read_ports.try_acquire_n(fp_reads) {
+                continue;
+            }
+
+            // Functional unit for the execute stage.
+            let exec_start = capture_cycle + 1;
+            let duration = match kind {
+                InstKind::IntDiv => self.config.div_latency,
+                InstKind::FpDiv => self.config.fpdiv_latency,
+                _ => 1,
+            };
+            let pool = match kind {
+                InstKind::FpAlu | InstKind::FpDiv => &mut self.fp_fus,
+                _ => &mut self.int_fus,
+            };
+            if !pool.try_acquire(exec_start, duration) {
+                continue;
+            }
+
+            // Selected.
+            self.rob[idx].state = SlotState::Issued;
+            self.rob[idx].issued_at = self.now;
+            self.rob[idx].src_from_rf = from_rf;
+            self.captures.entry(capture_cycle).or_default().push(seq);
+            // Speculative wakeup: consumers may be selected against the
+            // scheduled completion time of this producer. Loads are woken
+            // assuming an L1 hit (address generation + hit latency);
+            // consumers that issue on a wrong hit speculation replay from
+            // the issue queue at capture.
+            if let Some(dest) = self.rob[idx].dest {
+                let done = match kind {
+                    InstKind::Load => {
+                        capture_cycle + 1 + u64::from(self.config.hierarchy.dl1.latency)
+                    }
+                    _ => capture_cycle + self.exec_latency(kind),
+                };
+                let bank = if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
+                bank[dest.new as usize].cap_avail_at = done;
+            }
+            match kind {
+                InstKind::FpAlu | InstKind::FpDiv => {
+                    self.fp_iq.retain(|s| *s != seq);
+                }
+                _ => {
+                    self.int_iq.retain(|s| *s != seq);
+                }
+            }
+            issued += 1;
+        }
+    }
+
+    // ----- dispatch (rename) ----------------------------------------------
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.config.fetch_width {
+            let Some(fetched) = self.fetch_q.front().copied() else { break };
+            if fetched.ready_at > self.now {
+                break;
+            }
+            let inst = fetched.inst;
+            let kind = inst.kind();
+
+            // Structural hazards.
+            if self.rob.len() >= self.config.rob_size {
+                self.stats.dispatch_stalls.rob += 1;
+                break;
+            }
+            let is_mem = matches!(kind, InstKind::Load | InstKind::Store);
+            if is_mem && self.lsq.is_full() {
+                self.stats.dispatch_stalls.lsq += 1;
+                break;
+            }
+            let uses_fp_iq = matches!(kind, InstKind::FpAlu | InstKind::FpDiv);
+            let needs_iq = !matches!(kind, InstKind::Nop | InstKind::Halt);
+            if needs_iq {
+                let q = if uses_fp_iq { &self.fp_iq } else { &self.int_iq };
+                let cap = if uses_fp_iq { self.config.iq_fp } else { self.config.iq_int };
+                if q.len() >= cap {
+                    self.stats.dispatch_stalls.iq += 1;
+                    break;
+                }
+            }
+            let takes_checkpoint = matches!(kind, InstKind::Branch | InstKind::JumpReg);
+            if takes_checkpoint && self.unresolved_branches >= self.config.checkpoints {
+                self.stats.dispatch_stalls.checkpoints += 1;
+                break;
+            }
+            let dest_ref = inst.dest();
+            let needs_int_preg = matches!(dest_ref, Some(carf_isa::RegRef::Int(r)) if !r.is_zero());
+            let needs_fp_preg = matches!(dest_ref, Some(carf_isa::RegRef::Fp(_)));
+            if (needs_int_preg && self.rename.int_free_count() == 0)
+                || (needs_fp_preg && self.rename.fp_free_count() == 0)
+            {
+                self.stats.dispatch_stalls.pregs += 1;
+                break;
+            }
+
+            // Commit to dispatching this instruction.
+            self.fetch_q.pop_front();
+            self.seq_counter += 1;
+            let seq = self.seq_counter;
+
+            let mut srcs = [Src::None, Src::None];
+            for (i, s) in inst.sources().iter().enumerate() {
+                srcs[i] = match s {
+                    None => Src::None,
+                    Some(carf_isa::RegRef::Int(r)) if r.is_zero() => Src::Zero,
+                    Some(carf_isa::RegRef::Int(r)) => Src::Int(self.rename.lookup_int(*r)),
+                    Some(carf_isa::RegRef::Fp(r)) => Src::Fp(self.rename.lookup_fp(*r)),
+                };
+            }
+
+            let dest = match dest_ref {
+                Some(carf_isa::RegRef::Int(r)) if !r.is_zero() => {
+                    let (new, old) =
+                        self.rename.rename_int_dest(r).expect("free count checked above");
+                    self.int_rf.on_alloc(new as usize);
+                    self.int_pregs[new as usize] = PregState::reset();
+                    Some(Dest { is_int: true, arch: r.number(), new, old })
+                }
+                Some(carf_isa::RegRef::Fp(r)) => {
+                    let (new, old) =
+                        self.rename.rename_fp_dest(r).expect("free count checked above");
+                    self.fp_rf.on_alloc(new as usize);
+                    self.fp_pregs[new as usize] = PregState::reset();
+                    Some(Dest { is_int: false, arch: r.number(), new, old })
+                }
+                _ => None,
+            };
+
+            if is_mem {
+                let size = match kind {
+                    InstKind::Load => match load_width(inst.op) {
+                        LoadWidth::U64 | LoadWidth::F64 => 8,
+                        LoadWidth::I32 => 4,
+                        LoadWidth::U8 => 1,
+                    },
+                    _ => store_bytes(store_width(inst.op)) as u8,
+                };
+                self.lsq
+                    .try_push(seq, kind == InstKind::Load, size)
+                    .expect("fullness checked above");
+            }
+            if takes_checkpoint {
+                self.unresolved_branches += 1;
+            }
+
+            let state = if needs_iq { SlotState::Waiting } else { SlotState::Completed };
+            if needs_iq {
+                if uses_fp_iq {
+                    self.fp_iq.push(seq);
+                } else {
+                    self.int_iq.push(seq);
+                }
+            }
+            self.rob.push_back(Slot {
+                seq,
+                pc: fetched.pc,
+                inst,
+                kind,
+                pred_next: fetched.pred_next,
+                dest,
+                srcs,
+                src_from_rf: [false; 2],
+                src_vals: [0; 2],
+                state,
+                wb_done_at: NEVER,
+                actual_next: fetched.pred_next,
+                mem_addr: None,
+                load_data: 0,
+                result: 0,
+                branch_unresolved: takes_checkpoint,
+                wb_fail_cycles: 0,
+                cond_pred: fetched.cond_pred,
+                dispatched_at: self.now,
+                issued_at: 0,
+                executed_at: 0,
+            });
+        }
+    }
+
+    // ----- fetch -----------------------------------------------------------
+
+    fn fetch(&mut self) -> Result<(), SimError> {
+        if self.now < self.fetch_resume_at || self.fetch_wild || self.halted {
+            // A wild fetch with nothing in flight to redirect it means the
+            // program ran off the end without halting.
+            if self.fetch_wild && self.rob.is_empty() && self.fetch_q.is_empty() {
+                return Err(SimError::RunawayFetch { pc: self.fetch_pc });
+            }
+            return Ok(());
+        }
+        if self.fetch_q.len() >= 4 * self.config.fetch_width {
+            return Ok(());
+        }
+        for i in 0..self.config.fetch_width {
+            let pc = self.fetch_pc;
+            let Some(idx) = self.program.index_of(pc) else {
+                self.fetch_wild = true;
+                break;
+            };
+            if i == 0 {
+                let latency = u64::from(self.hier.fetch_latency(pc));
+                if latency > 1 {
+                    // Instruction-cache miss: the line is being filled;
+                    // retry once it arrives.
+                    self.fetch_resume_at = self.now + latency;
+                    return Ok(());
+                }
+            }
+            let inst = self.program.insts[idx];
+            let fallthrough = pc + INST_BYTES;
+            let mut cond_pred = None;
+            let pred_next = match inst.kind() {
+                InstKind::Branch => {
+                    let pred = self.bpred.predict_cond(pc);
+                    cond_pred = Some(pred);
+                    if pred.taken {
+                        inst.imm as u64
+                    } else {
+                        fallthrough
+                    }
+                }
+                InstKind::Jump => {
+                    if inst.rd != 0 {
+                        self.bpred.push_return(fallthrough);
+                    }
+                    inst.imm as u64
+                }
+                InstKind::JumpReg => {
+                    let is_return = inst.rd == 0;
+                    let target = self.bpred.predict_indirect(pc, is_return);
+                    if inst.rd != 0 {
+                        self.bpred.push_return(fallthrough);
+                    }
+                    if target == 0 {
+                        fallthrough
+                    } else {
+                        target
+                    }
+                }
+                _ => fallthrough,
+            };
+            self.fetch_q.push_back(Fetched {
+                inst,
+                pc,
+                pred_next,
+                ready_at: self.now + self.config.frontend_depth,
+                cond_pred,
+            });
+            self.stats.fetched += 1;
+            if inst.kind() == InstKind::Halt {
+                self.fetch_wild = true; // nothing meaningful follows
+                break;
+            }
+            self.fetch_pc = pred_next;
+            if pred_next != fallthrough {
+                break; // taken control flow ends the fetch group
+            }
+        }
+        Ok(())
+    }
+
+    // ----- recovery --------------------------------------------------------
+
+    fn redirect_fetch(&mut self, target: u64) {
+        self.fetch_pc = target;
+        self.fetch_wild = false;
+        self.fetch_resume_at = self.now + 1;
+        self.fetch_q.clear();
+    }
+
+    /// Squashes every instruction strictly younger than `keep_seq`,
+    /// rebuilding the rename map from the committed map plus surviving
+    /// in-flight destinations.
+    fn squash_younger_than(&mut self, keep_seq: u64) {
+        let mut int_map = self.commit_int_rat;
+        let mut fp_map = self.commit_fp_rat;
+        for slot in &self.rob {
+            if slot.seq > keep_seq {
+                break;
+            }
+            if let Some(d) = slot.dest {
+                if d.is_int {
+                    int_map[d.arch as usize] = d.new;
+                } else {
+                    fp_map[d.arch as usize] = d.new;
+                }
+            }
+        }
+        while matches!(self.rob.back(), Some(s) if s.seq > keep_seq) {
+            let slot = self.rob.pop_back().expect("checked above");
+            self.stats.squashed += 1;
+            if slot.branch_unresolved {
+                self.unresolved_branches = self.unresolved_branches.saturating_sub(1);
+            }
+            if let Some(d) = slot.dest {
+                if d.is_int {
+                    self.int_rf.release(d.new as usize);
+                    self.rename.free_int(d.new);
+                    self.int_pregs[d.new as usize] = PregState::reset();
+                } else {
+                    self.fp_rf.release(d.new as usize);
+                    self.rename.free_fp(d.new);
+                    self.fp_pregs[d.new as usize] = PregState::reset();
+                }
+            }
+        }
+        self.rename.set_maps(int_map, fp_map);
+        self.lsq.squash_after(keep_seq);
+        self.int_iq.retain(|s| *s <= keep_seq);
+        self.fp_iq.retain(|s| *s <= keep_seq);
+        self.wb_pending.retain(|s| *s <= keep_seq);
+        self.pending_loads.retain(|s| *s <= keep_seq);
+        // Scheduled captures/completions for squashed sequences are skipped
+        // lazily (their ROB lookup fails).
+    }
+
+    // ----- sampling --------------------------------------------------------
+
+    fn sample(&mut self) {
+        // Occupancy statistics are cheap; sample them every cycle.
+        self.int_rf.sample_occupancy();
+        let Some(period) = self.config.oracle_period else { return };
+        if !self.now.is_multiple_of(period) {
+            return;
+        }
+        let live: Vec<u64> =
+            self.int_pregs.iter().filter(|s| s.valid).map(|s| s.value).collect();
+        self.stats.oracle.record(&live);
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.now)
+            .field("committed", &self.stats.committed)
+            .field("rob", &self.rob.len())
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carf_core::{CarfParams, Policies};
+    use carf_isa::{f, x, Asm};
+
+    const HEAP: u64 = 0x0000_7f3a_8000_0000;
+
+    fn run_with(config: SimConfig, asm: Asm) -> (Simulator, SimResult) {
+        let program = asm.finish().expect("assembly");
+        let mut sim = Simulator::new(config, &program);
+        let result = sim.run(5_000_000).expect("simulation");
+        assert!(result.halted, "program must halt");
+        (sim, result)
+    }
+
+    fn run(asm: Asm) -> (Simulator, SimResult) {
+        run_with(SimConfig::test_small(), asm)
+    }
+
+    fn sum_loop(n: u64) -> Asm {
+        let mut asm = Asm::new();
+        asm.li(x(1), 0);
+        asm.li(x(2), 1);
+        asm.li(x(3), n + 1);
+        asm.label("loop");
+        asm.add(x(1), x(1), x(2));
+        asm.addi(x(2), x(2), 1);
+        asm.blt(x(2), x(3), "loop");
+        asm.halt();
+        asm
+    }
+
+    #[test]
+    fn straight_line_commits_in_order() {
+        let mut asm = Asm::new();
+        asm.li(x(1), 5);
+        asm.li(x(2), 7);
+        asm.add(x(3), x(1), x(2));
+        asm.mul(x(4), x(3), x(3));
+        asm.halt();
+        let (_, r) = run(asm);
+        assert_eq!(r.committed, 5);
+        assert!(r.cycles > 5); // pipeline fill
+    }
+
+    #[test]
+    fn cosim_validates_a_long_loop() {
+        let (sim, r) = run(sum_loop(500));
+        assert_eq!(r.committed, 3 + 3 * 500 + 1);
+        assert!(sim.stats().ipc() > 0.5, "ipc = {}", sim.stats().ipc());
+    }
+
+    #[test]
+    fn branch_predictor_learns_the_loop() {
+        let (sim, _) = run(sum_loop(2000));
+        assert!(
+            sim.stats().bpred.cond_accuracy() > 0.95,
+            "accuracy = {}",
+            sim.stats().bpred.cond_accuracy()
+        );
+    }
+
+    #[test]
+    fn memory_round_trip_with_forwarding() {
+        let mut asm = Asm::new();
+        let buf = asm.alloc_bytes_zeroed(256);
+        asm.li(x(1), buf);
+        asm.li(x(2), 0xdead_beef_1234_5678);
+        asm.st(x(2), x(1), 8);
+        asm.ld(x(3), x(1), 8); // same-address load: forwarded or from cache
+        asm.add(x(4), x(3), x(3));
+        asm.st(x(4), x(1), 16);
+        asm.halt();
+        let (sim, r) = run(asm);
+        assert_eq!(r.committed, 7);
+        assert!(sim.stats().loads >= 1 && sim.stats().stores >= 2);
+    }
+
+    #[test]
+    fn store_load_chain_through_memory() {
+        // Writes then reads back a small table; catches LSQ/memory ordering
+        // bugs under cosim.
+        let mut asm = Asm::new();
+        let buf = asm.alloc_bytes_zeroed(512);
+        asm.li(x(1), buf);
+        asm.li(x(2), 0); // i
+        asm.li(x(3), 32); // n
+        asm.label("fill");
+        asm.slli(x(4), x(2), 3);
+        asm.add(x(5), x(1), x(4));
+        asm.mul(x(6), x(2), x(2));
+        asm.st(x(6), x(5), 0);
+        asm.addi(x(2), x(2), 1);
+        asm.blt(x(2), x(3), "fill");
+        asm.li(x(2), 0);
+        asm.li(x(7), 0); // sum
+        asm.label("read");
+        asm.slli(x(4), x(2), 3);
+        asm.add(x(5), x(1), x(4));
+        asm.ld(x(6), x(5), 0);
+        asm.add(x(7), x(7), x(6));
+        asm.addi(x(2), x(2), 1);
+        asm.blt(x(2), x(3), "read");
+        asm.halt();
+        let (_, r) = run(asm);
+        assert!(r.committed > 64);
+    }
+
+    #[test]
+    fn function_calls_through_ras() {
+        let mut asm = Asm::new();
+        asm.li(x(10), 1);
+        asm.li(x(20), 0); // call count
+        asm.label("main_loop");
+        asm.jal(x(31), "double");
+        asm.addi(x(20), x(20), 1);
+        asm.slti(x(21), x(20), 6);
+        asm.bne(x(21), x(0), "main_loop");
+        asm.halt();
+        asm.label("double");
+        asm.add(x(10), x(10), x(10));
+        asm.ret(x(31));
+        let (_, r) = run(asm);
+        assert!(r.halted);
+        // 6 iterations of 4 instructions + 6 * 2 callee + prologue/halt.
+        assert_eq!(r.committed, 2 + 6 * 4 + 6 * 2 + 1);
+    }
+
+    #[test]
+    fn fp_pipeline_with_cosim() {
+        let mut asm = Asm::new();
+        let data = asm.alloc_f64s(&[1.5, 2.5, 3.5, 4.5]);
+        asm.li(x(1), data);
+        asm.li(x(2), 0);
+        asm.li(x(3), 4);
+        asm.fld(f(10), x(1), 0);
+        asm.label("loop");
+        asm.slli(x(4), x(2), 3);
+        asm.add(x(5), x(1), x(4));
+        asm.fld(f(1), x(5), 0);
+        asm.fmul(f(2), f(1), f(1));
+        asm.fadd(f(10), f(10), f(2));
+        asm.addi(x(2), x(2), 1);
+        asm.blt(x(2), x(3), "loop");
+        asm.fst(f(10), x(1), 64);
+        asm.fcvt_if(x(6), f(10));
+        asm.halt();
+        let (_, r) = run(asm);
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn division_and_unpipelined_units() {
+        let mut asm = Asm::new();
+        asm.li(x(1), 1000);
+        asm.li(x(2), 7);
+        asm.div(x(3), x(1), x(2));
+        asm.div(x(4), x(3), x(2));
+        asm.div(x(5), x(1), x(0)); // divide by zero convention
+        asm.fcvt_fi(f(1), x(1));
+        asm.fcvt_fi(f(2), x(2));
+        asm.fdiv(f(3), f(1), f(2));
+        asm.halt();
+        let (_, r) = run(asm);
+        assert_eq!(r.committed, 9);
+    }
+
+    #[test]
+    fn data_dependent_branches_mispredict_and_recover() {
+        // Branch on a pseudo-random bit: forces mispredicts and recovery.
+        let mut asm = Asm::new();
+        asm.li(x(1), 12345); // lcg state
+        asm.li(x(2), 0); // taken counter
+        asm.li(x(3), 400); // iterations
+        asm.li(x(5), 6364136223846793005u64);
+        asm.li(x(6), 1442695040888963407u64);
+        asm.label("loop");
+        asm.mul(x(1), x(1), x(5));
+        asm.add(x(1), x(1), x(6));
+        asm.srli(x(4), x(1), 61);
+        asm.andi(x(4), x(4), 1);
+        asm.beq(x(4), x(0), "skip");
+        asm.addi(x(2), x(2), 1);
+        asm.label("skip");
+        asm.addi(x(3), x(3), -1);
+        asm.bne(x(3), x(0), "loop");
+        asm.halt();
+        let (sim, r) = run(asm);
+        assert!(r.halted);
+        assert!(sim.stats().mispredicts > 10, "mispredicts = {}", sim.stats().mispredicts);
+        assert!(sim.stats().squashed > 0);
+    }
+
+    #[test]
+    fn carf_machine_matches_golden_on_pointer_workload() {
+        // Pointer-chasing through a heap-like region: exercises short
+        // classification under cosim.
+        let mut asm = Asm::new();
+        asm.set_data_base(HEAP);
+        // A linked ring of 8 nodes, 16 bytes apart.
+        let mut nodes = Vec::new();
+        for i in 0..8u64 {
+            nodes.push(HEAP + ((i + 1) % 8) * 16);
+            nodes.push(i * i);
+        }
+        let mut bytes = Vec::new();
+        for w in &nodes {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let head = asm.alloc_data(&bytes);
+        asm.li(x(1), head);
+        asm.li(x(2), 0); // sum
+        asm.li(x(3), 64); // steps
+        asm.label("chase");
+        asm.ld(x(4), x(1), 8); // payload
+        asm.add(x(2), x(2), x(4));
+        asm.ld(x(1), x(1), 0); // next pointer
+        asm.addi(x(3), x(3), -1);
+        asm.bne(x(3), x(0), "chase");
+        asm.halt();
+
+        let mut cfg = SimConfig::test_small();
+        cfg.regfile = RegFileKind::ContentAware(
+            CarfParams { simple_entries: 64, ..CarfParams::paper_default() },
+            Policies::default(),
+        );
+        let (sim, r) = run_with(cfg, asm);
+        assert!(r.halted);
+        let stats = sim.stats();
+        // The pointer values classify as short, the counters as simple.
+        assert!(stats.int_rf.writes.short > 0, "{:?}", stats.int_rf.writes);
+        assert!(stats.int_rf.writes.simple > 0);
+    }
+
+    #[test]
+    fn carf_and_baseline_compute_identical_results() {
+        for make_cfg in [
+            SimConfig::test_small,
+            || {
+                let mut c = SimConfig::test_small();
+                c.regfile = RegFileKind::ContentAware(
+                    CarfParams { simple_entries: 64, ..CarfParams::paper_default() },
+                    Policies::default(),
+                );
+                c
+            },
+        ] {
+            let (_, r) = run_with(make_cfg(), sum_loop(300));
+            assert_eq!(r.committed, 3 + 3 * 300 + 1);
+        }
+    }
+
+    #[test]
+    fn carf_pays_a_small_ipc_cost() {
+        let big_loop = || {
+            let mut asm = Asm::new();
+            asm.set_data_base(HEAP);
+            let buf = asm.alloc_bytes_zeroed(4096);
+            asm.li(x(1), buf);
+            asm.li(x(2), 0);
+            asm.li(x(3), 2000);
+            asm.label("loop");
+            asm.andi(x(4), x(2), 511);
+            asm.slli(x(4), x(4), 3);
+            asm.add(x(5), x(1), x(4));
+            asm.st(x(2), x(5), 0);
+            asm.ld(x(6), x(5), 0);
+            asm.add(x(7), x(7), x(6));
+            asm.addi(x(2), x(2), 1);
+            asm.blt(x(2), x(3), "loop");
+            asm.halt();
+            asm
+        };
+        let (_, base) = run_with(SimConfig::test_small(), big_loop());
+        let mut cfg = SimConfig::test_small();
+        cfg.regfile = RegFileKind::ContentAware(
+            CarfParams { simple_entries: 64, ..CarfParams::paper_default() },
+            Policies::default(),
+        );
+        let (_, carf) = run_with(cfg, big_loop());
+        assert_eq!(base.committed, carf.committed);
+        let rel = carf.ipc / base.ipc;
+        // The paper reports ~1.7% loss; structurally anything in (0.7, 1.01]
+        // is sane for a small kernel.
+        assert!(rel > 0.7 && rel < 1.02, "carf/base ipc = {rel:.3}");
+    }
+
+    #[test]
+    fn long_file_pressure_stalls_but_stays_correct() {
+        // Values drawn from many distinct high-bit regions: mostly long.
+        let mut asm = Asm::new();
+        asm.li(x(9), 0x0101_0101_0101_0101);
+        asm.li(x(1), 0x1234_5678_9abc_def0);
+        asm.li(x(3), 200);
+        asm.label("loop");
+        asm.add(x(1), x(1), x(9));
+        asm.add(x(2), x(1), x(9));
+        asm.add(x(4), x(2), x(9));
+        asm.add(x(5), x(4), x(9));
+        asm.addi(x(3), x(3), -1);
+        asm.bne(x(3), x(0), "loop");
+        asm.halt();
+
+        let mut cfg = SimConfig::test_small();
+        cfg.regfile = RegFileKind::ContentAware(
+            CarfParams {
+                simple_entries: 64,
+                // Tight: far fewer Long entries than live long values, so
+                // the guard (and possibly the recovery path) must engage.
+                long_entries: 16,
+                ..CarfParams::paper_default()
+            },
+            Policies { long_stall_threshold: 8, ..Policies::default() },
+        );
+        let (sim, r) = run_with(cfg, asm);
+        assert!(r.halted);
+        assert!(
+            sim.stats().long_guard_stall_cycles > 0 || sim.stats().wb_long_retries > 0,
+            "expected long-file pressure: {:?} guard cycles, {:?} retries",
+            sim.stats().long_guard_stall_cycles,
+            sim.stats().wb_long_retries,
+        );
+    }
+
+    #[test]
+    fn bypass_supplies_dependent_chains() {
+        let (sim, _) = run(sum_loop(400));
+        let stats = sim.stats();
+        assert!(stats.bypassed_operands > 0, "dependent ops must bypass");
+        assert!(stats.rf_operands > 0, "stable values must read the RF");
+        let frac = stats.bypass_fraction();
+        assert!(frac > 0.05 && frac < 0.95, "bypass fraction = {frac}");
+    }
+
+    #[test]
+    fn oracle_sampling_records_live_values() {
+        let mut cfg = SimConfig::test_small();
+        cfg.oracle_period = Some(4);
+        let (sim, _) = run_with(cfg, sum_loop(500));
+        let oracle = &sim.stats().oracle;
+        assert!(oracle.snapshots > 10);
+        assert!(oracle.mean_live() > 4.0, "mean live = {}", oracle.mean_live());
+        let f = oracle.values.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_register_operands_are_free() {
+        let mut asm = Asm::new();
+        asm.li(x(3), 50);
+        asm.label("loop");
+        asm.add(x(1), x(0), x(0));
+        asm.addi(x(3), x(3), -1);
+        asm.bne(x(3), x(0), "loop");
+        asm.halt();
+        let (sim, _) = run(asm);
+        assert!(sim.stats().zero_operands > 100);
+    }
+
+    #[test]
+    fn runaway_program_is_detected() {
+        let mut asm = Asm::new();
+        asm.li(x(1), 1); // no halt: falls off the end
+        let program = asm.finish().unwrap();
+        let mut sim = Simulator::new(SimConfig::test_small(), &program);
+        match sim.run(1_000) {
+            Err(SimError::RunawayFetch { .. }) => {}
+            other => panic!("expected runaway fetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instruction_budget_stops_infinite_loops() {
+        let mut asm = Asm::new();
+        asm.label("spin");
+        asm.addi(x(1), x(1), 1);
+        asm.j("spin");
+        let program = asm.finish().unwrap();
+        let mut sim = Simulator::new(SimConfig::test_small(), &program);
+        let r = sim.run(500).expect("runs fine, just never halts");
+        assert!(!r.halted);
+        assert!(r.committed >= 500);
+    }
+
+    #[test]
+    fn table4_operand_mix_is_recorded_for_carf() {
+        let mut cfg = SimConfig::test_small();
+        cfg.regfile = RegFileKind::ContentAware(
+            CarfParams { simple_entries: 64, ..CarfParams::paper_default() },
+            Policies::default(),
+        );
+        let (sim, _) = run_with(cfg, sum_loop(300));
+        assert!(sim.stats().operand_mix.total() > 100);
+        // A counting loop's operands are overwhelmingly simple.
+        assert!(sim.stats().operand_mix.fractions()[0] > 0.5);
+    }
+
+    #[test]
+    fn paper_configs_run_the_same_program() {
+        for cfg in [SimConfig::paper_baseline(), SimConfig::paper_unlimited()] {
+            let mut c = cfg;
+            c.cosim = true;
+            let (_, r) = run_with(c, sum_loop(200));
+            assert_eq!(r.committed, 3 + 3 * 200 + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use carf_isa::{x, Asm};
+
+    #[test]
+    fn timeline_records_stage_ordering() {
+        let mut asm = Asm::new();
+        asm.li(x(1), 3);
+        asm.add(x(2), x(1), x(1));
+        asm.mul(x(3), x(2), x(2));
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut sim = Simulator::new(SimConfig::test_small(), &program);
+        sim.record_timeline(16);
+        sim.run(1_000).unwrap();
+
+        let tl = sim.timeline();
+        assert_eq!(tl.len(), 4);
+        // Commit order equals program order here.
+        for w in tl.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].committed <= w[1].committed);
+        }
+        // Stage ordering within each executing instruction.
+        for t in tl.iter().take(3) {
+            assert!(t.dispatched <= t.issued, "{t}");
+            assert!(t.issued < t.executed, "{t}");
+            assert!(t.executed < t.committed, "{t}");
+        }
+        // The dependent multiply executes after its source add.
+        assert!(tl[2].executed > tl[1].executed);
+        // Display formatting carries the disassembly.
+        assert!(tl[2].to_string().contains("mul x3, x2, x2"));
+    }
+
+    #[test]
+    fn timeline_limit_caps_recording() {
+        let mut asm = Asm::new();
+        asm.li(x(1), 50);
+        asm.label("l");
+        asm.addi(x(1), x(1), -1);
+        asm.bne(x(1), x(0), "l");
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut sim = Simulator::new(SimConfig::test_small(), &program);
+        sim.record_timeline(5);
+        sim.run(10_000).unwrap();
+        assert_eq!(sim.timeline().len(), 5);
+    }
+
+    #[test]
+    fn timeline_off_by_default() {
+        let mut asm = Asm::new();
+        asm.li(x(1), 1);
+        asm.halt();
+        let program = asm.finish().unwrap();
+        let mut sim = Simulator::new(SimConfig::test_small(), &program);
+        sim.run(100).unwrap();
+        assert!(sim.timeline().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod memdep_tests {
+    use super::*;
+    use crate::lsq::MemDepPolicy;
+    use carf_isa::{x, Asm};
+
+    /// A store whose address depends on a slow divide, followed by a load
+    /// to the same location: the optimistic machine reads early and must
+    /// detect the violation when the store resolves.
+    fn conflict_kernel(iters: u64) -> carf_isa::Program {
+        let mut asm = Asm::new();
+        let buf = asm.alloc_u64s(&[5, 6, 7, 8]);
+        asm.li(x(10), buf);
+        asm.li(x(20), iters);
+        asm.li(x(9), 24);
+        asm.li(x(8), 3);
+        asm.label("loop");
+        // Slow address: offset = (24 / 3) = 8, known only after the divide.
+        asm.div(x(2), x(9), x(8));
+        asm.add(x(3), x(10), x(2));
+        asm.st(x(20), x(3), 0); // store to buf+8
+        asm.ld(x(4), x(10), 8); // load from buf+8: depends on that store
+        asm.add(x(1), x(1), x(4));
+        asm.addi(x(20), x(20), -1);
+        asm.bne(x(20), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    }
+
+    #[test]
+    fn optimistic_policy_detects_and_recovers_violations() {
+        let mut cfg = SimConfig::test_small();
+        cfg.mem_dep = MemDepPolicy::Optimistic;
+        let program = conflict_kernel(100);
+        let mut sim = Simulator::new(cfg, &program);
+        let r = sim.run(1_000_000).expect("cosim-clean despite violations");
+        assert!(r.halted);
+        assert!(
+            sim.stats().mem_dep_violations > 10,
+            "expected violations, got {}",
+            sim.stats().mem_dep_violations
+        );
+    }
+
+    #[test]
+    fn conservative_policy_never_violates() {
+        let mut cfg = SimConfig::test_small();
+        cfg.mem_dep = MemDepPolicy::Conservative;
+        let program = conflict_kernel(100);
+        let mut sim = Simulator::new(cfg, &program);
+        let r = sim.run(1_000_000).expect("clean");
+        assert!(r.halted);
+        assert_eq!(sim.stats().mem_dep_violations, 0);
+    }
+
+    #[test]
+    fn optimistic_policy_speeds_up_independent_loads_behind_slow_stores() {
+        // The store's address resolves slowly but never conflicts with the
+        // loads: the optimistic machine should not wait for it.
+        let kernel = |iters: u64| {
+            let mut asm = Asm::new();
+            let buf = asm.alloc_u64s(&[1, 2, 3, 4, 5, 6, 7, 8]);
+            asm.li(x(10), buf);
+            asm.li(x(20), iters);
+            asm.li(x(9), 192);
+            asm.li(x(8), 4);
+            asm.label("loop");
+            asm.div(x(2), x(9), x(8)); // 48: slow
+            asm.add(x(3), x(10), x(2));
+            asm.st(x(20), x(3), 0); // buf+48: disjoint from the loads
+            asm.ld(x(4), x(10), 0);
+            asm.ld(x(5), x(10), 8);
+            asm.add(x(1), x(4), x(5));
+            asm.addi(x(20), x(20), -1);
+            asm.bne(x(20), x(0), "loop");
+            asm.halt();
+            asm.finish().expect("assembles")
+        };
+        let run = |policy: MemDepPolicy| {
+            let mut cfg = SimConfig::test_small();
+            cfg.mem_dep = policy;
+            let mut sim = Simulator::new(cfg, &kernel(300));
+            sim.run(1_000_000).expect("clean").cycles
+        };
+        let conservative = run(MemDepPolicy::Conservative);
+        let optimistic = run(MemDepPolicy::Optimistic);
+        assert!(
+            optimistic < conservative,
+            "optimistic {optimistic} should beat conservative {conservative}"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The paper's §6 SMT direction, in timing: two hardware threads sharing
+//! one physical Long file.
+//!
+//! The paper observes that the 48-entry Long file is provisioned for
+//! *peaks* while the mean demand is small, and suggests that "a smaller
+//! number of long registers can feed more than one thread". This module
+//! tests that claim with the cycle-level machine: two independent
+//! pipelines run side by side, and each cycle every thread's Long file is
+//! capped at `shared_capacity` minus the co-runners' live Long entries —
+//! a competitively shared physical array. Everything else (fetch, issue
+//! queues, caches, FUs) is private per thread, isolating the question the
+//! paper raises: is the *Long file* a multithreading bottleneck?
+//!
+//! This models the paper's "preliminary results" experiment, not a full
+//! SMT front end (fetch policies, shared queues, and cache interference
+//! are orthogonal to the Long-file question and are out of scope — see
+//! DESIGN.md §8).
+
+use crate::config::{RegFileKind, SimConfig};
+use crate::sim::{SimError, Simulator};
+use carf_core::ContentAwareRegFile;
+use carf_isa::Program;
+
+/// Per-thread outcome of a shared-Long-file run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmtThreadResult {
+    /// Instructions the thread committed.
+    pub committed: u64,
+    /// Cycles the co-simulation ran (shared clock).
+    pub cycles: u64,
+    /// The thread's IPC under sharing.
+    pub ipc: f64,
+    /// Cycles this thread's issue was stalled by the (shared) Long guard.
+    pub long_guard_stall_cycles: u64,
+}
+
+/// Two (or more) content-aware pipelines sharing one Long file.
+///
+/// # Example
+///
+/// ```no_run
+/// use carf_core::CarfParams;
+/// use carf_sim::{SharedLongSmt, SimConfig};
+/// use carf_workloads::{int_suite, SizeClass};
+///
+/// let wls = int_suite();
+/// let a = wls[0].build_class(SizeClass::Test);
+/// let b = wls[1].build_class(SizeClass::Test);
+/// let cfg = SimConfig::paper_carf(CarfParams::paper_default());
+/// let mut smt = SharedLongSmt::new(vec![(cfg.clone(), &a), (cfg, &b)], 48).unwrap();
+/// let results = smt.run(200_000, 100_000).unwrap();
+/// assert_eq!(results.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct SharedLongSmt {
+    threads: Vec<Simulator>,
+    done: Vec<bool>,
+    finish_cycle: Vec<u64>,
+    shared_capacity: usize,
+    cycles: u64,
+}
+
+impl SharedLongSmt {
+    /// Builds the co-simulation. Every configuration must use the
+    /// content-aware register file (the experiment is about its Long
+    /// file); `shared_capacity` is the physical entry count of the shared
+    /// array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a configuration does not use the
+    /// content-aware file or its private Long file is smaller than the
+    /// shared capacity (each thread's view is a window onto the shared
+    /// array, so the private file must be at least as large).
+    pub fn new(
+        threads: Vec<(SimConfig, &Program)>,
+        shared_capacity: usize,
+    ) -> Result<Self, String> {
+        let mut sims = Vec::with_capacity(threads.len());
+        for (config, program) in threads {
+            match &config.regfile {
+                RegFileKind::ContentAware(params, _) => {
+                    if params.long_entries < shared_capacity {
+                        return Err(format!(
+                            "thread's long file ({}) smaller than the shared capacity \
+                             ({shared_capacity})",
+                            params.long_entries
+                        ));
+                    }
+                }
+                RegFileKind::Baseline => {
+                    return Err("shared-Long SMT requires content-aware threads".into())
+                }
+            }
+            sims.push(Simulator::new(config, program));
+        }
+        let done = vec![false; sims.len()];
+        let finish_cycle = vec![0; sims.len()];
+        Ok(Self { threads: sims, done, finish_cycle, shared_capacity, cycles: 0 })
+    }
+
+    fn long_live(sim: &Simulator) -> usize {
+        sim.int_regfile()
+            .as_any()
+            .downcast_ref::<ContentAwareRegFile>()
+            .map(|rf| rf.long_file().live_count())
+            .unwrap_or(0)
+    }
+
+    /// Advances every unfinished thread one cycle under the shared budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any thread's [`SimError`].
+    pub fn step(&mut self, per_thread_insts: u64) -> Result<(), SimError> {
+        // Competitive sharing: each thread sees the physical array minus
+        // everyone else's live entries.
+        let lives: Vec<usize> = self.threads.iter().map(Self::long_live).collect();
+        let total: usize = lives.iter().sum();
+        for (i, sim) in self.threads.iter_mut().enumerate() {
+            if self.done[i] {
+                continue;
+            }
+            let others = total - lives[i];
+            let budget = self.shared_capacity.saturating_sub(others);
+            if let Some(rf) = sim
+                .int_regfile_mut()
+                .as_any_mut()
+                .downcast_mut::<ContentAwareRegFile>()
+            {
+                rf.set_long_capacity_limit(budget);
+            }
+            sim.step_cycle()?;
+            if sim.is_halted() || sim.stats().committed >= per_thread_insts {
+                self.done[i] = true;
+                self.finish_cycle[i] = self.cycles + 1;
+            }
+        }
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// Runs until every thread halts or reaches `per_thread_insts`, or the
+    /// shared clock hits `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any thread's [`SimError`].
+    pub fn run(
+        &mut self,
+        max_cycles: u64,
+        per_thread_insts: u64,
+    ) -> Result<Vec<SmtThreadResult>, SimError> {
+        while self.cycles < max_cycles && self.done.iter().any(|d| !d) {
+            self.step(per_thread_insts)?;
+        }
+        Ok(self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, sim)| {
+                let stats = sim.stats();
+                // A thread's IPC is measured over *its own* active cycles
+                // (a co-runner finishing late must not dilute it).
+                let cycles =
+                    if self.done[i] { self.finish_cycle[i] } else { self.cycles }.max(1);
+                SmtThreadResult {
+                    committed: stats.committed,
+                    cycles,
+                    ipc: stats.committed as f64 / cycles as f64,
+                    long_guard_stall_cycles: stats.long_guard_stall_cycles,
+                }
+            })
+            .collect())
+    }
+
+    /// The shared clock.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carf_core::{CarfParams, Policies};
+    use carf_workloads::{int_suite, SizeClass};
+
+    fn carf_cfg() -> SimConfig {
+        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+        cfg.cosim = true;
+        cfg
+    }
+
+    #[test]
+    fn two_threads_share_the_long_file_correctly() {
+        let wls = int_suite();
+        let a = wls.iter().find(|w| w.name == "pointer_chase").unwrap().build_class(SizeClass::Test);
+        let b = wls.iter().find(|w| w.name == "hash_table").unwrap().build_class(SizeClass::Test);
+        let mut smt =
+            SharedLongSmt::new(vec![(carf_cfg(), &a), (carf_cfg(), &b)], 48).unwrap();
+        let results = smt.run(300_000, 20_000).unwrap();
+        assert_eq!(results.len(), 2);
+        for (i, r) in results.iter().enumerate() {
+            assert!(r.committed >= 20_000 || r.ipc > 0.0, "thread {i}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn tight_shared_capacity_throttles_but_stays_correct() {
+        // Both threads are long-heavy; a 40-entry shared file must create
+        // guard pressure without breaking either thread (cosim is on).
+        let wls = int_suite();
+        let a = wls.iter().find(|w| w.name == "hash_table").unwrap().build_class(SizeClass::Test);
+        let b = wls.iter().find(|w| w.name == "sparse_update").unwrap().build_class(SizeClass::Test);
+        let mut generous =
+            SharedLongSmt::new(vec![(carf_cfg(), &a), (carf_cfg(), &b)], 48).unwrap();
+        let loose = generous.run(400_000, 15_000).unwrap();
+        let mut tight =
+            SharedLongSmt::new(vec![(carf_cfg(), &a), (carf_cfg(), &b)], 40).unwrap();
+        let strict = tight.run(400_000, 15_000).unwrap();
+        let stalls = |rs: &[SmtThreadResult]| -> u64 {
+            rs.iter().map(|r| r.long_guard_stall_cycles).sum()
+        };
+        assert!(
+            stalls(&strict) >= stalls(&loose),
+            "tighter sharing cannot reduce guard pressure: {} vs {}",
+            stalls(&strict),
+            stalls(&loose)
+        );
+    }
+
+    #[test]
+    fn three_threads_share_one_file() {
+        let wls = int_suite();
+        let programs: Vec<_> = ["pointer_chase", "sort_kernel", "state_machine"]
+            .iter()
+            .map(|n| wls.iter().find(|w| w.name == *n).unwrap().build_class(SizeClass::Test))
+            .collect();
+        let mut smt = SharedLongSmt::new(
+            programs.iter().map(|p| (carf_cfg(), p)).collect(),
+            48,
+        )
+        .unwrap();
+        let results = smt.run(400_000, 10_000).unwrap();
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            assert!(r.committed >= 10_000, "thread {i}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn configuration_errors_are_reported() {
+        let wls = int_suite();
+        let a = wls[0].build_class(SizeClass::Test);
+        let err = SharedLongSmt::new(vec![(SimConfig::paper_baseline(), &a)], 48).unwrap_err();
+        assert!(err.contains("content-aware"));
+        let mut small = SimConfig::paper_carf_with(
+            CarfParams { long_entries: 40, ..CarfParams::paper_default() },
+            Policies::default(),
+        );
+        small.cosim = false;
+        let err = SharedLongSmt::new(vec![(small, &a)], 48).unwrap_err();
+        assert!(err.contains("smaller than the shared capacity"));
+    }
+}

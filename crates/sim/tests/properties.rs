@@ -1,0 +1,183 @@
+//! Property-based co-simulation: arbitrary terminating programs through
+//! the timing pipeline must match the functional machine exactly.
+
+use carf_core::{CarfParams, Policies};
+use carf_sim::{RegFileKind, SimConfig, Simulator};
+use carf_workloads::{random_program, RandomProgramParams};
+use proptest::prelude::*;
+
+fn cfg_for(kind: u8) -> SimConfig {
+    let mut cfg = SimConfig::test_small();
+    cfg.cosim = true;
+    match kind % 3 {
+        0 => {}
+        1 => {
+            cfg.regfile = RegFileKind::ContentAware(
+                CarfParams { simple_entries: 64, ..CarfParams::paper_default() },
+                Policies::default(),
+            );
+        }
+        _ => {
+            cfg.regfile = RegFileKind::ContentAware(
+                CarfParams { simple_entries: 64, ..CarfParams::with_dn(12) },
+                Policies { extra_bypass: false, ..Policies::default() },
+            );
+        }
+    }
+    cfg
+}
+
+proptest! {
+    // Each case is a full simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_cosim_clean(
+        seed in any::<u64>(),
+        kind in any::<u8>(),
+        body_len in 20usize..70,
+        iterations in 5u64..40,
+    ) {
+        let program = random_program(&RandomProgramParams {
+            seed,
+            body_len,
+            iterations,
+            ..Default::default()
+        });
+        let mut sim = Simulator::new(cfg_for(kind), &program);
+        let result = sim.run(5_000_000)
+            .unwrap_or_else(|e| panic!("seed {seed} kind {kind}: {e}"));
+        prop_assert!(result.halted);
+        prop_assert!(result.committed > iterations * body_len as u64 / 2);
+    }
+
+    #[test]
+    fn ipc_is_invariant_across_reruns(seed in any::<u64>()) {
+        let program = random_program(&RandomProgramParams {
+            seed,
+            body_len: 30,
+            iterations: 10,
+            ..Default::default()
+        });
+        let run = || {
+            let mut sim = Simulator::new(cfg_for(1), &program);
+            sim.run(1_000_000).expect("clean run")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.committed, b.committed);
+    }
+}
+
+mod lsq_model {
+    //! Model-based check of the load/store queue: forwarding decisions
+    //! must agree with a naive reference that replays the store history.
+
+    use carf_sim::{LoadDecision, LoadStoreQueue};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Op {
+        is_load: bool,
+        addr: u64,
+        size: u8,
+        data: u64,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        (any::<bool>(), 0u64..64, prop_oneof![Just(1u8), Just(4), Just(8)], any::<u64>())
+            .prop_map(|(is_load, slot, size, data)| Op {
+                is_load,
+                addr: slot, // byte-granular within a small window
+                size,
+                data,
+            })
+    }
+
+    /// Reference: the value a load must see given all older stores with
+    /// known addresses/data, or `None` when it must not forward (memory
+    /// or wait — decided by the queue's own rules).
+    fn reference_bytes(older: &[Op], load: &Op) -> Option<u64> {
+        // Walk youngest-first; the queue forwards only on full containment
+        // by a single store.
+        for st in older.iter().rev() {
+            if st.is_load {
+                continue;
+            }
+            let (ls, le) = (load.addr, load.addr + u64::from(load.size));
+            let (ss, se) = (st.addr, st.addr + u64::from(st.size));
+            if le <= ss || se <= ls {
+                continue;
+            }
+            if ls >= ss && le <= se {
+                let shift = (ls - ss) * 8;
+                let bits = u64::from(load.size) * 8;
+                let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                return Some((st.data >> shift) & mask);
+            }
+            return None; // partial overlap: the queue must Wait
+        }
+        None // no overlap: the queue must go to Memory
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn forwarding_matches_the_reference(ops in proptest::collection::vec(arb_op(), 1..24)) {
+            let mut lsq = LoadStoreQueue::new(64);
+            // Install everything with known addresses and data.
+            for (i, op) in ops.iter().enumerate() {
+                let seq = (i + 1) as u64;
+                lsq.try_push(seq, op.is_load, op.size).unwrap();
+                lsq.set_addr(seq, op.addr);
+                if !op.is_load {
+                    lsq.set_store_data(seq, op.data);
+                }
+            }
+            for (i, op) in ops.iter().enumerate() {
+                if !op.is_load {
+                    continue;
+                }
+                let seq = (i + 1) as u64;
+                let decision = lsq.load_decision(seq);
+                match reference_bytes(&ops[..i], op) {
+                    Some(expected) => {
+                        prop_assert_eq!(decision, LoadDecision::Forward(expected), "load {}", seq);
+                    }
+                    None => {
+                        prop_assert_ne!(
+                            std::mem::discriminant(&decision),
+                            std::mem::discriminant(&LoadDecision::Forward(0)),
+                            "load {} must not forward", seq
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn squash_then_refill_is_consistent(
+            ops in proptest::collection::vec(arb_op(), 2..20),
+            cut in 1u64..10,
+        ) {
+            let mut lsq = LoadStoreQueue::new(64);
+            for (i, op) in ops.iter().enumerate() {
+                let seq = (i + 1) as u64;
+                lsq.try_push(seq, op.is_load, op.size).unwrap();
+                lsq.set_addr(seq, op.addr);
+                if !op.is_load {
+                    lsq.set_store_data(seq, op.data);
+                }
+            }
+            let keep = cut.min(ops.len() as u64);
+            lsq.squash_after(keep);
+            prop_assert_eq!(lsq.len(), keep as usize);
+            // Survivors keep their state; refilled entries behave normally.
+            let next = keep + 1;
+            lsq.try_push(next, true, 8).unwrap();
+            lsq.set_addr(next, 0);
+            let _ = lsq.load_decision(next); // must not panic
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Directed timing validation: known instruction patterns must take the
+//! cycle counts the microarchitecture specifies (within pipeline fill
+//! slack). These tests pin down the simulator's timing model so that
+//! experiment results cannot drift silently.
+
+use carf_core::CarfParams;
+use carf_isa::{x, Asm, Program};
+use carf_mem::HierarchyConfig;
+use carf_sim::{SimConfig, Simulator};
+
+/// A machine with no cold-start noise: tiny caches so warm-up is cheap,
+/// no co-simulation overhead on timing (cosim does not change timing, but
+/// keep runs lean).
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.hierarchy = HierarchyConfig::tiny();
+    cfg.cosim = true;
+    cfg
+}
+
+fn cycles(config: &SimConfig, program: &Program) -> u64 {
+    let mut sim = Simulator::new(config.clone(), program);
+    let r = sim.run(10_000_000).expect("clean run");
+    assert!(r.halted);
+    r.cycles
+}
+
+/// Cycles per iteration of the steady-state loop body, measured by
+/// differencing two run lengths (cold-start and fill cancel out).
+fn per_iteration(config: &SimConfig, build: impl Fn(u64) -> Program) -> f64 {
+    let short = cycles(config, &build(200));
+    let long = cycles(config, &build(1200));
+    (long - short) as f64 / 1000.0
+}
+
+/// A loop whose body is a serial chain of `n` dependent adds.
+fn dependent_chain(n: usize) -> impl Fn(u64) -> Program {
+    move |iters| {
+        let mut asm = Asm::new();
+        asm.li(x(2), iters);
+        asm.label("loop");
+        for _ in 0..n {
+            asm.add(x(1), x(1), x(2));
+        }
+        asm.addi(x(2), x(2), -1);
+        asm.bne(x(2), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    }
+}
+
+#[test]
+fn dependent_alu_chain_runs_at_one_cycle_per_op() {
+    // 12 dependent adds per iteration: the chain dominates, so ~12
+    // cycles/iteration (+ the loop-control overhead hidden under it).
+    let per_iter = per_iteration(&cfg(), dependent_chain(12));
+    assert!(
+        (11.0..=14.0).contains(&per_iter),
+        "dependent chain: {per_iter:.2} cycles/iter, expected ~12"
+    );
+}
+
+#[test]
+fn independent_alu_ops_fill_the_issue_width() {
+    // 16 independent adds per iteration on an 8-wide machine with 8 int
+    // units: at least 4 IPC must be sustained (loop control and realistic
+    // inefficiencies allowed).
+    let build = |iters: u64| {
+        let mut asm = Asm::new();
+        asm.li(x(20), iters);
+        for i in 1..=8u8 {
+            asm.li(x(i), u64::from(i));
+        }
+        asm.label("loop");
+        for i in 1..=8u8 {
+            asm.add(x(i + 9), x(i), x(i)); // 8 independent
+            asm.add(x(i), x(i), x(i)); // 8 more, one per source
+        }
+        asm.addi(x(20), x(20), -1);
+        asm.bne(x(20), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    };
+    let per_iter = per_iteration(&cfg(), build);
+    let ipc = 18.0 / per_iter;
+    assert!(ipc > 4.0, "independent ops: {ipc:.2} IPC, expected > 4");
+}
+
+#[test]
+fn multiply_latency_is_respected() {
+    // Dependent multiply chain: mul latency is 3, so ~3 cycles per mul.
+    let build = |iters: u64| {
+        let mut asm = Asm::new();
+        asm.li(x(2), iters);
+        asm.li(x(1), 3);
+        asm.label("loop");
+        for _ in 0..4 {
+            asm.mul(x(1), x(1), x(1));
+        }
+        asm.addi(x(2), x(2), -1);
+        asm.bne(x(2), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    };
+    let per_iter = per_iteration(&cfg(), build);
+    assert!(
+        (11.0..=15.0).contains(&per_iter),
+        "mul chain: {per_iter:.2} cycles/iter, expected ~12 (4 muls x 3)"
+    );
+}
+
+#[test]
+fn load_use_chains_cost_the_l1_round_trip() {
+    // Pointer chase through a self-pointing cell: each step is
+    // AGU (1) + L1 hit (1) and the next load waits for the data: with
+    // load-hit speculation the steady state is ~3 cycles per step.
+    let build = |iters: u64| {
+        let mut asm = Asm::new();
+        // A single cell that points to itself (self-pointer written at
+        // runtime), then chased in a tight loop.
+        let cell = asm.alloc_u64s(&[0]);
+        asm.li(x(1), cell);
+        asm.st(x(1), x(1), 0);
+        asm.li(x(2), iters);
+        asm.label("loop");
+        asm.ld(x(1), x(1), 0);
+        asm.addi(x(2), x(2), -1);
+        asm.bne(x(2), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    };
+    let per_iter = per_iteration(&cfg(), build);
+    assert!(
+        (2.0..=4.5).contains(&per_iter),
+        "load-use chain: {per_iter:.2} cycles/iter, expected ~3"
+    );
+}
+
+#[test]
+fn carf_read_stage_does_not_slow_dependent_alu_chains() {
+    // The content-aware file adds a register-read stage, but bypassed
+    // dependent chains must still run back-to-back: the chain test may
+    // cost at most a fraction more than the baseline.
+    let base = per_iteration(&cfg(), dependent_chain(12));
+    let mut carf_cfg = cfg();
+    carf_cfg.regfile = carf_sim::RegFileKind::ContentAware(
+        CarfParams::paper_default(),
+        carf_core::Policies::default(),
+    );
+    let carf = per_iteration(&carf_cfg, dependent_chain(12));
+    assert!(
+        carf <= base * 1.15,
+        "carf dependent chain {carf:.2} vs baseline {base:.2} cycles/iter"
+    );
+}
+
+#[test]
+fn mispredicted_branches_cost_a_pipeline_refill() {
+    // An unpredictable branch per iteration vs a perfectly biased one:
+    // the difference per iteration approximates the mispredict penalty
+    // times the mispredict rate (~0.5 here).
+    let build = |flip: bool| {
+        move |iters: u64| {
+            let mut asm = Asm::new();
+            asm.li(x(2), iters);
+            asm.li(x(5), 6364136223846793005);
+            asm.li(x(6), 1442695040888963407);
+            asm.li(x(4), 0x1234_5678);
+            asm.label("loop");
+            asm.mul(x(4), x(4), x(5));
+            asm.add(x(4), x(4), x(6));
+            if flip {
+                asm.srli(x(7), x(4), 61); // pseudo-random bit
+            } else {
+                asm.li(x(7), 1); // always the same direction
+            }
+            asm.andi(x(7), x(7), 1);
+            asm.beq(x(7), x(0), "skip");
+            asm.addi(x(3), x(3), 1);
+            asm.label("skip");
+            asm.addi(x(2), x(2), -1);
+            asm.bne(x(2), x(0), "loop");
+            asm.halt();
+            asm.finish().expect("assembles")
+        }
+    };
+    let predictable = per_iteration(&cfg(), build(false));
+    let random = per_iteration(&cfg(), build(true));
+    let extra = random - predictable;
+    // ~50% mispredict rate; the penalty is the front-end refill (several
+    // cycles). Anything clearly positive and bounded is correct.
+    assert!(
+        (1.0..=12.0).contains(&extra),
+        "mispredict cost: {extra:.2} extra cycles/iter over {predictable:.2}"
+    );
+}
+
+#[test]
+fn dl1_ports_bound_memory_throughput() {
+    // 4 independent loads per iteration but only 2 D-cache ports: at
+    // least 2 cycles per iteration just for the loads.
+    let build = |iters: u64| {
+        let mut asm = Asm::new();
+        let buf = asm.alloc_u64s(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        asm.li(x(1), buf);
+        asm.li(x(2), iters);
+        asm.label("loop");
+        asm.ld(x(3), x(1), 0);
+        asm.ld(x(4), x(1), 8);
+        asm.ld(x(5), x(1), 16);
+        asm.ld(x(6), x(1), 24);
+        asm.addi(x(2), x(2), -1);
+        asm.bne(x(2), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    };
+    let per_iter = per_iteration(&cfg(), build);
+    assert!(per_iter >= 1.9, "4 loads over 2 ports: {per_iter:.2} cycles/iter, expected >= 2");
+}
+
+#[test]
+fn unpipelined_divides_serialize_on_their_unit() {
+    // A loop-carried divide chain: ~div_latency (+1 for the repair add)
+    // per iteration. The chain must be loop-carried — with an invariant
+    // dividend the 8 integer units overlap iterations and the throughput
+    // is FU-bound instead (which a broken latency model would also show).
+    let build = |iters: u64| {
+        let mut asm = Asm::new();
+        asm.li(x(2), iters);
+        asm.li(x(1), u64::MAX >> 1);
+        asm.li(x(3), 3);
+        asm.li(x(9), 0x4000_0000_0000_0000);
+        asm.label("loop");
+        asm.div(x(1), x(1), x(3)); // loop-carried
+        asm.add(x(1), x(1), x(9)); // keep the dividend large
+        asm.addi(x(2), x(2), -1);
+        asm.bne(x(2), x(0), "loop");
+        asm.halt();
+        asm.finish().expect("assembles")
+    };
+    let per_iter = per_iteration(&cfg(), build);
+    assert!(
+        (20.0..=25.0).contains(&per_iter),
+        "loop-carried divide: {per_iter:.2} cycles/iter, expected ~21"
+    );
+}

@@ -1,0 +1,270 @@
+//! Extended kernels beyond the default paper suites.
+//!
+//! These are *not* part of [`crate::int_suite`]/[`crate::fp_suite`] (whose
+//! composition the recorded experiment results depend on); they widen the
+//! behaviour space for tests and for users bringing their own studies:
+//! search-tree descent, bit-board manipulation, FIR filtering, and an
+//! escape-time fractal loop with data-dependent FP exits.
+
+use crate::gen::{payload_values, random_f64s, rng, GLOBALS_BASE, HEAP_BASE};
+use crate::suite::{Suite, Workload};
+use carf_isa::{f, x, Asm, Program};
+use rand::Rng;
+
+/// Four additional kernels (two integer, two floating-point).
+pub fn extended_suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "btree_lookup",
+            Suite::Int,
+            "search-tree descent: pointer chasing with data-dependent branching",
+            btree_lookup,
+            (2, 30, 300),
+        ),
+        Workload::new(
+            "bitboard",
+            Suite::Int,
+            "crafty-like bit-board manipulation: wide masks, shifts, popcount loops",
+            bitboard,
+            (1, 20, 200),
+        ),
+        Workload::new(
+            "fir_filter",
+            Suite::Fp,
+            "16-tap FIR convolution over a long signal",
+            fir_filter,
+            (1, 20, 200),
+        ),
+        Workload::new(
+            "escape_iter",
+            Suite::Fp,
+            "escape-time iteration with FP-compare-driven exits",
+            escape_iter,
+            (1, 25, 250),
+        ),
+    ]
+}
+
+fn epilogue_int(asm: &mut Asm) {
+    asm.li(x(28), GLOBALS_BASE);
+    asm.st(x(1), x(28), 0);
+    asm.halt();
+}
+
+/// Descends a perfect binary search tree stored as an implicit array of
+/// (key, payload) nodes; keys drawn from an LCG.
+fn btree_lookup(size: u32) -> Program {
+    const NODES: usize = 4095; // depth-12 perfect tree
+    let lookups = u64::from(size) * 500;
+    let mut rng = rng(0xB7EE);
+    let mut keys: Vec<u64> = (0..NODES as u64).map(|_| rng.gen_range(0..1u64 << 30)).collect();
+    keys.sort_unstable();
+    // Implicit heap order: node i has children 2i+1, 2i+2. Fill by in-order
+    // walk so the BST property holds.
+    let mut tree = vec![0u64; 2 * NODES];
+    fn fill(tree: &mut [u64], keys: &[u64], node: usize, lo: usize, hi: usize, pay: &[u64]) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        tree[2 * node] = keys[mid];
+        tree[2 * node + 1] = pay[mid];
+        fill(tree, keys, 2 * node + 1, lo, mid, pay);
+        fill(tree, keys, 2 * node + 2, mid + 1, hi, pay);
+    }
+    let payloads = payload_values(&mut rng, NODES);
+    fill(&mut tree, &keys, 0, 0, NODES, &payloads);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let tree_base = asm.alloc_u64s(&tree);
+
+    asm.li(x(10), tree_base);
+    asm.li(x(4), 0x2545_F491_4F6C_DD1D); // LCG state
+    asm.li(x(5), 6364136223846793005);
+    asm.li(x(6), 1442695040888963407);
+    asm.li(x(1), 0); // checksum
+    asm.li(x(20), lookups);
+    asm.li(x(22), NODES as u64);
+    asm.label("lookup");
+    asm.mul(x(4), x(4), x(5));
+    asm.add(x(4), x(4), x(6));
+    asm.srli(x(7), x(4), 34); // 30-bit probe key
+    asm.li(x(2), 0); // node index
+    asm.label("descend");
+    asm.bgeu(x(2), x(22), "done"); // fell off a leaf
+    asm.slli(x(8), x(2), 4); // node stride 16 bytes
+    asm.add(x(9), x(10), x(8));
+    asm.ld(x(3), x(9), 0); // key
+    asm.beq(x(3), x(7), "hit");
+    // next = 2*i + 1 + (probe > key)
+    asm.sltu(x(8), x(3), x(7));
+    asm.slli(x(2), x(2), 1);
+    asm.addi(x(2), x(2), 1);
+    asm.add(x(2), x(2), x(8));
+    asm.j("descend");
+    asm.label("hit");
+    asm.ld(x(3), x(9), 8); // payload
+    asm.add(x(1), x(1), x(3));
+    asm.label("done");
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "lookup");
+    epilogue_int(&mut asm);
+    asm.finish().expect("btree_lookup assembles")
+}
+
+/// Bit-board sweeps: wide random masks combined with shifts and a
+/// popcount loop (Kernighan's trick — data-dependent iteration counts).
+fn bitboard(size: u32) -> Program {
+    const BOARDS: usize = 256;
+    let reps = u64::from(size) * 4;
+    let mut rng = rng(0xB0A2D);
+    let boards: Vec<u64> = (0..BOARDS).map(|_| rng.gen()).collect();
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let base = asm.alloc_u64s(&boards);
+
+    asm.li(x(10), base);
+    asm.li(x(1), 0); // total popcount
+    asm.li(x(21), reps);
+    asm.li(x(22), BOARDS as u64);
+    asm.label("rep");
+    asm.li(x(2), 0);
+    asm.label("board");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.ld(x(6), x(5), 0);
+    // Mix: attacks = (b << 8) | (b >> 8); b &= attacks ^ b
+    asm.slli(x(7), x(6), 8);
+    asm.srli(x(8), x(6), 8);
+    asm.or(x(7), x(7), x(8));
+    asm.xor(x(7), x(7), x(6));
+    asm.and(x(6), x(6), x(7));
+    // popcount via Kernighan: while (b) { b &= b-1; count++ }
+    asm.label("pop");
+    asm.beq(x(6), x(0), "pop_done");
+    asm.addi(x(8), x(6), -1);
+    asm.and(x(6), x(6), x(8));
+    asm.addi(x(1), x(1), 1);
+    asm.j("pop");
+    asm.label("pop_done");
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "board");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue_int(&mut asm);
+    asm.finish().expect("bitboard assembles")
+}
+
+/// 16-tap FIR filter over a 4096-sample signal.
+fn fir_filter(size: u32) -> Program {
+    const N: usize = 4096;
+    const TAPS: usize = 16;
+    let reps = u64::from(size);
+    let mut rng = rng(0xF12);
+    let signal = random_f64s(&mut rng, N);
+    let taps = random_f64s(&mut rng, TAPS);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let sig_base = asm.alloc_f64s(&signal);
+    let tap_base = asm.alloc_f64s(&taps);
+    let out_base = asm.alloc_bytes_zeroed((N - TAPS) * 8);
+
+    asm.li(x(10), sig_base);
+    asm.li(x(11), tap_base);
+    asm.li(x(12), out_base);
+    asm.li(x(21), reps);
+    asm.li(x(22), (N - TAPS) as u64);
+    asm.li(x(23), TAPS as u64);
+    asm.label("rep");
+    asm.li(x(2), 0); // output index
+    asm.label("sample");
+    asm.fsub(f(2), f(2), f(2)); // acc = 0
+    asm.li(x(3), 0); // tap
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4)); // &signal[i]
+    asm.label("tap");
+    asm.slli(x(6), x(3), 3);
+    asm.add(x(7), x(5), x(6));
+    asm.fld(f(3), x(7), 0);
+    asm.add(x(7), x(11), x(6));
+    asm.fld(f(4), x(7), 0);
+    asm.fmul(f(3), f(3), f(4));
+    asm.fadd(f(2), f(2), f(3));
+    asm.addi(x(3), x(3), 1);
+    asm.blt(x(3), x(23), "tap");
+    asm.add(x(7), x(12), x(4));
+    asm.fst(f(2), x(7), 0);
+    asm.fadd(f(1), f(1), f(2));
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "sample");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    asm.li(x(28), GLOBALS_BASE);
+    asm.fst(f(1), x(28), 0);
+    asm.halt();
+    asm.finish().expect("fir_filter assembles")
+}
+
+/// Escape-time iteration (Mandelbrot-style) over a grid of points:
+/// `z = z^2 + c` until `|z|^2 > 4` or the iteration cap — data-dependent
+/// FP-compare exits feeding integer branches.
+fn escape_iter(size: u32) -> Program {
+    const POINTS: usize = 256;
+    const MAX_ITER: u64 = 24;
+    let reps = u64::from(size);
+    let mut rng = rng(0xE5CA);
+    let cx = random_f64s(&mut rng, POINTS).iter().map(|v| v * 1.5).collect::<Vec<f64>>();
+    let cy = random_f64s(&mut rng, POINTS).iter().map(|v| v * 1.5).collect::<Vec<f64>>();
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let cx_base = asm.alloc_f64s(&cx);
+    let cy_base = asm.alloc_f64s(&cy);
+    let four = asm.alloc_f64s(&[4.0, 2.0]);
+
+    asm.li(x(9), four);
+    asm.fld(f(9), x(9), 0); // 4.0
+    asm.fld(f(8), x(9), 8); // 2.0
+    asm.li(x(10), cx_base);
+    asm.li(x(11), cy_base);
+    asm.li(x(1), 0); // total iterations (checksum)
+    asm.li(x(21), reps);
+    asm.li(x(22), POINTS as u64);
+    asm.label("rep");
+    asm.li(x(2), 0); // point
+    asm.label("point");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.fld(f(6), x(5), 0); // cx
+    asm.add(x(5), x(11), x(4));
+    asm.fld(f(7), x(5), 0); // cy
+    asm.fsub(f(2), f(2), f(2)); // zx = 0
+    asm.fsub(f(3), f(3), f(3)); // zy = 0
+    asm.li(x(3), MAX_ITER);
+    asm.label("iter");
+    // zx2 = zx*zx, zy2 = zy*zy
+    asm.fmul(f(4), f(2), f(2));
+    asm.fmul(f(5), f(3), f(3));
+    asm.fadd(f(10), f(4), f(5)); // |z|^2
+    asm.fcmplt(x(6), f(9), f(10)); // 4 < |z|^2 ?
+    asm.bne(x(6), x(0), "escaped");
+    // zy = 2*zx*zy + cy ; zx = zx2 - zy2 + cx
+    asm.fmul(f(10), f(2), f(3));
+    asm.fmul(f(10), f(10), f(8));
+    asm.fadd(f(3), f(10), f(7));
+    asm.fsub(f(2), f(4), f(5));
+    asm.fadd(f(2), f(2), f(6));
+    asm.addi(x(1), x(1), 1);
+    asm.addi(x(3), x(3), -1);
+    asm.bne(x(3), x(0), "iter");
+    asm.label("escaped");
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "point");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue_int(&mut asm);
+    asm.finish().expect("escape_iter assembles")
+}

@@ -1,0 +1,393 @@
+//! The SPECfp-like kernels.
+//!
+//! Numerical codes still keep their *integer* register file busy with
+//! address arithmetic and loop control — exactly the population the paper
+//! measures for its FP bars.
+
+use crate::gen::{random_f64s, rng, GLOBALS_BASE, HEAP2_BASE, HEAP_BASE};
+use crate::suite::{Suite, Workload};
+use carf_isa::{f, x, Asm, Program};
+
+/// The registry for the FP suite.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "matvec",
+            Suite::Fp,
+            "dense matrix-vector product: streaming loads, multiply-add chains",
+            matvec,
+            (1, 20, 200),
+        ),
+        Workload::new(
+            "stencil3",
+            Suite::Fp,
+            "1-D 3-point stencil sweeps with ping-pong buffers",
+            stencil3,
+            (1, 20, 200),
+        ),
+        Workload::new(
+            "dot_products",
+            Suite::Fp,
+            "swim-like streaming reduction over two large arrays",
+            dot_products,
+            (1, 20, 200),
+        ),
+        Workload::new(
+            "particle_push",
+            Suite::Fp,
+            "n-body-like position/velocity integration",
+            particle_push,
+            (1, 30, 300),
+        ),
+        Workload::new(
+            "tridiag",
+            Suite::Fp,
+            "Thomas-algorithm tridiagonal solve: serial divide chains",
+            tridiag,
+            (1, 15, 150),
+        ),
+        Workload::new(
+            "table_interp",
+            Suite::Fp,
+            "table lookup with linear interpolation: int index math feeding FP",
+            table_interp,
+            (2, 30, 300),
+        ),
+    ]
+}
+
+/// Stores the FP accumulator `f1` (as bits) to the result slot and halts.
+fn epilogue(asm: &mut Asm) {
+    asm.li(x(28), GLOBALS_BASE);
+    asm.fst(f(1), x(28), 0);
+    asm.halt();
+}
+
+/// `y = A·x` over a 48×48 matrix, repeated.
+fn matvec(size: u32) -> Program {
+    const N: usize = 48;
+    let reps = u64::from(size);
+    let mut rng = rng(0xA7A7);
+    let a = random_f64s(&mut rng, N * N);
+    let v = random_f64s(&mut rng, N);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let a_base = asm.alloc_f64s(&a);
+    let x_base = asm.alloc_f64s(&v);
+    let y_base = asm.alloc_bytes_zeroed(N * 8);
+
+    asm.li(x(21), reps);
+    asm.li(x(10), a_base);
+    asm.li(x(11), x_base);
+    asm.li(x(12), y_base);
+    asm.li(x(22), N as u64);
+    asm.label("rep");
+    asm.li(x(2), 0); // i
+    asm.label("row");
+    asm.fsub(f(2), f(2), f(2)); // acc = 0
+    asm.li(x(3), 0); // j
+    asm.mul(x(4), x(2), x(22));
+    asm.slli(x(4), x(4), 3);
+    asm.add(x(5), x(10), x(4)); // &A[i][0]
+    asm.label("col");
+    asm.slli(x(6), x(3), 3);
+    asm.add(x(7), x(5), x(6));
+    asm.fld(f(3), x(7), 0); // A[i][j]
+    asm.add(x(7), x(11), x(6));
+    asm.fld(f(4), x(7), 0); // x[j]
+    asm.fmul(f(3), f(3), f(4));
+    asm.fadd(f(2), f(2), f(3));
+    asm.addi(x(3), x(3), 1);
+    asm.blt(x(3), x(22), "col");
+    asm.slli(x(6), x(2), 3);
+    asm.add(x(7), x(12), x(6));
+    asm.fst(f(2), x(7), 0);
+    asm.fadd(f(1), f(1), f(2)); // checksum
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "row");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("matvec assembles")
+}
+
+/// Ping-pong 3-point stencil over 2048 doubles.
+fn stencil3(size: u32) -> Program {
+    const N: usize = 2048;
+    let reps = u64::from(size) * 2;
+    let mut rng = rng(0x57E4);
+    let init = random_f64s(&mut rng, N);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let buf_a = asm.alloc_f64s(&init);
+    let buf_b = asm.alloc_bytes_zeroed(N * 8);
+    let weights = asm.alloc_f64s(&[0.25, 0.5, 0.25]);
+
+    asm.li(x(9), weights);
+    asm.fld(f(5), x(9), 0);
+    asm.fld(f(6), x(9), 8);
+    asm.fld(f(7), x(9), 16);
+    asm.li(x(10), buf_a);
+    asm.li(x(11), buf_b);
+    asm.li(x(21), reps);
+    asm.label("sweep");
+    asm.li(x(2), 1);
+    asm.li(x(22), (N - 1) as u64);
+    asm.label("point");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.fld(f(2), x(5), -8);
+    asm.fld(f(3), x(5), 0);
+    asm.fld(f(4), x(5), 8);
+    asm.fmul(f(2), f(2), f(5));
+    asm.fmul(f(3), f(3), f(6));
+    asm.fmul(f(4), f(4), f(7));
+    asm.fadd(f(2), f(2), f(3));
+    asm.fadd(f(2), f(2), f(4));
+    asm.add(x(6), x(11), x(4));
+    asm.fst(f(2), x(6), 0);
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "point");
+    // Swap the buffers (pointer exchange via xor).
+    asm.xor(x(10), x(10), x(11));
+    asm.xor(x(11), x(10), x(11));
+    asm.xor(x(10), x(10), x(11));
+    asm.fadd(f(1), f(1), f(2)); // running checksum of last point
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "sweep");
+    epilogue(&mut asm);
+    asm.finish().expect("stencil3 assembles")
+}
+
+/// Streaming dot product of two 4096-double arrays.
+fn dot_products(size: u32) -> Program {
+    const N: usize = 4096;
+    let reps = u64::from(size) * 2;
+    let mut rng = rng(0xD07);
+    let a = random_f64s(&mut rng, N);
+    let b = random_f64s(&mut rng, N);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let a_base = asm.alloc_f64s(&a);
+    asm.set_data_base(HEAP2_BASE);
+    let b_base = asm.alloc_f64s(&b);
+
+    asm.li(x(10), a_base);
+    asm.li(x(11), b_base);
+    asm.li(x(21), reps);
+    asm.li(x(22), N as u64);
+    asm.label("rep");
+    asm.fsub(f(2), f(2), f(2)); // acc = 0
+    asm.li(x(2), 0);
+    asm.label("elem");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.fld(f(3), x(5), 0);
+    asm.add(x(5), x(11), x(4));
+    asm.fld(f(4), x(5), 0);
+    asm.fmul(f(3), f(3), f(4));
+    asm.fadd(f(2), f(2), f(3));
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "elem");
+    asm.fadd(f(1), f(1), f(2));
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("dot_products assembles")
+}
+
+/// Position/velocity integration for 256 particles.
+fn particle_push(size: u32) -> Program {
+    const N: usize = 256;
+    let reps = u64::from(size) * 8;
+    let mut rng = rng(0xBA11);
+    let pos = random_f64s(&mut rng, N);
+    let vel = random_f64s(&mut rng, N);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let pos_base = asm.alloc_f64s(&pos);
+    let vel_base = asm.alloc_f64s(&vel);
+    let consts = asm.alloc_f64s(&[0.001, -0.0005]); // dt, -k*dt
+
+    asm.li(x(9), consts);
+    asm.fld(f(5), x(9), 0); // dt
+    asm.fld(f(6), x(9), 8); // -k*dt
+    asm.li(x(10), pos_base);
+    asm.li(x(11), vel_base);
+    asm.li(x(21), reps);
+    asm.li(x(22), N as u64);
+    asm.label("step");
+    asm.li(x(2), 0);
+    asm.label("particle");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.add(x(6), x(11), x(4));
+    asm.fld(f(2), x(5), 0); // pos
+    asm.fld(f(3), x(6), 0); // vel
+    // vel += -k*dt * pos; pos += dt * vel
+    asm.fmul(f(4), f(2), f(6));
+    asm.fadd(f(3), f(3), f(4));
+    asm.fmul(f(4), f(3), f(5));
+    asm.fadd(f(2), f(2), f(4));
+    asm.fst(f(2), x(5), 0);
+    asm.fst(f(3), x(6), 0);
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "particle");
+    asm.fadd(f(1), f(1), f(2));
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "step");
+    epilogue(&mut asm);
+    asm.finish().expect("particle_push assembles")
+}
+
+/// Thomas algorithm on a diagonally dominant 256-point system, from
+/// pristine copies each repetition.
+fn tridiag(size: u32) -> Program {
+    const N: usize = 256;
+    let reps = u64::from(size) * 4;
+    let mut rng = rng(0x7D1A);
+    let sub = random_f64s(&mut rng, N);
+    let diag: Vec<f64> = random_f64s(&mut rng, N).iter().map(|v| 4.0 + v).collect();
+    let sup = random_f64s(&mut rng, N);
+    let rhs = random_f64s(&mut rng, N);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let a_base = asm.alloc_f64s(&sub); // read-only
+    let b_src = asm.alloc_f64s(&diag);
+    let c_base = asm.alloc_f64s(&sup); // read-only
+    let d_src = asm.alloc_f64s(&rhs);
+    let b_work = asm.alloc_bytes_zeroed(N * 8);
+    let d_work = asm.alloc_bytes_zeroed(N * 8);
+    let x_out = asm.alloc_bytes_zeroed(N * 8);
+
+    asm.li(x(10), a_base);
+    asm.li(x(11), b_work);
+    asm.li(x(12), c_base);
+    asm.li(x(13), d_work);
+    asm.li(x(14), x_out);
+    asm.li(x(15), b_src);
+    asm.li(x(16), d_src);
+    asm.li(x(21), reps);
+    asm.li(x(22), N as u64);
+    asm.label("rep");
+    // Restore pristine b and d.
+    asm.li(x(2), 0);
+    asm.label("restore");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(15), x(4));
+    asm.fld(f(2), x(5), 0);
+    asm.add(x(5), x(11), x(4));
+    asm.fst(f(2), x(5), 0);
+    asm.add(x(5), x(16), x(4));
+    asm.fld(f(2), x(5), 0);
+    asm.add(x(5), x(13), x(4));
+    asm.fst(f(2), x(5), 0);
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "restore");
+    // Forward elimination: w = a[i]/b[i-1]; b[i] -= w*c[i-1]; d[i] -= w*d[i-1].
+    asm.li(x(2), 1);
+    asm.label("forward");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.fld(f(2), x(5), 0); // a[i]
+    asm.add(x(5), x(11), x(4));
+    asm.fld(f(3), x(5), -8); // b[i-1]
+    asm.fdiv(f(2), f(2), f(3)); // w
+    asm.add(x(6), x(12), x(4));
+    asm.fld(f(3), x(6), -8); // c[i-1]
+    asm.fmul(f(3), f(3), f(2));
+    asm.fld(f(4), x(5), 0); // b[i]
+    asm.fsub(f(4), f(4), f(3));
+    asm.fst(f(4), x(5), 0);
+    asm.add(x(6), x(13), x(4));
+    asm.fld(f(3), x(6), -8); // d[i-1]
+    asm.fmul(f(3), f(3), f(2));
+    asm.fld(f(4), x(6), 0); // d[i]
+    asm.fsub(f(4), f(4), f(3));
+    asm.fst(f(4), x(6), 0);
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "forward");
+    // Back substitution: x[n-1] = d/b; x[i] = (d[i] - c[i]*x[i+1]) / b[i].
+    asm.li(x(2), (N - 1) as u64);
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(13), x(4));
+    asm.fld(f(2), x(5), 0);
+    asm.add(x(5), x(11), x(4));
+    asm.fld(f(3), x(5), 0);
+    asm.fdiv(f(2), f(2), f(3));
+    asm.add(x(5), x(14), x(4));
+    asm.fst(f(2), x(5), 0);
+    asm.label("back");
+    asm.addi(x(2), x(2), -1);
+    asm.blt(x(2), x(0), "rep_done");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(12), x(4));
+    asm.fld(f(3), x(5), 0); // c[i]
+    asm.add(x(5), x(14), x(4));
+    asm.fld(f(4), x(5), 8); // x[i+1]
+    asm.fmul(f(3), f(3), f(4));
+    asm.add(x(5), x(13), x(4));
+    asm.fld(f(4), x(5), 0); // d[i]
+    asm.fsub(f(4), f(4), f(3));
+    asm.add(x(5), x(11), x(4));
+    asm.fld(f(3), x(5), 0); // b[i]
+    asm.fdiv(f(4), f(4), f(3));
+    asm.add(x(5), x(14), x(4));
+    asm.fst(f(4), x(5), 0);
+    asm.j("back");
+    asm.label("rep_done");
+    asm.li(x(5), x_out);
+    asm.fld(f(2), x(5), 0);
+    asm.fadd(f(1), f(1), f(2));
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("tridiag assembles")
+}
+
+/// Table lookup + linear interpolation: integer index math feeding FP.
+fn table_interp(size: u32) -> Program {
+    const ENTRIES: usize = 1024;
+    let ops = u64::from(size) * 1_000;
+    let mut rng = rng(0x1EE7);
+    let table = random_f64s(&mut rng, ENTRIES + 1);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let table_base = asm.alloc_f64s(&table);
+    let scale = asm.alloc_f64s(&[1.0 / 1048576.0]); // 2^-20
+
+    asm.li(x(9), scale);
+    asm.fld(f(5), x(9), 0);
+    asm.li(x(10), table_base);
+    asm.li(x(4), 0x853C_49E6_748F_EA9B); // LCG state
+    asm.li(x(5), 6364136223846793005);
+    asm.li(x(6), 1442695040888963407);
+    asm.li(x(21), ops);
+    asm.label("op");
+    asm.mul(x(4), x(4), x(5));
+    asm.add(x(4), x(4), x(6));
+    asm.srli(x(7), x(4), 30);
+    asm.andi(x(7), x(7), (ENTRIES - 1) as i64);
+    asm.slli(x(8), x(7), 3);
+    asm.add(x(8), x(10), x(8));
+    asm.fld(f(2), x(8), 0); // t[i]
+    asm.fld(f(3), x(8), 8); // t[i+1]
+    // frac = (state & 0xFFFFF) * 2^-20
+    asm.andi(x(7), x(4), 0xFFFFF);
+    asm.fcvt_fi(f(4), x(7));
+    asm.fmul(f(4), f(4), f(5));
+    asm.fsub(f(3), f(3), f(2));
+    asm.fmul(f(3), f(3), f(4));
+    asm.fadd(f(2), f(2), f(3));
+    asm.fadd(f(1), f(1), f(2));
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "op");
+    epilogue(&mut asm);
+    asm.finish().expect("table_interp assembles")
+}

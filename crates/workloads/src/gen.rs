@@ -1,0 +1,148 @@
+//! Deterministic data generation and memory-layout conventions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Heap-like region (typical 64-bit mmap addresses — high bits shared, so
+/// pointers into it are *short* values).
+pub const HEAP_BASE: u64 = 0x0000_7f3a_8000_0000;
+
+/// A second mapping, for workloads with two live regions.
+pub const HEAP2_BASE: u64 = 0x0000_7f3a_c000_0000;
+
+/// Static-data region (low addresses — often *simple* or short values).
+pub const GLOBALS_BASE: u64 = 0x0000_0000_0060_0000;
+
+/// Stack-like region.
+#[allow(dead_code)] // documented layout anchor; kernels use heap/globals
+pub const STACK_BASE: u64 = 0x0000_7ffd_4000_0000;
+
+/// A seeded RNG for a workload (stable across runs).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` random 64-bit words (uniform over the full range — classifies as
+/// *long*; kernels mostly use [`payload_values`] instead).
+#[allow(dead_code)] // exercised by this module's tests
+pub fn random_u64s(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` random bytes.
+pub fn random_bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` data values with a SPEC-like magnitude mixture: mostly small
+/// integers (counts, indices, enum codes — *simple* under the paper's
+/// classification), some 32-bit quantities, and a tail of full-width
+/// values. This is the distribution behind the paper's Figure 1: a few
+/// narrow values dominate the live-register population.
+pub fn payload_values(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let roll: f64 = rng.gen();
+            if roll < 0.55 {
+                // Small non-negative (fits easily in d+n bits).
+                rng.gen_range(0..1u64 << 16)
+            } else if roll < 0.70 {
+                // Small negative.
+                (-(rng.gen_range(1..1i64 << 16))) as u64
+            } else if roll < 0.85 {
+                // 32-bit quantity.
+                u64::from(rng.gen::<u32>())
+            } else {
+                // Full-width value.
+                rng.gen()
+            }
+        })
+        .collect()
+}
+
+/// `n` bytes with run-length structure (for the compression kernel):
+/// alternating runs of repeated and random bytes.
+pub fn runny_bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.gen_bool(0.6) {
+            let b: u8 = rng.gen();
+            let len = rng.gen_range(3..20).min(n - out.len());
+            out.extend(std::iter::repeat_n(b, len));
+        } else {
+            let len = rng.gen_range(1..8).min(n - out.len());
+            for _ in 0..len {
+                out.push(rng.gen());
+            }
+        }
+    }
+    out
+}
+
+/// `n` random doubles in `(-1, 1)` (away from subnormals).
+pub fn random_f64s(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// A random permutation ring: `next[i]` visits every slot exactly once
+/// before returning to 0 (a single cycle — the classic pointer-chase
+/// layout).
+pub fn permutation_ring(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (1..n).collect();
+    // Fisher-Yates.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut next = vec![0usize; n];
+    let mut cur = 0usize;
+    for &slot in &order {
+        next[cur] = slot;
+        cur = slot;
+    }
+    next[cur] = 0;
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = random_u64s(&mut rng(7), 16);
+        let b = random_u64s(&mut rng(7), 16);
+        assert_eq!(a, b);
+        let c = random_u64s(&mut rng(8), 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn permutation_ring_is_a_single_cycle() {
+        let next = permutation_ring(&mut rng(3), 64);
+        let mut seen = vec![false; 64];
+        let mut cur = 0usize;
+        for _ in 0..64 {
+            assert!(!seen[cur], "revisited {cur} before completing the cycle");
+            seen[cur] = true;
+            cur = next[cur];
+        }
+        assert_eq!(cur, 0, "must return to the head");
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn runny_bytes_have_runs() {
+        let data = runny_bytes(&mut rng(1), 1024);
+        assert_eq!(data.len(), 1024);
+        let repeats = data.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 200, "only {repeats} repeated adjacent bytes");
+    }
+
+    #[test]
+    fn regions_are_distinct() {
+        assert_ne!(HEAP_BASE >> 32, GLOBALS_BASE >> 32);
+        assert_ne!(HEAP_BASE >> 30, HEAP2_BASE >> 30);
+        assert_ne!(STACK_BASE >> 32, GLOBALS_BASE >> 32);
+    }
+}

@@ -1,0 +1,429 @@
+//! The SPECint-like kernels.
+//!
+//! Register conventions within kernels: `x1..x9` scratch/locals,
+//! `x10..x19` pointers, `x20..x25` loop bounds and outer counters.
+
+use crate::gen::{
+    payload_values, permutation_ring, random_bytes, rng, runny_bytes, GLOBALS_BASE,
+    HEAP2_BASE, HEAP_BASE,
+};
+use crate::suite::{Suite, Workload};
+use carf_isa::{x, Asm, Program};
+
+/// The registry for the integer suite.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "pointer_chase",
+            Suite::Int,
+            "mcf-like linked-structure traversal: serial loads of heap pointers",
+            pointer_chase,
+            (2, 40, 400),
+        ),
+        Workload::new(
+            "hash_table",
+            Suite::Int,
+            "perl-like hashing: wide multiplies, scattered table read-modify-write",
+            hash_table,
+            (2, 30, 300),
+        ),
+        Workload::new(
+            "sort_kernel",
+            Suite::Int,
+            "bzip2-like insertion sort: data-dependent branches, shifting stores",
+            sort_kernel,
+            (1, 8, 60),
+        ),
+        Workload::new(
+            "string_match",
+            Suite::Int,
+            "gcc/perl-like byte scanning with short-circuit compares",
+            string_match,
+            (1, 15, 150),
+        ),
+        Workload::new(
+            "graph_walk",
+            Suite::Int,
+            "mcf-like CSR graph sweep: indexed indirection, irregular inner loops",
+            graph_walk,
+            (1, 25, 250),
+        ),
+        Workload::new(
+            "state_machine",
+            Suite::Int,
+            "parser-like table-driven FSM over a byte stream",
+            state_machine,
+            (1, 15, 150),
+        ),
+        Workload::new(
+            "compress_loop",
+            Suite::Int,
+            "gzip-like run-length encoding: byte IO, run-length counting",
+            compress_loop,
+            (1, 20, 200),
+        ),
+        Workload::new(
+            "sparse_update",
+            Suite::Int,
+            "vpr-like scattered read-modify-write over a large array (cache-hostile)",
+            sparse_update,
+            (2, 30, 300),
+        ),
+    ]
+}
+
+/// Stores the checksum in `x1` to the well-known result slot and halts.
+fn epilogue(asm: &mut Asm) {
+    asm.li(x(28), GLOBALS_BASE);
+    asm.st(x(1), x(28), 0);
+    asm.halt();
+}
+
+/// Serial pointer chase around a shuffled ring of heap nodes.
+fn pointer_chase(size: u32) -> Program {
+    const NODES: usize = 1024;
+    let steps = u64::from(size) * 2_000;
+    let mut rng = rng(0xC0FFEE);
+    let next = permutation_ring(&mut rng, NODES);
+    let payloads = payload_values(&mut rng, NODES);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    // Node layout: [next_ptr: u64][payload: u64].
+    let mut image = Vec::with_capacity(NODES * 16);
+    for i in 0..NODES {
+        image.extend_from_slice(&(HEAP_BASE + (next[i] as u64) * 16).to_le_bytes());
+        image.extend_from_slice(&payloads[i].to_le_bytes());
+    }
+    let head = asm.alloc_data(&image);
+
+    asm.li(x(10), head);
+    asm.li(x(1), 0); // checksum
+    asm.li(x(20), steps);
+    asm.label("chase");
+    asm.ld(x(4), x(10), 8); // payload
+    asm.add(x(1), x(1), x(4));
+    asm.ld(x(10), x(10), 0); // next
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "chase");
+    epilogue(&mut asm);
+    asm.finish().expect("pointer_chase assembles")
+}
+
+/// LCG-keyed hashing into a 4096-bucket table with read-modify-write.
+fn hash_table(size: u32) -> Program {
+    const BUCKETS: usize = 4096;
+    let ops = u64::from(size) * 1_000;
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let table = asm.alloc_bytes_zeroed(BUCKETS * 8);
+
+    asm.li(x(10), table);
+    asm.li(x(4), 0x243F_6A88_85A3_08D3); // LCG state (pi digits)
+    asm.li(x(5), 6364136223846793005); // LCG multiplier
+    asm.li(x(6), 1442695040888963407); // LCG increment
+    asm.li(x(1), 0); // checksum
+    asm.li(x(20), ops);
+    asm.label("op");
+    // key = lcg(state)
+    asm.mul(x(4), x(4), x(5));
+    asm.add(x(4), x(4), x(6));
+    // h = (key >> 13) & (BUCKETS-1)
+    asm.srli(x(7), x(4), 13);
+    asm.andi(x(7), x(7), (BUCKETS - 1) as i64);
+    asm.slli(x(7), x(7), 3);
+    asm.add(x(8), x(10), x(7));
+    // bucket ^= key; checksum += bucket
+    asm.ld(x(9), x(8), 0);
+    asm.xor(x(9), x(9), x(4));
+    asm.st(x(9), x(8), 0);
+    asm.add(x(1), x(1), x(9));
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "op");
+    epilogue(&mut asm);
+    asm.finish().expect("hash_table assembles")
+}
+
+/// Repeated insertion sort of a 128-element scratch copy.
+fn sort_kernel(size: u32) -> Program {
+    const N: usize = 128;
+    let reps = u64::from(size);
+    let mut rng = rng(0x50FA);
+    use rand::Rng;
+    let data: Vec<u64> = (0..N).map(|_| rng.gen_range(0..1u64 << 20)).collect();
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let src = asm.alloc_u64s(&data);
+    let work = asm.alloc_bytes_zeroed(N * 8);
+
+    asm.li(x(1), 0); // checksum
+    asm.li(x(21), reps);
+    asm.label("rep");
+    // Copy src -> work.
+    asm.li(x(2), 0);
+    asm.li(x(3), N as u64);
+    asm.li(x(10), src);
+    asm.li(x(11), work);
+    asm.label("copy");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.ld(x(6), x(5), 0);
+    asm.add(x(5), x(11), x(4));
+    asm.st(x(6), x(5), 0);
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(3), "copy");
+    // Insertion sort work[0..N] (unsigned order).
+    asm.li(x(2), 1); // i
+    asm.label("outer");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(11), x(4));
+    asm.ld(x(6), x(5), 0); // key
+    asm.mv(x(7), x(2)); // j
+    asm.label("inner");
+    asm.beq(x(7), x(0), "place");
+    asm.addi(x(8), x(7), -1);
+    asm.slli(x(9), x(8), 3);
+    asm.add(x(12), x(11), x(9));
+    asm.ld(x(13), x(12), 0); // work[j-1]
+    asm.bgeu(x(6), x(13), "place");
+    asm.st(x(13), x(12), 8); // work[j] = work[j-1]
+    asm.mv(x(7), x(8));
+    asm.j("inner");
+    asm.label("place");
+    asm.slli(x(9), x(7), 3);
+    asm.add(x(12), x(11), x(9));
+    asm.st(x(6), x(12), 0);
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(3), "outer");
+    // Checksum the median to defeat dead-code concerns.
+    asm.ld(x(4), x(11), ((N / 2) * 8) as i64);
+    asm.add(x(1), x(1), x(4));
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("sort_kernel assembles")
+}
+
+/// Scans a pseudo-random text for a 4-byte pattern, counting matches.
+fn string_match(size: u32) -> Program {
+    const TEXT: usize = 4096;
+    let reps = u64::from(size);
+    let mut rng = rng(0x7E57);
+    let mut text = random_bytes(&mut rng, TEXT);
+    // Plant the pattern a few dozen times so matches exist.
+    let pattern = [0x42u8, 0x13, 0x37, 0x99];
+    for k in 0..48 {
+        let at = (k * 83 + 7) % (TEXT - 4);
+        text[at..at + 4].copy_from_slice(&pattern);
+    }
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let base = asm.alloc_data(&text);
+
+    asm.li(x(1), 0); // match count
+    asm.li(x(21), reps);
+    asm.li(x(5), u64::from(pattern[0]));
+    asm.li(x(6), u64::from(pattern[1]));
+    asm.li(x(7), u64::from(pattern[2]));
+    asm.li(x(8), u64::from(pattern[3]));
+    asm.label("rep");
+    asm.li(x(10), base);
+    asm.li(x(11), base + (TEXT - 4) as u64);
+    asm.label("scan");
+    asm.lbu(x(2), x(10), 0);
+    asm.bne(x(2), x(5), "next");
+    asm.lbu(x(2), x(10), 1);
+    asm.bne(x(2), x(6), "next");
+    asm.lbu(x(2), x(10), 2);
+    asm.bne(x(2), x(7), "next");
+    asm.lbu(x(2), x(10), 3);
+    asm.bne(x(2), x(8), "next");
+    asm.addi(x(1), x(1), 1);
+    asm.label("next");
+    asm.addi(x(10), x(10), 1);
+    asm.bltu(x(10), x(11), "scan");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("string_match assembles")
+}
+
+/// Sweeps a CSR graph, accumulating neighbor payloads (irregular inner
+/// loop lengths).
+fn graph_walk(size: u32) -> Program {
+    const NODES: usize = 256;
+    const AVG_DEGREE: usize = 4;
+    let reps = u64::from(size);
+    let mut rng = rng(0x6EA4);
+
+    // Build a CSR structure with varying degrees 1..8.
+    let mut row = Vec::with_capacity(NODES + 1);
+    let mut col: Vec<u64> = Vec::new();
+    row.push(0u64);
+    use rand::Rng;
+    for _ in 0..NODES {
+        let deg = rng.gen_range(1..=2 * AVG_DEGREE);
+        for _ in 0..deg {
+            col.push(rng.gen_range(0..NODES as u64));
+        }
+        row.push(col.len() as u64);
+    }
+    let payload = payload_values(&mut rng, NODES);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let row_base = asm.alloc_u64s(&row);
+    let col_base = asm.alloc_u64s(&col);
+    asm.set_data_base(HEAP2_BASE); // payloads live in a second mapping
+    let pay_base = asm.alloc_u64s(&payload);
+
+    asm.li(x(1), 0); // checksum
+    asm.li(x(21), reps);
+    asm.li(x(10), row_base);
+    asm.li(x(11), col_base);
+    asm.li(x(12), pay_base);
+    asm.li(x(22), NODES as u64);
+    asm.label("rep");
+    asm.li(x(2), 0); // node
+    asm.label("node");
+    asm.slli(x(4), x(2), 3);
+    asm.add(x(5), x(10), x(4));
+    asm.ld(x(6), x(5), 0); // row[n]
+    asm.ld(x(7), x(5), 8); // row[n+1]
+    asm.label("edge");
+    asm.bgeu(x(6), x(7), "node_done");
+    asm.slli(x(4), x(6), 3);
+    asm.add(x(5), x(11), x(4));
+    asm.ld(x(8), x(5), 0); // neighbor id
+    asm.slli(x(8), x(8), 3);
+    asm.add(x(9), x(12), x(8));
+    asm.ld(x(3), x(9), 0); // payload[neighbor]
+    asm.add(x(1), x(1), x(3));
+    asm.addi(x(6), x(6), 1);
+    asm.j("edge");
+    asm.label("node_done");
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(22), "node");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("graph_walk assembles")
+}
+
+/// Table-driven finite state machine over a byte stream.
+fn state_machine(size: u32) -> Program {
+    const STATES: usize = 16;
+    const INPUT: usize = 4096;
+    let reps = u64::from(size);
+    let mut rng = rng(0xF5A);
+    let table = random_bytes(&mut rng, STATES * 256)
+        .into_iter()
+        .map(|b| b % STATES as u8)
+        .collect::<Vec<u8>>();
+    let input = random_bytes(&mut rng, INPUT);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(GLOBALS_BASE + 0x1000); // the FSM table is static data
+    let table_base = asm.alloc_data(&table);
+    asm.set_data_base(HEAP_BASE);
+    let input_base = asm.alloc_data(&input);
+
+    asm.li(x(1), 0); // accept count
+    asm.li(x(21), reps);
+    asm.li(x(10), table_base);
+    asm.label("rep");
+    asm.li(x(11), input_base);
+    asm.li(x(12), input_base + INPUT as u64);
+    asm.li(x(5), 0); // state
+    asm.label("step");
+    asm.lbu(x(6), x(11), 0);
+    asm.slli(x(7), x(5), 8);
+    asm.add(x(7), x(7), x(6));
+    asm.add(x(7), x(10), x(7));
+    asm.lbu(x(5), x(7), 0);
+    asm.andi(x(8), x(5), 1);
+    asm.add(x(1), x(1), x(8));
+    asm.addi(x(11), x(11), 1);
+    asm.bltu(x(11), x(12), "step");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("state_machine assembles")
+}
+
+/// Run-length encodes a byte buffer with planted runs.
+fn compress_loop(size: u32) -> Program {
+    const INPUT: usize = 4096;
+    let reps = u64::from(size);
+    let mut rng = rng(0x21F1);
+    let input = runny_bytes(&mut rng, INPUT);
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let in_base = asm.alloc_data(&input);
+    asm.set_data_base(HEAP2_BASE);
+    let out_base = asm.alloc_bytes_zeroed(2 * INPUT);
+
+    asm.li(x(1), 0); // emitted pairs
+    asm.li(x(21), reps);
+    asm.label("rep");
+    asm.li(x(10), in_base);
+    asm.li(x(12), in_base + INPUT as u64);
+    asm.li(x(11), out_base);
+    asm.label("loop");
+    asm.lbu(x(4), x(10), 0); // current byte
+    asm.li(x(5), 1); // run length
+    asm.label("run");
+    asm.add(x(6), x(10), x(5));
+    asm.bgeu(x(6), x(12), "emit");
+    asm.lbu(x(7), x(6), 0);
+    asm.bne(x(7), x(4), "emit");
+    asm.addi(x(5), x(5), 1);
+    asm.j("run");
+    asm.label("emit");
+    asm.sb(x(4), x(11), 0);
+    asm.sb(x(5), x(11), 1);
+    asm.addi(x(11), x(11), 2);
+    asm.addi(x(1), x(1), 1);
+    asm.add(x(10), x(10), x(5));
+    asm.bltu(x(10), x(12), "loop");
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue(&mut asm);
+    asm.finish().expect("compress_loop assembles")
+}
+
+/// LCG-indexed read-modify-write over a 512 KB array (cache-hostile).
+fn sparse_update(size: u32) -> Program {
+    const WORDS: usize = 64 * 1024;
+    let ops = u64::from(size) * 1_000;
+
+    let mut asm = Asm::new();
+    asm.set_data_base(HEAP_BASE);
+    let base = asm.alloc_bytes_zeroed(WORDS * 8);
+
+    asm.li(x(10), base);
+    asm.li(x(4), 0x9E37_79B9_7F4A_7C15); // state
+    asm.li(x(5), 6364136223846793005);
+    asm.li(x(6), 1442695040888963407);
+    asm.li(x(1), 0);
+    asm.li(x(20), ops);
+    asm.label("op");
+    asm.mul(x(4), x(4), x(5));
+    asm.add(x(4), x(4), x(6));
+    asm.srli(x(7), x(4), 28);
+    asm.andi(x(7), x(7), (WORDS - 1) as i64);
+    asm.slli(x(7), x(7), 3);
+    asm.add(x(8), x(10), x(7));
+    asm.ld(x(9), x(8), 0);
+    asm.add(x(9), x(9), x(4));
+    asm.st(x(9), x(8), 0);
+    asm.add(x(1), x(1), x(9));
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "op");
+    epilogue(&mut asm);
+    asm.finish().expect("sparse_update assembles")
+}

@@ -1,0 +1,150 @@
+//! Workload registry.
+
+use carf_isa::Program;
+
+/// Which benchmark suite a workload belongs to (SPECint- or SPECfp-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Integer codes.
+    Int,
+    /// Floating-point codes (numerical kernels with integer address math).
+    Fp,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Int => write!(f, "INT"),
+            Suite::Fp => write!(f, "FP"),
+        }
+    }
+}
+
+/// Standard problem sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Tiny: unit tests (≈ tens of thousands of dynamic instructions).
+    Test,
+    /// Quick experiments (≈ a few hundred thousand instructions).
+    Quick,
+    /// Full experiments (millions of instructions, still laptop-scale).
+    Full,
+}
+
+/// One benchmark: a name, its suite, and a parameterized program builder.
+#[derive(Clone)]
+pub struct Workload {
+    /// Short kernel name (e.g. `pointer_chase`).
+    pub name: &'static str,
+    /// The suite it models.
+    pub suite: Suite,
+    /// What the kernel stresses (for reports).
+    pub description: &'static str,
+    builder: fn(u32) -> Program,
+    test_size: u32,
+    quick_size: u32,
+    full_size: u32,
+}
+
+impl Workload {
+    pub(crate) fn new(
+        name: &'static str,
+        suite: Suite,
+        description: &'static str,
+        builder: fn(u32) -> Program,
+        sizes: (u32, u32, u32),
+    ) -> Self {
+        Self {
+            name,
+            suite,
+            description,
+            builder,
+            test_size: sizes.0,
+            quick_size: sizes.1,
+            full_size: sizes.2,
+        }
+    }
+
+    /// Builds the program at an explicit size parameter (roughly linear in
+    /// dynamic instruction count).
+    pub fn build(&self, size: u32) -> Program {
+        (self.builder)(size.max(1))
+    }
+
+    /// The calibrated size for a [`SizeClass`].
+    pub fn size(&self, class: SizeClass) -> u32 {
+        match class {
+            SizeClass::Test => self.test_size,
+            SizeClass::Quick => self.quick_size,
+            SizeClass::Full => self.full_size,
+        }
+    }
+
+    /// Convenience: build at a size class.
+    pub fn build_class(&self, class: SizeClass) -> Program {
+        self.build(self.size(class))
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
+    }
+}
+
+/// The eight SPECint-like kernels.
+pub fn int_suite() -> Vec<Workload> {
+    crate::int::suite()
+}
+
+/// The six SPECfp-like kernels.
+pub fn fp_suite() -> Vec<Workload> {
+    crate::fp::suite()
+}
+
+/// Both suites, integer first.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = int_suite();
+    v.extend(fp_suite());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_shape() {
+        assert_eq!(int_suite().len(), 8);
+        assert_eq!(fp_suite().len(), 6);
+        assert_eq!(all_workloads().len(), 14);
+        assert!(int_suite().iter().all(|w| w.suite == Suite::Int));
+        assert!(fp_suite().iter().all(|w| w.suite == Suite::Fp));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_workloads().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        for w in all_workloads() {
+            assert!(w.size(SizeClass::Test) <= w.size(SizeClass::Quick), "{}", w.name);
+            assert!(w.size(SizeClass::Quick) <= w.size(SizeClass::Full), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn size_is_clamped_to_one() {
+        let w = &int_suite()[0];
+        let p = w.build(0); // clamps to 1
+        assert!(!p.is_empty());
+    }
+}

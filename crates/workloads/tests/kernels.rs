@@ -1,0 +1,182 @@
+//! Functional validation of every workload kernel: each runs to halt on
+//! the reference machine and leaves behaviorally meaningful state.
+
+use carf_isa::Machine;
+use carf_workloads::{all_workloads, fp_suite, int_suite, SizeClass};
+
+const RESULT_SLOT: u64 = 0x0000_0000_0060_0000;
+
+fn run_to_halt(name: &str) -> Machine {
+    let wl = all_workloads().into_iter().find(|w| w.name == name).expect("workload exists");
+    let program = wl.build_class(SizeClass::Test);
+    let mut m = Machine::load(&program);
+    m.run(&program, 100_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+    m
+}
+
+#[test]
+fn every_kernel_halts_at_test_size() {
+    for wl in all_workloads() {
+        let program = wl.build_class(SizeClass::Test);
+        let mut m = Machine::load(&program);
+        m.run(&program, 100_000_000).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+        assert!(m.is_halted(), "{}", wl.name);
+        assert!(m.retired() > 1_000, "{} retired only {}", wl.name, m.retired());
+    }
+}
+
+#[test]
+fn kernels_are_deterministic() {
+    for wl in all_workloads() {
+        let p1 = wl.build_class(SizeClass::Test);
+        let p2 = wl.build_class(SizeClass::Test);
+        assert_eq!(p1.insts, p2.insts, "{}", wl.name);
+        assert_eq!(p1.data, p2.data, "{}", wl.name);
+    }
+}
+
+#[test]
+fn size_scales_dynamic_instruction_count() {
+    for wl in int_suite() {
+        let small = wl.build(1);
+        let large = wl.build(4);
+        let retired = |p: &carf_isa::Program| {
+            let mut m = Machine::load(p);
+            m.run(p, 200_000_000).unwrap();
+            m.retired()
+        };
+        let (rs, rl) = (retired(&small), retired(&large));
+        assert!(rl > rs * 2, "{}: {rs} -> {rl}", wl.name);
+    }
+}
+
+#[test]
+fn pointer_chase_checksum_is_stable_and_nonzero() {
+    let m = run_to_halt("pointer_chase");
+    assert_ne!(m.mem.read_u64(RESULT_SLOT), 0);
+}
+
+#[test]
+fn sort_kernel_actually_sorts() {
+    let m = run_to_halt("sort_kernel");
+    // The work buffer sits directly after the 128-word source array.
+    let src = 0x0000_7f3a_8000_0000u64;
+    let work = src + 128 * 8;
+    let mut prev = m.mem.read_u64(work);
+    for i in 1..128u64 {
+        let v = m.mem.read_u64(work + i * 8);
+        assert!(v >= prev, "work[{i}] = {v:#x} < work[{}] = {prev:#x}", i - 1);
+        prev = v;
+    }
+}
+
+#[test]
+fn string_match_finds_the_planted_patterns() {
+    let m = run_to_halt("string_match");
+    let matches = m.mem.read_u64(RESULT_SLOT);
+    // 48 planted occurrences per scan (some may overlap-plant earlier ones,
+    // so allow slack), at least one scan repetition.
+    assert!(matches >= 40, "only {matches} matches found");
+}
+
+#[test]
+fn compress_loop_output_decodes_to_the_input() {
+    let m = run_to_halt("compress_loop");
+    let input = 0x0000_7f3a_8000_0000u64;
+    let output = 0x0000_7f3a_c000_0000u64;
+    let pairs = m.mem.read_u64(RESULT_SLOT);
+    assert!(pairs > 0);
+    // Decode the (byte, run) pairs and compare with the original input.
+    let mut decoded = Vec::new();
+    for k in 0..pairs {
+        let byte = m.mem.read_u8(output + 2 * k);
+        let run = m.mem.read_u8(output + 2 * k + 1) as usize;
+        assert!(run > 0, "zero-length run at pair {k}");
+        decoded.extend(std::iter::repeat(byte).take(run));
+    }
+    assert_eq!(decoded.len(), 4096);
+    for (i, b) in decoded.iter().enumerate() {
+        assert_eq!(*b, m.mem.read_u8(input + i as u64), "byte {i}");
+    }
+}
+
+#[test]
+fn state_machine_visits_accepting_states() {
+    let m = run_to_halt("state_machine");
+    let accepts = m.mem.read_u64(RESULT_SLOT);
+    // Roughly half the states are odd-numbered; expect a broad band.
+    assert!(accepts > 500, "accepts = {accepts}");
+}
+
+#[test]
+fn fp_kernels_produce_finite_checksums() {
+    for wl in fp_suite() {
+        let program = wl.build_class(SizeClass::Test);
+        let mut m = Machine::load(&program);
+        m.run(&program, 100_000_000).unwrap();
+        let checksum = m.mem.read_f64(RESULT_SLOT);
+        assert!(checksum.is_finite(), "{}: checksum = {checksum}", wl.name);
+        assert_ne!(checksum, 0.0, "{}", wl.name);
+    }
+}
+
+#[test]
+fn hash_table_checksum_depends_on_size() {
+    let wl = int_suite().into_iter().find(|w| w.name == "hash_table").unwrap();
+    let result = |size: u32| {
+        let p = wl.build(size);
+        let mut m = Machine::load(&p);
+        m.run(&p, 200_000_000).unwrap();
+        m.mem.read_u64(RESULT_SLOT)
+    };
+    assert_ne!(result(1), result(2));
+}
+
+mod extended {
+    use carf_isa::Machine;
+    use carf_workloads::{extended_suite, SizeClass};
+
+    #[test]
+    fn extended_kernels_halt_and_scale() {
+        assert_eq!(extended_suite().len(), 4);
+        for wl in extended_suite() {
+            let p = wl.build_class(SizeClass::Test);
+            let mut m = Machine::load(&p);
+            m.run(&p, 200_000_000).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+            assert!(m.is_halted(), "{}", wl.name);
+            assert!(m.retired() > 1_000, "{} retired {}", wl.name, m.retired());
+        }
+    }
+
+    #[test]
+    fn extended_names_do_not_collide_with_the_paper_suites() {
+        let base: Vec<&str> = carf_workloads::all_workloads().iter().map(|w| w.name).collect();
+        for wl in extended_suite() {
+            assert!(!base.contains(&wl.name), "{} collides", wl.name);
+        }
+    }
+
+    #[test]
+    fn btree_lookup_finds_some_keys() {
+        let wl = extended_suite().into_iter().find(|w| w.name == "btree_lookup").unwrap();
+        let p = wl.build(2);
+        let mut m = Machine::load(&p);
+        m.run(&p, 200_000_000).unwrap();
+        // The checksum accumulates payloads of hit lookups; with 4095 keys
+        // out of a 2^30 space hits are rare but the checksum is
+        // deterministic either way.
+        let _ = m.mem.read_u64(0x0000_0000_0060_0000);
+    }
+
+    #[test]
+    fn bitboard_counts_bits() {
+        let wl = extended_suite().into_iter().find(|w| w.name == "bitboard").unwrap();
+        let p = wl.build(1);
+        let mut m = Machine::load(&p);
+        m.run(&p, 200_000_000).unwrap();
+        let count = m.mem.read_u64(0x0000_0000_0060_0000);
+        // 256 boards x 4 reps, masked to roughly a third of 64 bits each:
+        // anything in a broad positive band is sane and deterministic.
+        assert!(count > 4_000, "popcount total = {count}");
+    }
+}

@@ -1,0 +1,14 @@
+; Iterative Fibonacci: x3 = fib(40), stored to the result slot.
+        li   x1, 0          ; fib(i)
+        li   x2, 1          ; fib(i+1)
+        li   x4, 40         ; iterations
+loop:
+        add  x3, x1, x2
+        mv   x1, x2
+        mv   x2, x3
+        addi x4, x4, -1
+        bne  x4, x0, loop
+
+        li   x10, 0x600000
+        st   x3, 0(x10)
+        halt

@@ -1,0 +1,62 @@
+//! Quickstart: assemble a program, run it on the baseline and the
+//! content-aware machine, and compare IPC and register-file traffic.
+//!
+//! ```text
+//! cargo run --release -p carf-bench --example quickstart
+//! ```
+
+use carf_core::CarfParams;
+use carf_isa::{x, Asm};
+use carf_sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small kernel: sum a table of heap values.
+    let mut asm = Asm::new();
+    asm.set_data_base(0x0000_7f3a_8000_0000); // heap-like addresses
+    let table = asm.alloc_u64s(&(0..256u64).map(|i| i * 3).collect::<Vec<_>>());
+    asm.li(x(10), table);
+    asm.li(x(1), 0); // sum
+    asm.li(x(3), 256);
+    asm.li(x(4), 200); // outer repetitions
+    asm.label("outer");
+    asm.li(x(2), 0); // i
+    asm.label("loop");
+    asm.slli(x(5), x(2), 3);
+    asm.add(x(6), x(10), x(5));
+    asm.ld(x(7), x(6), 0);
+    asm.add(x(1), x(1), x(7));
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(3), "loop");
+    asm.addi(x(4), x(4), -1);
+    asm.bne(x(4), x(0), "outer");
+    asm.halt();
+    let program = asm.finish()?;
+
+    // Run the same program on both machines, with the golden-model check on.
+    for (name, mut config) in [
+        ("baseline      ", SimConfig::paper_baseline()),
+        ("content-aware ", SimConfig::paper_carf(CarfParams::paper_default())),
+    ] {
+        config.cosim = true;
+        let mut sim = Simulator::new(config, &program);
+        let result = sim.run(10_000_000)?;
+        let stats = sim.stats();
+        println!(
+            "{name} ipc={:.3}  cycles={:>7}  bypassed={:>4.1}%  rf accesses: {} reads / {} writes",
+            result.ipc,
+            result.cycles,
+            stats.bypass_fraction() * 100.0,
+            stats.int_rf.total_reads,
+            stats.int_rf.total_writes,
+        );
+        if stats.int_rf.writes.total() > 0 {
+            println!(
+                "               value classes written: {:.0}% simple, {:.0}% short, {:.0}% long",
+                stats.int_rf.writes.fraction(carf_core::ValueClass::Simple) * 100.0,
+                stats.int_rf.writes.fraction(carf_core::ValueClass::Short) * 100.0,
+                stats.int_rf.writes.fraction(carf_core::ValueClass::Long) * 100.0,
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+#!/bin/bash
+# Regenerates every table and figure at full scale (plus the extension
+# studies). Outputs land in results/<binary>.txt.
+set -u
+cd "$(dirname "$0")/.."
+BINS="
+fig1_value_distribution
+fig2_similarity
+fig5_ipc_sweep
+fig6_access_distribution
+table2_bypass
+table3_access_energy
+table4_operand_mix
+fig7_energy
+fig8_area
+fig9_access_time
+related_work
+sweep_subfile_sizes
+sweep_ports
+sweep_width
+edp_analysis
+headline_summary
+detail_per_workload
+ext_clustering
+ext_smt_sharing
+ext_smt_timing
+ablations
+"
+for b in $BINS; do
+  echo "[$(date +%H:%M:%S)] $b"
+  cargo run -p carf-bench --release --bin "$b" -- --full > "results/$b.txt" 2>&1
+done
+echo "[$(date +%H:%M:%S)] all experiments complete"

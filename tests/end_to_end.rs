@@ -1,0 +1,140 @@
+//! End-to-end integration: full workload kernels through the cycle-level
+//! simulator under every register-file organization, with the golden-model
+//! check enabled throughout.
+
+use carf_core::CarfParams;
+use carf_sim::{RegFileKind, SimConfig, SimResult, Simulator};
+use carf_workloads::{all_workloads, int_suite, SizeClass};
+
+fn run(cfg: &SimConfig, name: &str, max: u64) -> (SimResult, carf_sim::SimStats) {
+    let wl = all_workloads().into_iter().find(|w| w.name == name).expect("workload exists");
+    let program = wl.build_class(SizeClass::Test);
+    let mut sim = Simulator::new(cfg.clone(), &program);
+    let result = sim.run(max).unwrap_or_else(|e| panic!("{name}: {e}"));
+    (result, sim.stats().clone())
+}
+
+#[test]
+fn every_kernel_runs_cosim_clean_on_the_carf_machine() {
+    let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+    cfg.cosim = true;
+    for wl in all_workloads() {
+        let (result, _) = run(&cfg, wl.name, 150_000);
+        assert!(result.committed > 1_000, "{}", wl.name);
+    }
+}
+
+#[test]
+fn every_kernel_runs_cosim_clean_on_the_baseline_machine() {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.cosim = true;
+    for wl in all_workloads() {
+        let (result, _) = run(&cfg, wl.name, 150_000);
+        assert!(result.committed > 1_000, "{}", wl.name);
+    }
+}
+
+#[test]
+fn carf_ipc_stays_within_a_sane_band_of_baseline() {
+    let mut base = SimConfig::paper_baseline();
+    base.cosim = true;
+    let mut carf = SimConfig::paper_carf(CarfParams::paper_default());
+    carf.cosim = true;
+    for wl in int_suite() {
+        let (b, _) = run(&base, wl.name, 100_000);
+        let (c, _) = run(&carf, wl.name, 100_000);
+        let rel = c.ipc / b.ipc;
+        // The paper's average loss is 1.7%; individual kernels vary, but
+        // anything outside this band indicates a pipeline bug.
+        assert!(rel > 0.80 && rel < 1.05, "{}: carf/base = {rel:.3}", wl.name);
+    }
+}
+
+#[test]
+fn unlimited_machine_is_at_least_as_fast_as_baseline() {
+    let mut unl = SimConfig::paper_unlimited();
+    unl.cosim = true;
+    let mut base = SimConfig::paper_baseline();
+    base.cosim = true;
+    for name in ["pointer_chase", "sort_kernel", "matvec"] {
+        let (u, _) = run(&unl, name, 100_000);
+        let (b, _) = run(&base, name, 100_000);
+        assert!(u.ipc >= b.ipc * 0.995, "{name}: unlimited {:.3} < baseline {:.3}", u.ipc, b.ipc);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let cfg = SimConfig::paper_carf(CarfParams::paper_default());
+    let (r1, s1) = run(&cfg, "hash_table", 80_000);
+    let (r2, s2) = run(&cfg, "hash_table", 80_000);
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(r1.committed, r2.committed);
+    assert_eq!(s1.int_rf.writes.short, s2.int_rf.writes.short);
+    assert_eq!(s1.mispredicts, s2.mispredicts);
+}
+
+#[test]
+fn classification_reflects_workload_character() {
+    let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+    cfg.cosim = true;
+    // Pointer chasing: plenty of short (heap addresses) and simple values.
+    let (_, chase) = run(&cfg, "pointer_chase", 100_000);
+    assert!(chase.int_rf.writes.short > 0);
+    assert!(chase.int_rf.writes.simple > 0);
+    // Hashing: dominated by long (wide hash) values.
+    let (_, hash) = run(&cfg, "hash_table", 100_000);
+    assert!(
+        hash.int_rf.writes.long > hash.int_rf.writes.short,
+        "{:?}",
+        hash.int_rf.writes
+    );
+}
+
+#[test]
+fn deadlock_recoveries_do_not_happen_with_paper_sizing() {
+    let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+    cfg.cosim = true;
+    for name in ["hash_table", "sparse_update", "tridiag"] {
+        let (_, stats) = run(&cfg, name, 100_000);
+        assert_eq!(stats.deadlock_recoveries, 0, "{name}");
+    }
+}
+
+#[test]
+fn stores_drain_to_memory_in_program_order() {
+    // The compress kernel writes an output buffer; its RLE output must
+    // decode to the input even on the out-of-order machine (the functional
+    // check is in carf-workloads; here cosim guarantees equivalence, so we
+    // only need a clean run that actually stores).
+    let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+    cfg.cosim = true;
+    let (result, stats) = run(&cfg, "compress_loop", 120_000);
+    assert!(result.committed > 10_000);
+    assert!(stats.stores > 500);
+    assert!(stats.stl_forwards < stats.loads, "forwards bounded by loads");
+}
+
+#[test]
+fn regfile_kind_is_observable_in_config() {
+    let cfg = SimConfig::paper_carf(CarfParams::paper_default());
+    assert!(matches!(cfg.regfile, RegFileKind::ContentAware(..)));
+    let cfg = SimConfig::paper_baseline();
+    assert!(matches!(cfg.regfile, RegFileKind::Baseline));
+}
+
+#[test]
+fn extended_kernels_run_cosim_clean_on_both_machines() {
+    for wl in carf_workloads::extended_suite() {
+        let program = wl.build_class(SizeClass::Test);
+        for mut cfg in [
+            SimConfig::paper_baseline(),
+            SimConfig::paper_carf(CarfParams::paper_default()),
+        ] {
+            cfg.cosim = true;
+            let mut sim = Simulator::new(cfg, &program);
+            let r = sim.run(120_000).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+            assert!(r.committed > 1_000, "{}", wl.name);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Smoke tests of the experiment harness: every figure/table's pipeline
+//! (workloads → simulator → aggregation → model) produces well-formed
+//! numbers at tiny scale.
+
+use carf_bench::{
+    baseline_geometry, carf_geometries, rf_energy_carf, rf_energy_monolithic, run_suite,
+    run_workload, unlimited_geometry, Budget, DN_SWEEP,
+};
+use carf_core::CarfParams;
+use carf_energy::TechModel;
+use carf_sim::SimConfig;
+use carf_workloads::{int_suite, SizeClass, Suite};
+
+fn tiny_budget() -> Budget {
+    Budget { size: SizeClass::Test, max_insts: 30_000, oracle_period: 16 }
+}
+
+#[test]
+fn suite_runner_produces_stats_for_every_workload() {
+    let budget = tiny_budget();
+    let result = run_suite(&SimConfig::paper_baseline(), Suite::Int, &budget);
+    assert_eq!(result.runs.len(), 8);
+    for (name, stats) in &result.runs {
+        assert!(stats.committed > 1_000, "{name}");
+        assert!(stats.ipc() > 0.01, "{name}");
+    }
+    assert!(result.mean_ipc() > 0.1);
+}
+
+#[test]
+fn relative_ipc_of_identical_configs_is_one() {
+    let budget = tiny_budget();
+    let a = run_suite(&SimConfig::paper_baseline(), Suite::Fp, &budget);
+    let b = run_suite(&SimConfig::paper_baseline(), Suite::Fp, &budget);
+    let rel = a.mean_relative_ipc(&b);
+    assert!((rel - 1.0).abs() < 1e-9, "determinism: rel = {rel}");
+}
+
+#[test]
+fn fig1_oracle_fractions_sum_to_one() {
+    let budget = tiny_budget();
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.oracle_period = Some(budget.oracle_period);
+    let wl = &int_suite()[0];
+    let stats = run_workload(&cfg, wl, &budget);
+    let sum: f64 = stats.oracle.values.fractions().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+    let sum: f64 = stats.oracle.sim_d8.fractions().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig2_similarity_concentrates_with_growing_d() {
+    let budget = tiny_budget();
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.oracle_period = Some(8);
+    let wl = int_suite().into_iter().find(|w| w.name == "pointer_chase").unwrap();
+    let stats = run_workload(&cfg, &wl, &budget);
+    let rest8 = stats.oracle.sim_d8.fractions()[5];
+    let rest16 = stats.oracle.sim_d16.fractions()[5];
+    assert!(rest16 <= rest8 + 1e-9, "REST must shrink with d: {rest8} -> {rest16}");
+}
+
+#[test]
+fn fig6_access_fractions_are_well_formed_across_the_sweep() {
+    let budget = tiny_budget();
+    let wl = int_suite().into_iter().find(|w| w.name == "compress_loop").unwrap();
+    for dn in [DN_SWEEP[0], DN_SWEEP[3], DN_SWEEP[6]] {
+        let stats =
+            run_workload(&SimConfig::paper_carf(CarfParams::with_dn(dn)), &wl, &budget);
+        let w = stats.int_rf.writes;
+        assert_eq!(w.total(), stats.int_rf.total_writes, "d+n={dn}");
+        assert!(w.total() > 1_000, "d+n={dn}");
+    }
+}
+
+#[test]
+fn fig7_energy_orderings_hold() {
+    let model = TechModel::default_model();
+    let budget = tiny_budget();
+    let params = CarfParams::paper_default();
+    let wl = int_suite().into_iter().find(|w| w.name == "state_machine").unwrap();
+
+    let base = run_workload(&SimConfig::paper_baseline(), &wl, &budget);
+    let carf = run_workload(&SimConfig::paper_carf(params), &wl, &budget);
+
+    let to_totals = |s: &carf_sim::SimStats| {
+        (
+            carf_bench::ClassTotals {
+                simple: s.int_rf.reads.simple,
+                short: s.int_rf.reads.short,
+                long: s.int_rf.reads.long,
+                total: s.int_rf.total_reads,
+            },
+            carf_bench::ClassTotals {
+                simple: s.int_rf.writes.simple,
+                short: s.int_rf.writes.short,
+                long: s.int_rf.writes.long,
+                total: s.int_rf.total_writes,
+            },
+        )
+    };
+    let (br, bw) = to_totals(&base);
+    let (cr, cw) = to_totals(&carf);
+    let e_unl = rf_energy_monolithic(&model, &unlimited_geometry(), &br, &bw);
+    let e_base = rf_energy_monolithic(&model, &baseline_geometry(), &br, &bw);
+    let e_carf = rf_energy_carf(&model, &params, &cr, &cw);
+    assert!(e_base < e_unl, "baseline saves energy over unlimited");
+    assert!(e_carf < e_base, "content-aware saves energy over baseline");
+}
+
+#[test]
+fn fig8_fig9_model_orderings_hold_across_the_sweep() {
+    let model = TechModel::default_model();
+    let base_area = model.area(&baseline_geometry());
+    let base_time = model.access_time(&baseline_geometry());
+    for dn in DN_SWEEP {
+        let geoms = carf_geometries(&CarfParams::with_dn(dn));
+        let area: f64 = geoms.iter().map(|g| model.area(g)).sum();
+        assert!(area < base_area, "d+n={dn}: CARF area beats baseline");
+        for g in &geoms {
+            assert!(model.access_time(g) < base_time, "d+n={dn}: every sub-file is faster");
+        }
+    }
+}
+
+#[test]
+fn table2_bypass_fractions_are_probabilities() {
+    let budget = tiny_budget();
+    let int = run_suite(&SimConfig::paper_baseline(), Suite::Int, &budget);
+    let f = int.bypass_fraction();
+    assert!(f > 0.0 && f < 1.0, "bypass fraction = {f}");
+}
+
+#[test]
+fn table4_mix_fractions_sum_to_one() {
+    let budget = tiny_budget();
+    let wl = int_suite().into_iter().find(|w| w.name == "graph_walk").unwrap();
+    let stats =
+        run_workload(&SimConfig::paper_carf(CarfParams::paper_default()), &wl, &budget);
+    let sum: f64 = stats.operand_mix.fractions().iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+    assert!(stats.operand_mix.same_type_fraction() > 0.3);
+}

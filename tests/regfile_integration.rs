@@ -1,0 +1,178 @@
+//! Cross-crate integration of the content-aware register file: heavy
+//! allocate/write/read/release churn, aging across ROB intervals, Long
+//! exhaustion and recovery, and consistency between the statistics the
+//! file reports and the energy model's inputs.
+
+use carf_core::{
+    CarfParams, ContentAwareRegFile, IntRegFile, Policies, ShortAllocPolicy, ValueClass,
+};
+use carf_energy::TechModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HEAP: u64 = 0x0000_7f3a_8000_0000;
+
+fn mixed_value(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0..4) {
+        0 => rng.gen_range(0..1u64 << 18),
+        1 => (-(rng.gen_range(1..1i64 << 18))) as u64,
+        2 => HEAP | rng.gen_range(0..1u64 << 17),
+        _ => rng.gen(),
+    }
+}
+
+#[test]
+fn sustained_churn_reads_back_every_written_value() {
+    let mut rf = ContentAwareRegFile::new(CarfParams::paper_default());
+    rf.observe_address(HEAP);
+    let mut rng = StdRng::seed_from_u64(42);
+    let tags = rf.num_tags();
+    let mut live: Vec<Option<u64>> = vec![None; tags];
+
+    for step in 0..50_000usize {
+        let tag = rng.gen_range(0..tags);
+        match live[tag] {
+            Some(expected) => {
+                assert_eq!(rf.read(tag), expected, "step {step}, tag {tag}");
+                rf.release(tag);
+                live[tag] = None;
+            }
+            None => {
+                let value = mixed_value(&mut rng);
+                rf.on_alloc(tag);
+                if rf.try_write(tag, value, false).is_ok() {
+                    live[tag] = Some(value);
+                } else {
+                    // Long file momentarily full; drop the allocation.
+                    rf.release(tag);
+                }
+            }
+        }
+        if step % 512 == 0 {
+            rf.rob_interval_tick();
+        }
+    }
+    // Everything still live must read back exactly.
+    for (tag, v) in live.iter().enumerate() {
+        if let Some(expected) = v {
+            assert_eq!(rf.read(tag), *expected, "final read of tag {tag}");
+        }
+    }
+}
+
+#[test]
+fn aging_never_corrupts_live_values_under_slot_contention() {
+    // Many similarity groups competing for the same direct slot, with
+    // interval ticks interleaved: live registers must stay intact.
+    let params = CarfParams::paper_default();
+    let mut rf = ContentAwareRegFile::new(params);
+    let mut written = Vec::new();
+    for round in 0..32u64 {
+        // A new region each round, all mapping to slot 5.
+        let region = (0x4000 + round) << 20 | (5 << 17);
+        rf.observe_address(region);
+        let tag = (round % 48) as usize;
+        if written.len() == 48 {
+            let (old_tag, _) = written.remove(0);
+            rf.release(old_tag);
+        }
+        rf.on_alloc(tag);
+        let value = region | 0x1abc;
+        rf.try_write(tag, value, false).expect("capacity available");
+        written.push((tag, value));
+        rf.rob_interval_tick();
+        rf.rob_interval_tick();
+        for (t, v) in &written {
+            assert_eq!(rf.read(*t), *v, "round {round}, tag {t}");
+        }
+    }
+}
+
+#[test]
+fn long_exhaustion_recovers_after_releases() {
+    let params = CarfParams { long_entries: 4, ..CarfParams::paper_default() };
+    let mut rf = ContentAwareRegFile::with_policies(
+        params,
+        Policies { long_stall_threshold: 0, ..Policies::default() },
+    );
+    let wide = |i: u64| 0x1111_0000_0000_0000u64.wrapping_mul(i + 1) | (1 << 40);
+    for tag in 0..4usize {
+        rf.on_alloc(tag);
+        rf.try_write(tag, wide(tag as u64), false).expect("room for four longs");
+    }
+    rf.on_alloc(4);
+    assert!(rf.try_write(4, wide(99), false).is_err(), "fifth long must stall");
+    assert!(rf.stats().long_write_stalls >= 1);
+    rf.release(1);
+    rf.try_write(4, wide(99), false).expect("released entry is reusable");
+    assert_eq!(rf.read(4), wide(99));
+    // The remaining tags are untouched by the churn.
+    assert_eq!(rf.read(0), wide(0));
+    assert_eq!(rf.read(3), wide(3));
+}
+
+#[test]
+fn stats_feed_the_energy_model_consistently() {
+    let params = CarfParams::paper_default();
+    let mut rf = ContentAwareRegFile::new(params);
+    rf.observe_address(HEAP);
+    let mut rng = StdRng::seed_from_u64(7);
+    for tag in 0..100usize {
+        rf.on_alloc(tag % rf.num_tags());
+        let _ = rf.try_write(tag % rf.num_tags(), mixed_value(&mut rng), false);
+        let _ = rf.read(tag % rf.num_tags());
+        rf.release(tag % rf.num_tags());
+    }
+    let stats = rf.stats();
+    assert_eq!(stats.reads.total(), stats.total_reads);
+    assert_eq!(stats.writes.total() + stats.long_write_stalls, 100);
+
+    // Any classified access mix must price below the baseline monolith.
+    let model = TechModel::default_model();
+    let unl = model.read_energy(&carf_energy::PAPER_UNLIMITED);
+    for class in [ValueClass::Simple, ValueClass::Short, ValueClass::Long] {
+        let geom_idx = match class {
+            ValueClass::Simple => 0,
+            ValueClass::Short => 1,
+            ValueClass::Long => 2,
+        };
+        let g = geometry(&params, geom_idx);
+        assert!(model.read_energy(&g) < unl, "{class} sub-file beats unlimited per access");
+    }
+}
+
+fn geometry(params: &CarfParams, which: usize) -> carf_energy::RegFileGeometry {
+    let widths = [params.simple_width(), params.short_width(), params.long_width()];
+    let entries = [params.simple_entries, params.short_entries, params.long_entries];
+    carf_energy::RegFileGeometry::new(entries[which], widths[which], 8, 6)
+}
+
+#[test]
+fn alloc_policy_changes_population_but_not_values() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let values: Vec<u64> = (0..200).map(|_| mixed_value(&mut rng)).collect();
+    let mut outcomes = Vec::new();
+    for policy in [ShortAllocPolicy::AddressesOnly, ShortAllocPolicy::AllResults] {
+        let mut rf = ContentAwareRegFile::with_policies(
+            CarfParams::paper_default(),
+            Policies { short_alloc: policy, ..Policies::default() },
+        );
+        rf.observe_address(HEAP);
+        let mut shorts = 0u64;
+        for (i, v) in values.iter().enumerate() {
+            let tag = i % 64;
+            if rf.class_of(tag).is_some() {
+                assert!(rf.peek(tag).is_some());
+                rf.release(tag);
+            }
+            rf.on_alloc(tag);
+            if let Ok(Some(ValueClass::Short)) = rf.try_write(tag, *v, false) {
+                shorts += 1;
+            }
+            assert_eq!(rf.read(tag), *v, "policy {policy:?}, value {i}");
+        }
+        outcomes.push(shorts);
+    }
+    // Allocate-on-every-result must classify at least as many shorts.
+    assert!(outcomes[1] >= outcomes[0], "{outcomes:?}");
+}
