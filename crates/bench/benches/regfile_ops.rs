@@ -2,7 +2,8 @@
 //! classification, write/read paths, and the aging tick.
 
 use carf_core::{
-    classify, is_simple, BaselineRegFile, CarfParams, ContentAwareRegFile, IntRegFile,
+    classify, is_simple, BaselineRegFile, CarfParams, ContentAwareRegFile, IntRegFile, Policies,
+    ShortIndexPolicy,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -73,6 +74,31 @@ fn bench_write_read(c: &mut Criterion) {
     });
 }
 
+fn bench_associative_policy(c: &mut Criterion) {
+    // The associative ablation scans every Short slot per probe; this
+    // pins the cost of the `short_high`-hoisted scan path.
+    let vals = values();
+    c.bench_function("carf_associative_write_read_release_64", |b| {
+        let mut rf = ContentAwareRegFile::with_policies(
+            CarfParams::paper_default(),
+            Policies { short_index: ShortIndexPolicy::Associative, ..Policies::default() },
+        );
+        rf.observe_address(HEAP);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (tag, v) in vals.iter().take(64).enumerate() {
+                rf.on_alloc(tag);
+                rf.try_write(tag, *v, false).expect("48 longs cover 64 mixed writes");
+                acc ^= rf.read(tag);
+            }
+            for tag in 0..64 {
+                rf.release(tag);
+            }
+            black_box(acc)
+        })
+    });
+}
+
 fn bench_aging(c: &mut Criterion) {
     c.bench_function("rob_interval_tick", |b| {
         let mut rf = ContentAwareRegFile::new(CarfParams::paper_default());
@@ -87,5 +113,5 @@ fn bench_aging(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_classification, bench_write_read, bench_aging);
+criterion_group!(benches, bench_classification, bench_write_read, bench_associative_policy, bench_aging);
 criterion_main!(benches);

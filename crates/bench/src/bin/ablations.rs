@@ -7,37 +7,25 @@
 //! * the extra bypass level (§3.1: optional, small effect);
 //! * the pseudo-deadlock guard threshold (§3.1: stall at the issue width).
 
-use carf_bench::{mean, pct, print_table, run_suite, Budget};
+use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json, Budget, SuiteResult};
 use carf_core::{CarfParams, Policies, ShortAllocPolicy, ShortIndexPolicy};
 use carf_sim::{SimConfig, SimStats};
 use carf_workloads::Suite;
 
-fn run_cfg(cfg: &SimConfig, budget: &Budget) -> (f64, Vec<SimStats>) {
-    let int = run_suite(cfg, Suite::Int, budget);
-    let fp = run_suite(cfg, Suite::Fp, budget);
-    let stats: Vec<SimStats> =
-        int.runs.into_iter().chain(fp.runs).map(|(_, s)| s).collect();
-    (mean(stats.iter().map(|s| s.ipc())), stats)
+fn with_policies(policies: Policies) -> SimConfig {
+    SimConfig::paper_carf_with(CarfParams::paper_default(), policies)
 }
 
-fn run(policies: Policies, budget: &Budget) -> (f64, Vec<SimStats>) {
-    let cfg = SimConfig::paper_carf_with(CarfParams::paper_default(), policies);
-    run_cfg(&cfg, budget)
+/// Collapse one config's Int+Fp suite results into (mean ipc, all stats).
+fn collapse(int: &SuiteResult, fp: &SuiteResult) -> (f64, Vec<SimStats>) {
+    let stats: Vec<SimStats> =
+        int.runs.iter().chain(fp.runs.iter()).map(|(_, s)| s.clone()).collect();
+    (mean(stats.iter().map(|s| s.ipc())), stats)
 }
 
 fn main() {
     let budget = Budget::from_args();
     println!("Design-choice ablations at d+n = 20 ({} run)", budget.label());
-
-    let (ref_ipc, ref_stats) = run(Policies::default(), &budget);
-    let short_writes: u64 = ref_stats.iter().map(|s| s.int_rf.writes.short).sum();
-
-    let mut rows = vec![vec![
-        "paper default".into(),
-        "100.0%".into(),
-        format!("{short_writes}"),
-        "direct, addresses-only, extra bypass, guard=8".into(),
-    ]];
 
     let variants: [(&str, Policies); 4] = [
         (
@@ -51,17 +39,58 @@ fn main() {
         ("no extra bypass", Policies { extra_bypass: false, ..Policies::default() }),
         ("guard threshold 0", Policies { long_stall_threshold: 0, ..Policies::default() }),
     ];
-    for (name, policies) in variants {
-        let (ipc, stats) = run(policies, &budget);
+    const AGING: [(&str, u64); 4] = [
+        ("tick every 64 commits", 64),
+        ("tick every 128 (paper)", 128),
+        ("tick every 512", 512),
+        ("never free shorts", 0),
+    ];
+
+    // One flat matrix over every ablated config: the reference, the four
+    // policy variants, the conservative LSQ, and the aging-interval sweep.
+    let mut configs = vec![with_policies(Policies::default())];
+    for (_, policies) in &variants {
+        configs.push(with_policies(*policies));
+    }
+    {
+        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+        cfg.mem_dep = carf_sim::MemDepPolicy::Conservative;
+        configs.push(cfg);
+    }
+    for (_, interval) in AGING {
+        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
+        cfg.rob_interval_commits = interval;
+        configs.push(cfg);
+    }
+    let mut points = Vec::new();
+    for cfg in &configs {
+        points.push((cfg.clone(), Suite::Int));
+        points.push((cfg.clone(), Suite::Fp));
+    }
+    let results = run_matrix(&points, &budget);
+    let by_config = |i: usize| collapse(&results[2 * i], &results[2 * i + 1]);
+
+    let (ref_ipc, ref_stats) = by_config(0);
+    let short_writes: u64 = ref_stats.iter().map(|s| s.int_rf.writes.short).sum();
+
+    let mut rows = vec![vec![
+        "paper default".into(),
+        "100.0%".into(),
+        format!("{short_writes}"),
+        "direct, addresses-only, extra bypass, guard=8".into(),
+    ]];
+
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        let (ipc, stats) = by_config(1 + vi);
         let sw: u64 = stats.iter().map(|s| s.int_rf.writes.short).sum();
-        let note = match name {
+        let note = match *name {
             "associative short" => "paper: tiny IPC gain, large energy cost (CAM)",
             "alloc on all results" => "paper: thrashes the small Short file",
             "no extra bypass" => "paper: optional, little performance effect",
             _ => "paper: stall at issue width avoids pseudo-deadlock",
         };
         rows.push(vec![
-            name.into(),
+            (*name).into(),
             pct(ipc / ref_ipc),
             format!("{sw}"),
             note.into(),
@@ -77,9 +106,7 @@ fn main() {
     // (loads run ahead of unresolved stores, squash on violation) vs a
     // fully conservative LSQ.
     {
-        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
-        cfg.mem_dep = carf_sim::MemDepPolicy::Conservative;
-        let (ipc, _) = run_cfg(&cfg, &budget);
+        let (ipc, _) = by_config(5);
         let violations: u64 = ref_stats.iter().map(|s| s.mem_dep_violations).sum();
         println!(
             "\nmemory-dependence ablation: a fully conservative LSQ reaches {} of\n\
@@ -92,16 +119,12 @@ fn main() {
     // Short-file aging interval: the paper ticks once per ROB's worth of
     // commits; never freeing shows whether the aging scheme earns its keep.
     let mut rows = vec![];
-    for (label, interval) in
-        [("tick every 64 commits", 64u64), ("tick every 128 (paper)", 128), ("tick every 512", 512), ("never free shorts", 0)]
-    {
-        let mut cfg = SimConfig::paper_carf(CarfParams::paper_default());
-        cfg.rob_interval_commits = interval;
-        let (ipc, stats) = run_cfg(&cfg, &budget);
+    for (ai, (label, _)) in AGING.iter().enumerate() {
+        let (ipc, stats) = by_config(6 + ai);
         let sw: u64 = stats.iter().map(|s| s.int_rf.writes.short).sum();
         let occupancy = mean(stats.iter().map(|s| s.short_mean_occupancy));
         rows.push(vec![
-            label.into(),
+            (*label).into(),
             pct(ipc / ref_ipc),
             format!("{sw}"),
             format!("{occupancy:.1} / 8"),
@@ -119,4 +142,5 @@ fn main() {
     let guard_cycles: u64 = ref_stats.iter().map(|s| s.long_guard_stall_cycles).sum();
     println!("\nwith the paper's guard: {recoveries} pseudo-deadlock recoveries,");
     println!("{guard_cycles} guarded issue cycles across both suites.");
+    write_timing_json(&budget);
 }

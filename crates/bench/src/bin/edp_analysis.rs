@@ -7,8 +7,8 @@
 //! (1/IPC from Figure 5's pipeline), both normalized to the baseline.
 
 use carf_bench::{
-    baseline_geometry, pct, print_table, rf_energy_carf, rf_energy_monolithic, run_suite,
-    Budget, ClassTotals, DN_SWEEP,
+    baseline_geometry, pct, print_table, rf_energy_carf, rf_energy_monolithic, run_matrix,
+    write_timing_json, Budget, ClassTotals, DN_SWEEP,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
@@ -39,22 +39,31 @@ fn main() {
     println!("Energy-delay analysis across d+n ({} run)", budget.label());
     let model = TechModel::default_model();
 
-    let base_int = run_suite(&SimConfig::paper_baseline(), Suite::Int, &budget);
-    let base_fp = run_suite(&SimConfig::paper_baseline(), Suite::Fp, &budget);
-    let (base_r, base_w) = combined_totals(&base_int, &base_fp);
+    // One flat matrix: the baseline plus the full d+n sweep, both suites.
+    let mut matrix = vec![
+        (SimConfig::paper_baseline(), Suite::Int),
+        (SimConfig::paper_baseline(), Suite::Fp),
+    ];
+    for dn in DN_SWEEP {
+        let cfg = SimConfig::paper_carf(CarfParams::with_dn(dn));
+        matrix.push((cfg.clone(), Suite::Int));
+        matrix.push((cfg, Suite::Fp));
+    }
+    let results = run_matrix(&matrix, &budget);
+
+    let (base_int, base_fp) = (&results[0], &results[1]);
+    let (base_r, base_w) = combined_totals(base_int, base_fp);
     let base_energy = rf_energy_monolithic(&model, &baseline_geometry(), &base_r, &base_w);
 
     let mut points = Vec::new();
-    for dn in DN_SWEEP {
-        let params = CarfParams::with_dn(dn);
-        let cfg = SimConfig::paper_carf(params);
-        let int = run_suite(&cfg, Suite::Int, &budget);
-        let fp = run_suite(&cfg, Suite::Fp, &budget);
-        let rel_ipc = 0.5
-            * (int.mean_relative_ipc(&base_int) + fp.mean_relative_ipc(&base_fp));
-        let (r, w) = combined_totals(&int, &fp);
+    for (i, dn) in DN_SWEEP.iter().enumerate() {
+        let params = CarfParams::with_dn(*dn);
+        let (int, fp) = (&results[2 + 2 * i], &results[3 + 2 * i]);
+        let rel_ipc =
+            0.5 * (int.mean_relative_ipc(base_int) + fp.mean_relative_ipc(base_fp));
+        let (r, w) = combined_totals(int, fp);
         let energy = rf_energy_carf(&model, &params, &r, &w);
-        points.push((dn, Point { rel_ipc, energy }));
+        points.push((*dn, Point { rel_ipc, energy }));
     }
 
     let mut rows = Vec::new();
@@ -80,4 +89,5 @@ fn main() {
     );
     println!("\nbest energy-delay at d+n = {} (paper selects d+n = 20, balancing", best.0);
     println!("the IPC plateau against energy that grows with the Simple width).");
+    write_timing_json(&budget);
 }

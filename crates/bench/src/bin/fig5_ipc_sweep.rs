@@ -5,7 +5,7 @@
 //! Configuration per the paper: 8 Short registers (n = 3), 48 Long, 112
 //! Simple; `d+n` swept from 8 to 32.
 
-use carf_bench::{pct, print_table, run_suite, Budget, DN_SWEEP};
+use carf_bench::{pct, print_table, run_matrix, write_timing_json, Budget, DN_SWEEP};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -14,27 +14,37 @@ fn main() {
     let budget = Budget::from_args();
     println!("Figure 5: relative IPC vs d+n ({} run)", budget.label());
 
-    let unlimited_int = run_suite(&SimConfig::paper_unlimited(), Suite::Int, &budget);
-    let unlimited_fp = run_suite(&SimConfig::paper_unlimited(), Suite::Fp, &budget);
-    let baseline_int = run_suite(&SimConfig::paper_baseline(), Suite::Int, &budget);
-    let baseline_fp = run_suite(&SimConfig::paper_baseline(), Suite::Fp, &budget);
+    // One flat matrix: 2 reference configs + the 7-point sweep, for both
+    // suites, dispatched together over the worker pool.
+    let mut points = vec![
+        (SimConfig::paper_unlimited(), Suite::Int),
+        (SimConfig::paper_unlimited(), Suite::Fp),
+        (SimConfig::paper_baseline(), Suite::Int),
+        (SimConfig::paper_baseline(), Suite::Fp),
+    ];
+    for dn in DN_SWEEP {
+        let cfg = SimConfig::paper_carf(CarfParams::with_dn(dn));
+        points.push((cfg.clone(), Suite::Int));
+        points.push((cfg, Suite::Fp));
+    }
+    let results = run_matrix(&points, &budget);
+    let (unlimited_int, unlimited_fp) = (&results[0], &results[1]);
+    let (baseline_int, baseline_fp) = (&results[2], &results[3]);
 
     let mut rows = vec![vec![
         "baseline".to_string(),
-        pct(baseline_int.mean_relative_ipc(&unlimited_int)),
-        pct(baseline_fp.mean_relative_ipc(&unlimited_fp)),
+        pct(baseline_int.mean_relative_ipc(unlimited_int)),
+        pct(baseline_fp.mean_relative_ipc(unlimited_fp)),
         "~99%".to_string(),
         "~99.9%".to_string(),
     ]];
-    for dn in DN_SWEEP {
-        let cfg = SimConfig::paper_carf(CarfParams::with_dn(dn));
-        let int = run_suite(&cfg, Suite::Int, &budget);
-        let fp = run_suite(&cfg, Suite::Fp, &budget);
-        let (paper_int, paper_fp) = paper_anchor(dn);
+    for (i, dn) in DN_SWEEP.iter().enumerate() {
+        let (int, fp) = (&results[4 + 2 * i], &results[5 + 2 * i]);
+        let (paper_int, paper_fp) = paper_anchor(*dn);
         rows.push(vec![
             format!("carf d+n={dn}"),
-            pct(int.mean_relative_ipc(&unlimited_int)),
-            pct(fp.mean_relative_ipc(&unlimited_fp)),
+            pct(int.mean_relative_ipc(unlimited_int)),
+            pct(fp.mean_relative_ipc(unlimited_fp)),
             paper_int.to_string(),
             paper_fp.to_string(),
         ]);
@@ -47,6 +57,7 @@ fn main() {
     println!(
         "\nShape check: INT should approach its plateau around d+n = 20 and");
     println!("FP should sit within a fraction of a percent of the baseline.");
+    write_timing_json(&budget);
 }
 
 /// Paper Figure 5 anchors (read off the described curve: INT rises from

@@ -4,7 +4,7 @@
 
 use carf_bench::{
     baseline_geometry, carf_geometries, pct, print_table, rf_energy_carf, rf_energy_monolithic,
-    run_suite, unlimited_geometry, Budget, ClassTotals,
+    run_matrix, unlimited_geometry, write_timing_json, Budget, ClassTotals,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
@@ -20,13 +20,21 @@ fn main() {
     let base_cfg = SimConfig::paper_baseline();
     let carf_cfg = SimConfig::paper_carf(params);
 
-    let base_int = run_suite(&base_cfg, Suite::Int, &budget);
-    let base_fp = run_suite(&base_cfg, Suite::Fp, &budget);
-    let carf_int = run_suite(&carf_cfg, Suite::Int, &budget);
-    let carf_fp = run_suite(&carf_cfg, Suite::Fp, &budget);
+    // All four suite runs dispatch as one matrix over the worker pool.
+    let results = run_matrix(
+        &[
+            (base_cfg.clone(), Suite::Int),
+            (base_cfg, Suite::Fp),
+            (carf_cfg.clone(), Suite::Int),
+            (carf_cfg, Suite::Fp),
+        ],
+        &budget,
+    );
+    let (base_int, base_fp) = (&results[0], &results[1]);
+    let (carf_int, carf_fp) = (&results[2], &results[3]);
 
-    let int_delta = carf_int.mean_relative_ipc(&base_int) - 1.0;
-    let fp_delta = carf_fp.mean_relative_ipc(&base_fp) - 1.0;
+    let int_delta = carf_int.mean_relative_ipc(base_int) - 1.0;
+    let fp_delta = carf_fp.mean_relative_ipc(base_fp) - 1.0;
 
     // Energy: measured access counts priced by the model.
     let sum = |a: ClassTotals, b: ClassTotals| ClassTotals {
@@ -83,4 +91,5 @@ fn main() {
         let speedup = (1.0 + loss) * (1.0 + boost) - 1.0;
         println!("  clock +{:>4}: overall {:+.1}%", pct(boost), speedup * 100.0);
     }
+    write_timing_json(&budget);
 }

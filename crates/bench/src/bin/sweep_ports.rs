@@ -2,41 +2,42 @@
 //! to 8 read / 6 write at a combined ~0.4% IPC cost, and we sweep the same
 //! axis.
 
-use carf_bench::{pct, print_table, run_suite, Budget};
+use carf_bench::{pct, print_table, run_matrix, write_timing_json, Budget};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
+
+const PORT_SWEEP: [(u32, u32, &str); 5] = [
+    (16, 8, "100% (reference)"),
+    (8, 8, "-0.17%"),
+    (8, 6, "-0.38% (chosen)"),
+    (8, 4, "-"),
+    (4, 6, "-"),
+];
 
 fn main() {
     let budget = Budget::from_args();
     println!("Baseline register-file port sweep ({} run)", budget.label());
 
-    let reference = {
-        let mut cfg = SimConfig::paper_baseline();
-        cfg.rf_read_ports = 16;
-        cfg.rf_write_ports = 8;
-        (
-            run_suite(&cfg, Suite::Int, &budget),
-            run_suite(&cfg, Suite::Fp, &budget),
-        )
-    };
-
-    let mut rows = Vec::new();
-    for (r, w, paper) in [
-        (16u32, 8u32, "100% (reference)"),
-        (8, 8, "-0.17%"),
-        (8, 6, "-0.38% (chosen)"),
-        (8, 4, "-"),
-        (4, 6, "-"),
-    ] {
+    // The 16R/8W reference is the sweep's first point; everything runs as
+    // one flat matrix over the worker pool.
+    let mut points = Vec::new();
+    for (r, w, _) in PORT_SWEEP {
         let mut cfg = SimConfig::paper_baseline();
         cfg.rf_read_ports = r;
         cfg.rf_write_ports = w;
-        let int = run_suite(&cfg, Suite::Int, &budget);
-        let fp = run_suite(&cfg, Suite::Fp, &budget);
+        points.push((cfg.clone(), Suite::Int));
+        points.push((cfg, Suite::Fp));
+    }
+    let results = run_matrix(&points, &budget);
+    let reference = (&results[0], &results[1]);
+
+    let mut rows = Vec::new();
+    for (i, (r, w, paper)) in PORT_SWEEP.iter().enumerate() {
+        let (int, fp) = (&results[2 * i], &results[2 * i + 1]);
         rows.push(vec![
             format!("{r}R/{w}W"),
-            pct(int.mean_relative_ipc(&reference.0)),
-            pct(fp.mean_relative_ipc(&reference.1)),
+            pct(int.mean_relative_ipc(reference.0)),
+            pct(fp.mean_relative_ipc(reference.1)),
             paper.to_string(),
         ]);
     }
@@ -47,4 +48,5 @@ fn main() {
     );
     println!("\nPaper: halving read ports costs 0.17%, and 6 write ports another");
     println!("0.21% — justifying the 8R/6W baseline used everywhere else.");
+    write_timing_json(&budget);
 }

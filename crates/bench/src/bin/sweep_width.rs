@@ -7,7 +7,7 @@
 //! ones more. This sweep quantifies that, supporting the paper's framing
 //! that the technique targets wide-issue 64-bit processors.
 
-use carf_bench::{mean, pct, print_table, run_suite, Budget};
+use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json, Budget};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -29,19 +29,28 @@ fn main() {
     let budget = Budget::from_args();
     println!("Issue-width sensitivity of the content-aware organization ({} run)", budget.label());
 
-    let mut rows = Vec::new();
-    for width in [2usize, 4, 8, 16] {
+    // One flat matrix: per width, base Int/Fp then carf Int/Fp.
+    const WIDTHS: [usize; 4] = [2, 4, 8, 16];
+    let mut points = Vec::new();
+    for width in WIDTHS {
         let base = width_config(width, SimConfig::paper_baseline());
         let carf = width_config(width, SimConfig::paper_carf(CarfParams::paper_default()));
-        let b_int = run_suite(&base, Suite::Int, &budget);
-        let b_fp = run_suite(&base, Suite::Fp, &budget);
-        let c_int = run_suite(&carf, Suite::Int, &budget);
-        let c_fp = run_suite(&carf, Suite::Fp, &budget);
+        points.push((base.clone(), Suite::Int));
+        points.push((base, Suite::Fp));
+        points.push((carf.clone(), Suite::Int));
+        points.push((carf, Suite::Fp));
+    }
+    let results = run_matrix(&points, &budget);
+
+    let mut rows = Vec::new();
+    for (i, width) in WIDTHS.iter().enumerate() {
+        let (b_int, b_fp) = (&results[4 * i], &results[4 * i + 1]);
+        let (c_int, c_fp) = (&results[4 * i + 2], &results[4 * i + 3]);
         rows.push(vec![
             format!("{width}-wide"),
             format!("{:.3}", mean(b_int.runs.iter().map(|(_, s)| s.ipc()))),
-            pct(c_int.mean_relative_ipc(&b_int)),
-            pct(c_fp.mean_relative_ipc(&b_fp)),
+            pct(c_int.mean_relative_ipc(b_int)),
+            pct(c_fp.mean_relative_ipc(b_fp)),
         ]);
     }
     print_table(
@@ -50,4 +59,5 @@ fn main() {
         &rows,
     );
     println!("\n(The paper's machine is the 8-wide row; 8R/6W-equivalent port scaling.)");
+    write_timing_json(&budget);
 }

@@ -23,7 +23,11 @@ use carf_energy::{RegFileGeometry, TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
 use carf_sim::{SimConfig, SimStats, Simulator};
 use carf_workloads::{SizeClass, Suite, Workload};
 
-/// Per-run instruction budget and workload sizing.
+pub mod parallel;
+
+pub use parallel::{run_ordered, write_timing_json};
+
+/// Per-run instruction budget, workload sizing, and harness parallelism.
 #[derive(Debug, Clone, Copy)]
 pub struct Budget {
     /// Workload problem-size class.
@@ -32,27 +36,92 @@ pub struct Budget {
     pub max_insts: u64,
     /// Oracle sampling period (cycles) when an experiment needs it.
     pub oracle_period: u64,
+    /// Worker threads for the parallel experiment engine (1 = serial).
+    pub jobs: usize,
+}
+
+/// The default worker count: the `CARF_JOBS` environment variable when set
+/// (and a positive integer), else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("CARF_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid CARF_JOBS={v:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl Budget {
     /// Quick runs: a few hundred thousand instructions per point.
     pub fn quick() -> Self {
-        Self { size: SizeClass::Quick, max_insts: 200_000, oracle_period: 16 }
+        Self {
+            size: SizeClass::Quick,
+            max_insts: 200_000,
+            oracle_period: 16,
+            jobs: default_jobs(),
+        }
     }
 
     /// Full runs: a million-plus instructions per point.
     pub fn full() -> Self {
-        Self { size: SizeClass::Full, max_insts: 1_000_000, oracle_period: 8 }
+        Self {
+            size: SizeClass::Full,
+            max_insts: 1_000_000,
+            oracle_period: 8,
+            jobs: default_jobs(),
+        }
     }
 
-    /// Parses the process arguments: `--full` selects [`Budget::full`],
-    /// anything else (including `--quick`) the quick budget.
+    /// Parses the process arguments. `--full` selects [`Budget::full`],
+    /// `--quick` (the default) [`Budget::quick`]; `--jobs N` (or
+    /// `--jobs=N`) overrides the worker count, which otherwise comes from
+    /// [`default_jobs`]. Any other argument prints a usage message and
+    /// exits with status 2.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
-            Self::full()
-        } else {
-            Self::quick()
+        Self::parse_args(std::env::args().skip(1)).unwrap_or_else(|bad| {
+            eprintln!("error: {bad}");
+            eprintln!("usage: <experiment> [--quick | --full] [--jobs N]");
+            eprintln!("  --quick    quick budget: ~200k instructions per point (default)");
+            eprintln!("  --full     full budget: ~1M instructions per point");
+            eprintln!("  --jobs N   worker threads (default: CARF_JOBS or available cores)");
+            std::process::exit(2);
+        })
+    }
+
+    /// [`Budget::from_args`] on an explicit argument list; `Err` carries
+    /// a message describing the first bad argument.
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut full = false;
+        let mut jobs: Option<usize> = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => full = true,
+                "--quick" => full = false,
+                "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => jobs = Some(n),
+                    _ => return Err("`--jobs` expects a positive integer".into()),
+                },
+                s => {
+                    if let Some(v) = s.strip_prefix("--jobs=") {
+                        match v.parse::<usize>() {
+                            Ok(n) if n >= 1 => jobs = Some(n),
+                            _ => return Err(format!("`{s}` expects a positive integer")),
+                        }
+                    } else {
+                        return Err(format!("unrecognized argument `{arg}`"));
+                    }
+                }
+            }
         }
+        let mut budget = if full { Self::full() } else { Self::quick() };
+        if let Some(n) = jobs {
+            budget.jobs = n;
+        }
+        Ok(budget)
     }
 
     /// A short human-readable tag for report headers.
@@ -165,17 +234,62 @@ impl ClassTotals {
     }
 }
 
-/// Runs every workload of `suite` under `config`.
-pub fn run_suite(config: &SimConfig, suite: Suite, budget: &Budget) -> SuiteResult {
-    let workloads = match suite {
+fn suite_workloads(suite: Suite) -> Vec<Workload> {
+    match suite {
         Suite::Int => carf_workloads::int_suite(),
         Suite::Fp => carf_workloads::fp_suite(),
-    };
-    let runs = workloads
-        .iter()
-        .map(|w| (w.name.to_string(), run_workload(config, w, budget)))
-        .collect();
+    }
+}
+
+/// [`run_workload`] plus wall-clock accounting into the timing collector.
+fn run_workload_timed(
+    config: &SimConfig,
+    suite: Suite,
+    workload: &Workload,
+    budget: &Budget,
+) -> (String, SimStats) {
+    let start = std::time::Instant::now();
+    let stats = run_workload(config, workload, budget);
+    parallel::record_point(
+        format!("{suite:?}/{}", workload.name),
+        start.elapsed().as_secs_f64(),
+    );
+    (workload.name.to_string(), stats)
+}
+
+/// Runs every workload of `suite` under `config`, dispatching the points
+/// over [`Budget::jobs`] workers. Results are in registry order and
+/// identical to a serial run (see [`parallel::run_ordered`]).
+pub fn run_suite(config: &SimConfig, suite: Suite, budget: &Budget) -> SuiteResult {
+    parallel::note_run_start();
+    let workloads = suite_workloads(suite);
+    let runs = parallel::run_ordered(&workloads, budget.jobs, |w| {
+        run_workload_timed(config, suite, w, budget)
+    });
     SuiteResult { suite, runs }
+}
+
+/// Runs several `(configuration, suite)` experiment points as **one** flat
+/// work list over the worker pool, so a long suite under one configuration
+/// can overlap with the next configuration's points. Returns one
+/// [`SuiteResult`] per input point, in input order.
+pub fn run_matrix(points: &[(SimConfig, Suite)], budget: &Budget) -> Vec<SuiteResult> {
+    parallel::note_run_start();
+    let mut flat: Vec<(usize, Suite, Workload)> = Vec::new();
+    for (pi, (_, suite)) in points.iter().enumerate() {
+        for w in suite_workloads(*suite) {
+            flat.push((pi, *suite, w));
+        }
+    }
+    let results = parallel::run_ordered(&flat, budget.jobs, |(pi, suite, w)| {
+        run_workload_timed(&points[*pi].0, *suite, w, budget)
+    });
+    let mut out: Vec<SuiteResult> =
+        points.iter().map(|(_, suite)| SuiteResult { suite: *suite, runs: Vec::new() }).collect();
+    for ((pi, _, _), run) in flat.iter().zip(results) {
+        out[*pi].runs.push(run);
+    }
+    out
 }
 
 /// The three content-aware sub-file geometries for `params`, with the

@@ -1,0 +1,211 @@
+//! Parallel experiment execution engine.
+//!
+//! Every experiment point — one `(SimConfig, Workload, Budget)` triple —
+//! is an independent simulation, so the harness dispatches points over a
+//! `std::thread::scope` worker pool (std-only, no external crates). A
+//! shared atomic work index hands out points; results are written into
+//! per-point slots, so the returned vector is in input order and
+//! **byte-identical to the serial run** regardless of worker count or
+//! scheduling.
+//!
+//! The engine also collects wall-clock timing: per-point durations and
+//! the total run time, written as machine-readable JSON by
+//! [`write_timing_json`] (see `results/bench_timing.json`).
+
+use crate::Budget;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maps `f` over `items` on up to `jobs` worker threads and returns the
+/// results **in input order**. `jobs <= 1` (or a single item) degenerates
+/// to the plain serial map — the parallel path produces exactly the same
+/// output, it only changes wall-clock time.
+///
+/// # Panics
+///
+/// A panic in any worker propagates to the caller when the thread scope
+/// joins (experiments must not silently drop points).
+pub fn run_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed, so every slot is filled")
+        })
+        .collect()
+}
+
+/// Wall-clock timing of one experiment point.
+#[derive(Debug, Clone)]
+pub struct PointTiming {
+    /// Point label (`suite/workload`).
+    pub name: String,
+    /// Simulation wall-clock seconds.
+    pub secs: f64,
+}
+
+static POINTS: Mutex<Vec<PointTiming>> = Mutex::new(Vec::new());
+static RUN_START: OnceLock<Instant> = OnceLock::new();
+
+/// Marks the start of timed work (first call wins; later calls are no-ops).
+pub fn note_run_start() {
+    RUN_START.get_or_init(Instant::now);
+}
+
+/// Records one point's wall-clock duration.
+pub fn record_point(name: String, secs: f64) {
+    POINTS.lock().expect("timing collector poisoned").push(PointTiming { name, secs });
+}
+
+/// Seconds elapsed since [`note_run_start`] (0 when nothing ran).
+pub fn total_secs() -> f64 {
+    RUN_START.get().map_or(0.0, |t| t.elapsed().as_secs_f64())
+}
+
+/// Drains the recorded per-point timings.
+pub fn take_points() -> Vec<PointTiming> {
+    std::mem::take(&mut *POINTS.lock().expect("timing collector poisoned"))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The invoking binary's file stem (best effort; "unknown" as fallback).
+pub fn bin_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Writes (merging) the run's timing record into
+/// `results/bench_timing.json` and returns the path.
+///
+/// The file is a JSON array with one record per line, each of the form
+/// `{"bin": ..., "budget": ..., "jobs": N, "total_secs": S, "points":
+/// [{"name": ..., "secs": ...}, ...]}`. Records are keyed by
+/// `(bin, budget, jobs)`: re-running the same configuration replaces its
+/// record, so the file accumulates one row per distinct configuration.
+pub fn write_timing_json(budget: &Budget) -> PathBuf {
+    let bin = bin_name();
+    let points = take_points();
+    let total = total_secs();
+
+    let mut record = format!(
+        "{{\"bin\":\"{}\",\"budget\":\"{}\",\"jobs\":{},\"total_secs\":{:.3},\"points\":[",
+        json_escape(&bin),
+        budget.label(),
+        budget.jobs,
+        total
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            record.push(',');
+        }
+        record.push_str(&format!(
+            "{{\"name\":\"{}\",\"secs\":{:.3}}}",
+            json_escape(&p.name),
+            p.secs
+        ));
+    }
+    record.push_str("]}");
+
+    let dir = PathBuf::from("results");
+    let path = dir.join("bench_timing.json");
+    let key = format!(
+        "{{\"bin\":\"{}\",\"budget\":\"{}\",\"jobs\":{},",
+        json_escape(&bin),
+        budget.label(),
+        budget.jobs
+    );
+    // Keep every record whose (bin, budget, jobs) key differs.
+    let mut records: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap_or_default()
+        .lines()
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| l.starts_with('{') && !l.starts_with(&key))
+        .collect();
+    records.push(record);
+
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(f, "[");
+            for (i, r) in records.iter().enumerate() {
+                let sep = if i + 1 < records.len() { "," } else { "" };
+                let _ = writeln!(f, "{r}{sep}");
+            }
+            let _ = writeln!(f, "]");
+        }
+    }
+    println!(
+        "timing: {} points in {:.2}s with {} worker(s) -> {}",
+        points.len(),
+        total,
+        budget.jobs,
+        path.display()
+    );
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_match_serial_for_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_ordered(&items, 1, |v| v * v + 1);
+        for jobs in [2, 3, 4, 16] {
+            assert_eq!(run_ordered(&items, jobs, |v| v * v + 1), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_ordered(&empty, 8, |v| *v).is_empty());
+        assert_eq!(run_ordered(&[7u32], 8, |v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

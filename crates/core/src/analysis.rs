@@ -43,7 +43,7 @@ pub fn bucket_for_rank(rank: usize) -> usize {
 /// assert!((f[1] - 0.2).abs() < 1e-12); // Group 2
 /// assert!((f[2] - 0.2).abs() < 1e-12); // Groups 3..4
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroupAccumulator {
     totals: [u64; NUM_GROUPS],
     live_total: u64,

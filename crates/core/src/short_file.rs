@@ -115,7 +115,10 @@ impl ShortFile {
     /// Attempts to allocate any free slot for `value` (associative
     /// ablation). Prefers the direct index when free.
     pub fn try_alloc_associative(&mut self, params: &CarfParams, value: u64) -> Option<usize> {
-        if let Some(idx) = self.probe_associative(params, value) {
+        // One `short_high` extraction serves the probe scan and the slot
+        // write (it was previously recomputed per call stage).
+        let high = short_high(params, value);
+        if let Some(idx) = self.slots.iter().position(|s| s.occupied && s.high == high) {
             return Some(idx);
         }
         let direct = short_index(params, value);
@@ -130,13 +133,7 @@ impl ShortFile {
                 }
             }
         };
-        self.slots[idx] = ShortSlot {
-            high: short_high(params, value),
-            occupied: true,
-            tcur: true,
-            tarch: false,
-            told: false,
-        };
+        self.slots[idx] = ShortSlot { high, occupied: true, tcur: true, tarch: false, told: false };
         self.allocations += 1;
         Some(idx)
     }

@@ -62,7 +62,7 @@ impl ClassCounts {
 ///
 /// `total_reads`/`total_writes` count every architecture's accesses; the
 /// per-class breakdowns are populated only by the content-aware file.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Reads by value class (content-aware file only).
     pub reads: ClassCounts,

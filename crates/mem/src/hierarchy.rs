@@ -50,7 +50,7 @@ impl Default for HierarchyConfig {
 }
 
 /// Aggregated statistics for the hierarchy.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// IL1 counters.
     pub il1: CacheStats,
@@ -218,8 +218,8 @@ mod tests {
         // tiny DL1: 2 ways, 32B lines, 8 sets. Fill one set past capacity.
         let set_stride = 512 / 2; // sets * line = 8 * 32 = 256
         h.data_access(0x0, false);
-        h.data_access(0x0 + set_stride as u64, false);
-        h.data_access(0x0 + 2 * set_stride as u64, false); // evicts 0x0 from DL1
+        h.data_access(set_stride as u64, false);
+        h.data_access(2 * set_stride as u64, false); // evicts 0x0 from DL1
         let lat = h.data_access(0x0, false); // DL1 miss, L2 hit
         assert_eq!(lat, 1 + 4);
     }

@@ -35,7 +35,7 @@ pub struct BranchPredictor {
 }
 
 /// Predictor accuracy counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BpredStats {
     /// Conditional-branch predictions made.
     pub cond_predictions: u64,

@@ -275,6 +275,14 @@ pub struct Simulator {
     completions: BTreeMap<u64, Vec<u64>>,
     pending_loads: Vec<u64>,
     wb_pending: Vec<u64>,
+    // Reusable scratch buffers: the per-cycle stages below swap through
+    // these instead of allocating, so the steady-state hot loop is
+    // allocation-free.
+    seq_scratch: Vec<u64>,
+    issue_cand: Vec<u64>,
+    issued_scratch: Vec<u64>,
+    vec_pool: Vec<Vec<u64>>,
+    oracle_scratch: Vec<u64>,
     // Memory.
     hier: MemoryHierarchy,
     mem: SparseMemory,
@@ -344,6 +352,11 @@ impl Simulator {
             completions: BTreeMap::new(),
             pending_loads: Vec::new(),
             wb_pending: Vec::new(),
+            seq_scratch: Vec::new(),
+            issue_cand: Vec::new(),
+            issued_scratch: Vec::new(),
+            vec_pool: Vec::new(),
+            oracle_scratch: Vec::new(),
             hier: MemoryHierarchy::new(config.hierarchy),
             mem,
             commit_int_rat: std::array::from_fn(|i| i as Preg),
@@ -590,16 +603,20 @@ impl Simulator {
             _ => {}
         }
         // Table 4: the value types of this instruction's integer register
-        // operands (known by now — producers committed earlier).
-        let mut classes = Vec::new();
+        // operands (known by now — producers committed earlier). At most
+        // two sources, so a fixed array suffices.
+        let mut class_buf = [carf_core::ValueClass::Simple; 2];
+        let mut n_classes = 0usize;
         for src in slot.srcs {
             if let Src::Int(p) = src {
                 if let Some(c) = self.int_rf.class_of(p as usize) {
-                    classes.push(c);
+                    class_buf[n_classes] = c;
+                    n_classes += 1;
                 }
             }
         }
-        self.stats.operand_mix.record(&classes);
+        let classes = &class_buf[..n_classes];
+        self.stats.operand_mix.record(classes);
         // §6 clustering measurement: does the result's type match a source?
         if let Some(dest) = slot.dest {
             if dest.is_int && !classes.is_empty() {
@@ -697,9 +714,13 @@ impl Simulator {
 
     fn writeback(&mut self) {
         self.wb_pending.sort_unstable();
-        let mut remaining = Vec::new();
+        // Swap the pending list into the scratch buffer and refill
+        // `wb_pending` with whatever must retry; both allocations persist
+        // across cycles.
+        std::mem::swap(&mut self.wb_pending, &mut self.seq_scratch);
         let mut recovery: Option<u64> = None;
-        for seq in std::mem::take(&mut self.wb_pending) {
+        for wi in 0..self.seq_scratch.len() {
+            let seq = self.seq_scratch[wi];
             let Some(idx) = self.slot_index(seq) else { continue };
             if self.rob[idx].state != SlotState::WbPending {
                 continue;
@@ -708,7 +729,7 @@ impl Simulator {
             let result = self.rob[idx].result;
             if dest.is_int {
                 if !self.int_write_ports.try_acquire() {
-                    remaining.push(seq);
+                    self.wb_pending.push(seq);
                     continue;
                 }
                 match self.int_rf.try_write(dest.new as usize, result, false) {
@@ -726,12 +747,12 @@ impl Simulator {
                         {
                             recovery = Some(seq);
                         }
-                        remaining.push(seq);
+                        self.wb_pending.push(seq);
                     }
                 }
             } else {
                 if !self.fp_write_ports.try_acquire() {
-                    remaining.push(seq);
+                    self.wb_pending.push(seq);
                     continue;
                 }
                 self.fp_rf
@@ -743,7 +764,7 @@ impl Simulator {
                 self.fp_pregs[dest.new as usize].in_rf_at = done;
             }
         }
-        self.wb_pending = remaining;
+        self.seq_scratch.clear();
 
         // Pseudo-deadlock recovery: the Long file stayed full long enough
         // that commit cannot drain it (younger completed instructions hold
@@ -770,9 +791,30 @@ impl Simulator {
 
     // ----- execute -------------------------------------------------------
 
+    /// Appends `seq` to the event list at cycle `when`, reusing a pooled
+    /// list allocation when one is available.
+    fn schedule_event(
+        map: &mut BTreeMap<u64, Vec<u64>>,
+        pool: &mut Vec<Vec<u64>>,
+        when: u64,
+        seq: u64,
+    ) {
+        map.entry(when).or_insert_with(|| pool.pop().unwrap_or_default()).push(seq);
+    }
+
+    /// Returns a drained event list's allocation to the pool.
+    fn recycle_event_list(&mut self, mut seqs: Vec<u64>) {
+        // Event lists live at most a handful of distinct future cycles, so
+        // the pool stays tiny; the cap only guards pathological runs.
+        if self.vec_pool.len() < 64 {
+            seqs.clear();
+            self.vec_pool.push(seqs);
+        }
+    }
+
     fn exec_complete(&mut self) {
         let Some(seqs) = self.completions.remove(&self.now) else { return };
-        for seq in seqs {
+        for &seq in &seqs {
             let Some(idx) = self.slot_index(seq) else { continue };
             match self.rob[idx].state {
                 SlotState::Captured => self.finish_execution(seq),
@@ -780,6 +822,7 @@ impl Simulator {
                 _ => {}
             }
         }
+        self.recycle_event_list(seqs);
     }
 
     fn finish_execution(&mut self, seq: u64) {
@@ -934,9 +977,11 @@ impl Simulator {
     // ----- memory stage --------------------------------------------------
 
     fn memory_stage(&mut self) {
-        let pending = std::mem::take(&mut self.pending_loads);
-        let mut still = Vec::new();
-        for seq in pending {
+        // Same swap-through-scratch pattern as writeback: loads that cannot
+        // start go straight back into `pending_loads`.
+        std::mem::swap(&mut self.pending_loads, &mut self.seq_scratch);
+        for pi in 0..self.seq_scratch.len() {
+            let seq = self.seq_scratch[pi];
             let Some(idx) = self.slot_index(seq) else { continue };
             if self.rob[idx].state != SlotState::WaitDisambig {
                 continue;
@@ -949,7 +994,7 @@ impl Simulator {
                     self.rob[idx].load_data = v;
                     self.rob[idx].state = SlotState::WaitData;
                     self.lsq.mark_performed(seq);
-                    self.completions.entry(self.now + 1).or_default().push(seq);
+                    Self::schedule_event(&mut self.completions, &mut self.vec_pool, self.now + 1, seq);
                 }
                 LoadDecision::Memory => {
                     if self.hier.try_dl1_port() {
@@ -964,7 +1009,7 @@ impl Simulator {
                         self.rob[idx].state = SlotState::WaitData;
                         self.lsq.mark_performed(seq);
                         let done = self.now + latency;
-                        self.completions.entry(done).or_default().push(seq);
+                        Self::schedule_event(&mut self.completions, &mut self.vec_pool, done, seq);
                         // Load-resolution wakeup: the return time is now
                         // known, so dependents may schedule against it.
                         if let Some(dest) = self.rob[idx].dest {
@@ -976,16 +1021,17 @@ impl Simulator {
                             bank[dest.new as usize].cap_avail_at = done;
                         }
                     } else {
-                        still.push(seq);
+                        self.pending_loads.push(seq);
                     }
                 }
-                LoadDecision::Wait => still.push(seq),
+                LoadDecision::Wait => self.pending_loads.push(seq),
             }
         }
+        self.seq_scratch.clear();
         // Any load that could not start this cycle has missed its hit
         // speculation: cancel the optimistic wakeup until it is granted.
-        for seq in &still {
-            if let Some(idx) = self.slot_index(*seq) {
+        for pi in 0..self.pending_loads.len() {
+            if let Some(idx) = self.slot_index(self.pending_loads[pi]) {
                 if let Some(dest) = self.rob[idx].dest {
                     let bank =
                         if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
@@ -993,14 +1039,13 @@ impl Simulator {
                 }
             }
         }
-        self.pending_loads = still;
     }
 
     // ----- operand capture -----------------------------------------------
 
     fn capture_operands(&mut self) {
         let Some(seqs) = self.captures.remove(&self.now) else { return };
-        for seq in seqs {
+        for &seq in &seqs {
             let Some(idx) = self.slot_index(seq) else { continue };
             if self.rob[idx].state != SlotState::Issued {
                 continue;
@@ -1070,8 +1115,9 @@ impl Simulator {
             self.rob[idx].src_vals = vals;
             self.rob[idx].state = SlotState::Captured;
             let latency = self.exec_latency(self.rob[idx].kind);
-            self.completions.entry(self.now + latency).or_default().push(seq);
+            Self::schedule_event(&mut self.completions, &mut self.vec_pool, self.now + latency, seq);
         }
+        self.recycle_event_list(seqs);
     }
 
     fn exec_latency(&self, kind: InstKind) -> u64 {
@@ -1117,14 +1163,18 @@ impl Simulator {
         }
         let oldest = self.rob.front().map(|s| s.seq);
         let capture_cycle = self.now + self.read_stages;
-        // Oldest-first across both queues.
-        let mut candidates: Vec<u64> = Vec::new();
-        candidates.extend(self.int_iq.iter().copied());
-        candidates.extend(self.fp_iq.iter().copied());
-        candidates.sort_unstable();
+        // Oldest-first across both queues, scanned through a persistent
+        // candidate buffer (no per-cycle allocation).
+        self.issue_cand.clear();
+        self.issue_cand.extend(self.int_iq.iter().copied());
+        self.issue_cand.extend(self.fp_iq.iter().copied());
+        self.issue_cand.sort_unstable();
 
         let mut issued = 0usize;
-        for seq in candidates {
+        let mut issued_int = false;
+        let mut issued_fp = false;
+        for ci in 0..self.issue_cand.len() {
+            let seq = self.issue_cand[ci];
             if issued >= self.config.issue_width {
                 break;
             }
@@ -1196,7 +1246,7 @@ impl Simulator {
             self.rob[idx].state = SlotState::Issued;
             self.rob[idx].issued_at = self.now;
             self.rob[idx].src_from_rf = from_rf;
-            self.captures.entry(capture_cycle).or_default().push(seq);
+            Self::schedule_event(&mut self.captures, &mut self.vec_pool, capture_cycle, seq);
             // Speculative wakeup: consumers may be selected against the
             // scheduled completion time of this producer. Loads are woken
             // assuming an L1 hit (address generation + hit latency);
@@ -1212,15 +1262,28 @@ impl Simulator {
                 let bank = if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
                 bank[dest.new as usize].cap_avail_at = done;
             }
+            // Queue removal is batched into one sweep per queue after the
+            // scan (issued entries are in `Issued` state, so they cannot be
+            // re-selected meanwhile).
             match kind {
-                InstKind::FpAlu | InstKind::FpDiv => {
-                    self.fp_iq.retain(|s| *s != seq);
-                }
-                _ => {
-                    self.int_iq.retain(|s| *s != seq);
-                }
+                InstKind::FpAlu | InstKind::FpDiv => issued_fp = true,
+                _ => issued_int = true,
             }
+            self.issued_scratch.push(seq);
             issued += 1;
+        }
+        if issued > 0 {
+            // `issued_scratch` is ascending (candidates were scanned in
+            // sorted order), so membership is a binary search.
+            let issued_seqs = std::mem::take(&mut self.issued_scratch);
+            if issued_int {
+                self.int_iq.retain(|s| issued_seqs.binary_search(s).is_err());
+            }
+            if issued_fp {
+                self.fp_iq.retain(|s| issued_seqs.binary_search(s).is_err());
+            }
+            self.issued_scratch = issued_seqs;
+            self.issued_scratch.clear();
         }
     }
 
@@ -1500,9 +1563,9 @@ impl Simulator {
         if !self.now.is_multiple_of(period) {
             return;
         }
-        let live: Vec<u64> =
-            self.int_pregs.iter().filter(|s| s.valid).map(|s| s.value).collect();
-        self.stats.oracle.record(&live);
+        self.oracle_scratch.clear();
+        self.oracle_scratch.extend(self.int_pregs.iter().filter(|s| s.valid).map(|s| s.value));
+        self.stats.oracle.record(&self.oracle_scratch);
     }
 }
 

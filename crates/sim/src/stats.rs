@@ -7,7 +7,7 @@ use carf_mem::HierarchyStats;
 
 /// Source-operand value-type mix over committed instructions that read at
 /// least one integer register (paper Table 4).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OperandMix {
     /// All integer source operands were simple.
     pub only_simple: u64,
@@ -83,7 +83,7 @@ impl OperandMix {
 }
 
 /// Oracle live-value demographics (paper Figures 1 and 2).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OracleData {
     /// Exact-value grouping (Figure 1).
     pub values: GroupAccumulator,
@@ -124,7 +124,7 @@ impl OracleData {
 }
 
 /// Where dispatch stalled, by cause.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DispatchStalls {
     /// Reorder buffer full.
     pub rob: u64,
@@ -139,7 +139,7 @@ pub struct DispatchStalls {
 }
 
 /// Everything measured during one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -272,12 +272,14 @@ mod tests {
 
     #[test]
     fn ipc_and_bypass_fraction() {
-        let mut s = SimStats::default();
-        s.cycles = 100;
-        s.committed = 250;
-        s.bypassed_operands = 30;
-        s.rf_operands = 70;
-        s.zero_operands = 1000; // must not affect the fraction
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            bypassed_operands: 30,
+            rf_operands: 70,
+            zero_operands: 1000, // must not affect the fraction
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.bypass_fraction() - 0.3).abs() < 1e-12);
     }

@@ -1,0 +1,131 @@
+//! Pinned-statistics regression tests: a fixed seeded workload must
+//! produce exactly the same counters run over run. These guard the
+//! simulator's hot-loop buffer reuse (write-back, wakeup, scheduler scan,
+//! squash recovery) — a scratch buffer that leaks state across cycles or
+//! across a squash shows up here as a drifted counter.
+
+use carf_sim::{SimConfig, SimStats, Simulator};
+use carf_workloads::{random_program, RandomProgramParams};
+
+/// A branchy, memory-heavy seeded workload: mispredict squashes and load
+/// replays exercise the recovery paths where stale scratch state would be
+/// most damaging.
+fn pinned_run(config: &SimConfig) -> SimStats {
+    let program = random_program(&RandomProgramParams {
+        seed: 0xCAFE,
+        body_len: 80,
+        iterations: 400,
+        include_fp: true,
+        include_mem: true,
+        include_branches: true,
+    });
+    let mut sim = Simulator::new(config.clone(), &program);
+    let r = sim.run(1_000_000).expect("clean run");
+    assert!(r.halted, "pinned workload must run to completion");
+    sim.stats().clone()
+}
+
+fn fingerprint(s: &SimStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("cycles", s.cycles),
+        ("committed", s.committed),
+        ("loads", s.loads),
+        ("stores", s.stores),
+        ("branches", s.branches),
+        ("fetched", s.fetched),
+        ("squashed", s.squashed),
+        ("mispredicts", s.mispredicts),
+        ("bypassed_operands", s.bypassed_operands),
+        ("rf_operands", s.rf_operands),
+        ("zero_operands", s.zero_operands),
+        ("load_replays", s.load_replays),
+        ("int_rf_reads", s.int_rf.total_reads),
+        ("int_rf_writes", s.int_rf.total_writes),
+        ("fp_rf_reads", s.fp_rf.total_reads),
+        ("fp_rf_writes", s.fp_rf.total_writes),
+        ("stl_forwards", s.stl_forwards),
+    ]
+}
+
+fn assert_fingerprint(config: &SimConfig, expected: &[(&str, u64)]) {
+    let stats = pinned_run(config);
+    let got = fingerprint(&stats);
+    for ((name, want), (_, have)) in expected.iter().zip(&got) {
+        assert_eq!(
+            have, want,
+            "{name} drifted on the pinned workload (got {have}, pinned {want});\n\
+             full fingerprint: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn baseline_stats_are_pinned() {
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.cosim = true;
+    // Pinned against the pre-refactor simulator; regenerate only for
+    // intentional timing-model changes (print `fingerprint(&pinned_run(..))`).
+    assert_fingerprint(
+        &cfg,
+        &[
+            ("cycles", 14752),
+            ("committed", 29222),
+            ("loads", 1607),
+            ("stores", 201),
+            ("branches", 2800),
+            ("fetched", 30334),
+            ("squashed", 691),
+            ("mispredicts", 41),
+            ("bypassed_operands", 26225),
+            ("rf_operands", 23215),
+            ("zero_operands", 403),
+            ("load_replays", 0),
+            ("int_rf_reads", 17729),
+            ("int_rf_writes", 23583),
+            ("fp_rf_reads", 5486),
+            ("fp_rf_writes", 2822),
+            ("stl_forwards", 0),
+        ],
+    );
+}
+
+#[test]
+fn carf_stats_are_pinned() {
+    let mut cfg = SimConfig::paper_carf(carf_core::CarfParams::paper_default());
+    cfg.cosim = true;
+    cfg.oracle_period = Some(16);
+    assert_fingerprint(
+        &cfg,
+        &[
+            ("cycles", 14767),
+            ("committed", 29222),
+            ("loads", 1607),
+            ("stores", 201),
+            ("branches", 2800),
+            ("fetched", 30334),
+            ("squashed", 754),
+            ("mispredicts", 41),
+            ("bypassed_operands", 28623),
+            ("rf_operands", 20811),
+            ("zero_operands", 403),
+            ("load_replays", 0),
+            ("int_rf_reads", 15334),
+            ("int_rf_writes", 23581),
+            ("fp_rf_reads", 5477),
+            ("fp_rf_writes", 2822),
+            ("stl_forwards", 0),
+        ],
+    );
+}
+
+#[test]
+#[ignore = "prints the current fingerprints for re-pinning"]
+fn print_fingerprints() {
+    let mut base = SimConfig::paper_baseline();
+    base.cosim = true;
+    println!("baseline: {:?}", fingerprint(&pinned_run(&base)));
+    let mut carf = SimConfig::paper_carf(carf_core::CarfParams::paper_default());
+    carf.cosim = true;
+    carf.oracle_period = Some(16);
+    println!("carf: {:?}", fingerprint(&pinned_run(&carf)));
+}

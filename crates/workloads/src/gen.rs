@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn permutation_ring_is_a_single_cycle() {
         let next = permutation_ring(&mut rng(3), 64);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut cur = 0usize;
         for _ in 0..64 {
             assert!(!seen[cur], "revisited {cur} before completing the cycle");

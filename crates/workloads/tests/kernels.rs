@@ -92,7 +92,7 @@ fn compress_loop_output_decodes_to_the_input() {
         let byte = m.mem.read_u8(output + 2 * k);
         let run = m.mem.read_u8(output + 2 * k + 1) as usize;
         assert!(run > 0, "zero-length run at pair {k}");
-        decoded.extend(std::iter::repeat(byte).take(run));
+        decoded.extend(std::iter::repeat_n(byte, run));
     }
     assert_eq!(decoded.len(), 4096);
     for (i, b) in decoded.iter().enumerate() {

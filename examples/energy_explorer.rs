@@ -17,7 +17,7 @@ fn main() {
 
     println!("register-file design space (relative to the unlimited 160x64b 16R/8W file)\n");
     println!("{:>28} {:>9} {:>9} {:>9}", "geometry", "energy", "area", "time");
-    let mut show = |name: String, g: &RegFileGeometry| {
+    let show = |name: String, g: &RegFileGeometry| {
         println!(
             "{name:>28} {:>8.1}% {:>8.1}% {:>8.1}%",
             model.read_energy(g) / unlimited_energy * 100.0,

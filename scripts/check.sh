@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI (and a reviewer) expects to pass.
+#   build (release) -> tests -> clippy with warnings denied
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> all checks passed"

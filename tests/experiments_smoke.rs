@@ -3,16 +3,18 @@
 //! numbers at tiny scale.
 
 use carf_bench::{
-    baseline_geometry, carf_geometries, rf_energy_carf, rf_energy_monolithic, run_suite,
-    run_workload, unlimited_geometry, Budget, DN_SWEEP,
+    baseline_geometry, carf_geometries, rf_energy_carf, rf_energy_monolithic, run_matrix,
+    run_suite, run_workload, unlimited_geometry, Budget, DN_SWEEP,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
 use carf_sim::SimConfig;
 use carf_workloads::{int_suite, SizeClass, Suite};
 
+/// Tiny scale, two workers: every smoke test also exercises the parallel
+/// experiment engine's dispatch/reassembly path.
 fn tiny_budget() -> Budget {
-    Budget { size: SizeClass::Test, max_insts: 30_000, oracle_period: 16 }
+    Budget { size: SizeClass::Test, max_insts: 30_000, oracle_period: 16, jobs: 2 }
 }
 
 #[test]
@@ -25,6 +27,38 @@ fn suite_runner_produces_stats_for_every_workload() {
         assert!(stats.ipc() > 0.01, "{name}");
     }
     assert!(result.mean_ipc() > 0.1);
+}
+
+#[test]
+fn matrix_runner_matches_per_suite_runs() {
+    let budget = tiny_budget();
+    let base = SimConfig::paper_baseline();
+    let carf = SimConfig::paper_carf(CarfParams::paper_default());
+    let points =
+        [(base.clone(), Suite::Int), (base.clone(), Suite::Fp), (carf.clone(), Suite::Int)];
+    let matrix = run_matrix(&points, &budget);
+    assert_eq!(matrix.len(), 3);
+    for ((cfg, suite), result) in points.iter().zip(&matrix) {
+        assert_eq!(result.suite, *suite);
+        let solo = run_suite(cfg, *suite, &budget);
+        assert_eq!(result.runs.len(), solo.runs.len());
+        for ((n1, s1), (n2, s2)) in result.runs.iter().zip(&solo.runs) {
+            assert_eq!(n1, n2);
+            assert_eq!(s1.cycles, s2.cycles, "{n1}");
+            assert_eq!(s1.committed, s2.committed, "{n1}");
+        }
+    }
+}
+
+#[test]
+fn budget_arg_parsing_is_strict() {
+    let ok = Budget::parse_args(["--full".into(), "--jobs".into(), "3".into()]).unwrap();
+    assert_eq!((ok.label(), ok.jobs), ("full", 3));
+    let ok = Budget::parse_args(["--jobs=5".into(), "--quick".into()]).unwrap();
+    assert_eq!((ok.label(), ok.jobs), ("quick", 5));
+    assert!(Budget::parse_args(["--bogus".into()]).is_err());
+    assert!(Budget::parse_args(["--jobs".into(), "zero".into()]).is_err());
+    assert!(Budget::parse_args(["--jobs=0".into()]).is_err());
 }
 
 #[test]

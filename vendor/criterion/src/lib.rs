@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark runs
+//! a short warm-up followed by `sample_size` timed samples and prints the
+//! per-iteration median to stdout — honest wall-clock numbers, none of
+//! criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op, present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / n as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibration: find an iteration count that takes ≥ ~2ms per sample,
+    // so sub-microsecond routines are still resolvable.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: iters };
+        f(&mut b);
+        // Samples store per-iteration time; scale back up to whole-sample
+        // wall time for the calibration threshold.
+        let per_iter = b.samples.first().copied().unwrap_or_default();
+        if per_iter * iters as u32 >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), iters_per_sample: iters };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+    let (lo, hi) = (
+        b.samples.first().copied().unwrap_or_default(),
+        b.samples.last().copied().unwrap_or_default(),
+    );
+    println!(
+        "bench {name:<48} median {:>12} [{} .. {}] ({} samples × {iters} iters)",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi),
+        b.samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function (upstream-compatible simple form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_share_prefix_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

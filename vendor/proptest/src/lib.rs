@@ -1,0 +1,333 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of proptest this workspace's property tests use,
+//! for real: random strategies over ranges/tuples/collections, the
+//! `prop_map` / `prop_filter` / `prop_oneof!` combinators, `any::<T>()`,
+//! and the `proptest!` macro. Cases are generated from a deterministic
+//! per-property seed so test runs are reproducible. Assertion macros are
+//! panic-based and there is **no shrinking**: a failing case reports its
+//! assertion site, not a minimized input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+/// Runner configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Give up after this many consecutive filter rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// The per-property random source handed to strategies.
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic construction, keyed by the property name so distinct
+    /// properties see de-correlated streams.
+    pub fn for_property(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform draw from an integer/float range.
+    pub fn gen_range<T, Rg: rand::SampleRange<T>>(&mut self, range: Rg) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// Drives one property: generates inputs from `strategy` until
+/// `config.cases` accepted runs complete. A failing case panics at its
+/// assertion site (no shrinking, no input echo).
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut test: impl FnMut(S::Value),
+) {
+    let mut rng = TestRng::for_property(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match strategy.generate(&mut rng) {
+            Some(value) => {
+                accepted += 1;
+                rejected = 0;
+                test(value);
+            }
+            None => {
+                rejected += 1;
+                assert!(
+                    rejected < config.max_global_rejects,
+                    "property `{name}`: too many strategy rejections"
+                );
+            }
+        }
+    }
+}
+
+/// `proptest::collection`: strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let len = rng.gen_range(self.size.clone());
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a property (panic-based here; upstream
+/// returns a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its precondition does not hold. (Skipped
+/// cases still count toward the case budget in this stand-in.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The property-definition macro. Supports the upstream grammar subset
+/// used in this workspace: an optional `#![proptest_config(..)]` header
+/// and `#[test] fn name(pat in strategy, name: Type, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let config = $config;
+            let strategy = $crate::__proptest_strategies!($($args)*);
+            $crate::run_property(stringify!($name), &config, &strategy, |__proptest_tail| {
+                $crate::__proptest_bind!(__proptest_tail ; $($args)*);
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Builds the right-nested pair strategy for a `proptest!` argument list:
+/// `a in s1, b: T` becomes `(s1, (any::<T>(), Just(())))`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strategies {
+    () => { $crate::Just(()) };
+    ($p:pat in $s:expr $(, $($rest:tt)*)?) => {
+        ($s, $crate::__proptest_strategies!($($($rest)*)?))
+    };
+    ($i:ident : $t:ty $(, $($rest:tt)*)?) => {
+        ($crate::any::<$t>(), $crate::__proptest_strategies!($($($rest)*)?))
+    };
+}
+
+/// Destructures the nested-pair value produced by the matching
+/// [`__proptest_strategies!`] expansion into the argument bindings, one
+/// `let` per argument.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($tail:ident ; ) => { let _ = $tail; };
+    ($tail:ident ; $p:pat in $s:expr $(, $($rest:tt)*)?) => {
+        let ($p, $tail) = $tail;
+        $crate::__proptest_bind!($tail ; $($($rest)*)?);
+    };
+    ($tail:ident ; $i:ident : $t:ty $(, $($rest:tt)*)?) => {
+        let ($i, $tail) = $tail;
+        $crate::__proptest_bind!($tail ; $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        any::<u64>().prop_map(|v| v & !1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u32..17, w in 5i64..=9, flag: bool) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((5..=9).contains(&w));
+            let _ = flag;
+        }
+
+        #[test]
+        fn maps_and_filters_compose(
+            v in arb_even(),
+            small in (0u64..100).prop_filter("nonzero", |x| *x != 0),
+        ) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_ne!(small, 0);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            vs in crate::collection::vec(prop_oneof![Just(1u64), 10u64..20], 1..8)
+        ) {
+            prop_assert!(!vs.is_empty() && vs.len() < 8);
+            prop_assert!(vs.iter().all(|v| *v == 1 || (10..20).contains(v)));
+        }
+
+        #[test]
+        fn assume_skips_cases(v in 0u32..10) {
+            prop_assume!(v < 5);
+            prop_assert!(v < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_properties_panic() {
+        crate::run_property("failing", &ProptestConfig::with_cases(8), &(0u32..10), |v| {
+            assert!(v > 100)
+        });
+    }
+
+    #[test]
+    fn tuple_strategies_generate_all_components() {
+        crate::run_property(
+            "tuples",
+            &ProptestConfig::with_cases(32),
+            &(0u8..4, 1u8..16, -500i64..500, any::<bool>()),
+            |(a, b, c, _d)| {
+                assert!(a < 4 && (1..16).contains(&b) && (-500..500).contains(&c));
+            },
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let mut first = Vec::new();
+        crate::run_property("repro", &ProptestConfig::with_cases(16), &(0u64..1000), |v| {
+            first.push(v)
+        });
+        let mut second = Vec::new();
+        crate::run_property("repro", &ProptestConfig::with_cases(16), &(0u64..1000), |v| {
+            second.push(v)
+        });
+        assert_eq!(first, second);
+    }
+}
