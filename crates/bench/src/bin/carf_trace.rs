@@ -1,0 +1,268 @@
+//! `carf-trace`: pipeline observability CLI.
+//!
+//! Runs selected workloads under the baseline and/or content-aware
+//! machines with a [`TraceRecorder`] installed, then reports per-cycle
+//! stall attribution (buckets sum to total cycles by construction),
+//! stage-latency histograms, and the CARF-specific counters (WR1
+//! outcomes, Long-file writeback retries, issue-guard cycles). It also
+//! exports a Chrome trace-event JSON per point (loadable in Perfetto or
+//! `chrome://tracing`) and merges a counters record into
+//! `results/trace_counters.json`.
+//!
+//! Replaces the old `diag_stalls` diagnostic, which ignored its arguments
+//! and panicked on unknown workloads.
+
+use carf_bench::{parallel, Budget};
+use carf_core::CarfParams;
+use carf_sim::{SimConfig, Simulator, StageHistograms, StallReport, TraceRecorder};
+use carf_workloads::{all_workloads, Workload};
+
+/// Workloads traced when none are named: the four kernels where the
+/// baseline and content-aware machines diverge the most.
+const DEFAULT_WORKLOADS: [&str; 4] = ["stencil3", "particle_push", "tridiag", "sort_kernel"];
+
+/// Which machine configurations to trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Machine {
+    Base,
+    Carf,
+    Both,
+}
+
+struct TraceArgs {
+    budget: Budget,
+    window: u64,
+    machine: Machine,
+    workloads: Vec<Workload>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: carf-trace [--quick | --full] [--jobs N] [--window N] \
+         [--machine base|carf|both] [workload...]"
+    );
+    eprintln!("  --quick        quick budget: ~200k instructions per point (default)");
+    eprintln!("  --full         full budget: ~1M instructions per point");
+    eprintln!("  --jobs N       worker threads (default: CARF_JOBS or available cores)");
+    eprintln!("  --window N     Chrome-trace cycle window length (default 5000)");
+    eprintln!("  --machine M    trace the baseline, the content-aware machine, or both (default)");
+    eprintln!("  workload...    kernels to trace (default: {})", DEFAULT_WORKLOADS.join(" "));
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    usage()
+}
+
+fn parse_machine(v: &str) -> Machine {
+    match v {
+        "base" | "baseline" => Machine::Base,
+        "carf" => Machine::Carf,
+        "both" => Machine::Both,
+        other => fail(&format!("`--machine` expects base, carf, or both (got `{other}`)")),
+    }
+}
+
+fn parse_window(v: &str) -> u64 {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => fail("`--window` expects a positive cycle count"),
+    }
+}
+
+fn parse_trace_args() -> TraceArgs {
+    let mut budget_args: Vec<String> = Vec::new();
+    let mut window: u64 = 5_000;
+    let mut machine = Machine::Both;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--window" => match args.next() {
+                Some(v) => window = parse_window(&v),
+                None => fail("`--window` expects a value"),
+            },
+            "--machine" => match args.next() {
+                Some(v) => machine = parse_machine(&v),
+                None => fail("`--machine` expects a value"),
+            },
+            "--quick" | "--full" => budget_args.push(arg),
+            "--jobs" => {
+                budget_args.push(arg);
+                if let Some(v) = args.next() {
+                    budget_args.push(v);
+                }
+            }
+            s if s.starts_with("--window=") => window = parse_window(&s["--window=".len()..]),
+            s if s.starts_with("--machine=") => machine = parse_machine(&s["--machine=".len()..]),
+            s if s.starts_with("--jobs=") => budget_args.push(arg),
+            s if s.starts_with('-') => fail(&format!("unrecognized argument `{s}`")),
+            _ => names.push(arg),
+        }
+    }
+
+    let budget = Budget::parse_args(budget_args).unwrap_or_else(|bad| fail(&bad));
+
+    let registry = all_workloads();
+    if names.is_empty() {
+        names = DEFAULT_WORKLOADS.iter().map(|s| s.to_string()).collect();
+    }
+    let mut workloads = Vec::new();
+    for name in &names {
+        match registry.iter().find(|w| w.name == *name) {
+            Some(w) => workloads.push(w.clone()),
+            None => {
+                eprintln!("error: unknown workload `{name}`");
+                eprintln!(
+                    "valid workloads: {}",
+                    registry.iter().map(|w| w.name).collect::<Vec<_>>().join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    TraceArgs { budget, window, machine, workloads }
+}
+
+/// Everything one traced point produces.
+struct PointOutput {
+    workload: String,
+    label: &'static str,
+    config_tag: String,
+    ipc: f64,
+    cycles: u64,
+    committed: u64,
+    report: StallReport,
+    histograms: StageHistograms,
+    chrome_json: String,
+    counters_json: String,
+}
+
+fn run_point(
+    workload: &Workload,
+    label: &'static str,
+    config: &SimConfig,
+    budget: &Budget,
+    window: u64,
+) -> Result<PointOutput, String> {
+    let program = workload.build(workload.size(budget.size));
+    let mut sim =
+        Simulator::with_tracer(config.clone(), &program, TraceRecorder::with_window(0, window));
+    let result = sim
+        .run(budget.max_insts)
+        .map_err(|e| format!("{} under {label}: {e}", workload.name))?;
+    let recorder = sim.into_tracer();
+    let report = recorder.stall_report();
+    if report.bucket_sum() != recorder.cycles() {
+        return Err(format!(
+            "{} under {label}: stall buckets sum to {} but {} cycles ran \
+             (attribution invariant broken)",
+            workload.name,
+            report.bucket_sum(),
+            recorder.cycles()
+        ));
+    }
+    Ok(PointOutput {
+        workload: workload.name.to_string(),
+        label,
+        config_tag: config.describe(),
+        ipc: result.ipc,
+        cycles: result.cycles,
+        committed: result.committed,
+        report,
+        histograms: recorder.histograms().clone(),
+        chrome_json: recorder.chrome_trace_json(),
+        counters_json: recorder.counters_json(),
+    })
+}
+
+fn main() {
+    let TraceArgs { budget, window, machine, workloads } = parse_trace_args();
+
+    let mut configs: Vec<(&'static str, SimConfig)> = Vec::new();
+    if machine != Machine::Carf {
+        configs.push(("base", SimConfig::paper_baseline()));
+    }
+    if machine != Machine::Base {
+        configs.push(("carf", SimConfig::paper_carf(CarfParams::paper_default())));
+    }
+
+    let points: Vec<(Workload, &'static str, SimConfig)> = workloads
+        .iter()
+        .flat_map(|w| configs.iter().map(|(l, c)| (w.clone(), *l, c.clone())))
+        .collect();
+
+    println!(
+        "carf-trace: {} point(s), budget={}, window={} cycles, {} worker(s)",
+        points.len(),
+        budget.label(),
+        window,
+        budget.jobs
+    );
+
+    let results = parallel::run_ordered(&points, budget.jobs, |(w, label, cfg)| {
+        run_point(w, label, cfg, &budget, window)
+    });
+
+    let mut failed = false;
+    let traces_dir = parallel::results_dir().join("traces");
+    let mut counters_path = None;
+    for result in results {
+        let point = match result {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failed = true;
+                continue;
+            }
+        };
+        println!(
+            "\n== {} [{}: {}] ==\nipc={:.3}  cycles={}  committed={}",
+            point.workload, point.label, point.config_tag, point.ipc, point.cycles, point.committed
+        );
+        print!("{}", point.report);
+        let h = &point.histograms;
+        println!(
+            "latency means (cycles): dispatch->issue {:.1}, issue->execute {:.1}, \
+             execute->retire {:.1}, dispatch->retire {:.1}",
+            h.dispatch_to_issue.mean(),
+            h.issue_to_execute.mean(),
+            h.execute_to_retire.mean(),
+            h.dispatch_to_retire.mean()
+        );
+
+        if std::fs::create_dir_all(&traces_dir).is_ok() {
+            let trace_path =
+                traces_dir.join(format!("{}_{}.json", point.workload, point.label));
+            match std::fs::write(&trace_path, &point.chrome_json) {
+                Ok(()) => println!("chrome trace -> {}", trace_path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", trace_path.display()),
+            }
+        }
+
+        // One merged record per (bin, workload, machine, budget).
+        let record = format!(
+            "{{\"bin\":\"carf-trace\",\"workload\":\"{}\",\"machine\":\"{}\",\
+             \"budget\":\"{}\",{}",
+            point.workload,
+            point.label,
+            budget.label(),
+            &point.counters_json[1..]
+        );
+        counters_path = Some(parallel::write_merged_record(
+            "trace_counters.json",
+            &record,
+            &["bin", "workload", "machine", "budget"],
+        ));
+    }
+    if let Some(path) = counters_path {
+        println!("\ncounters -> {}", path.display());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

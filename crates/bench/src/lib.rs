@@ -25,7 +25,7 @@ use carf_workloads::{SizeClass, Suite, Workload};
 
 pub mod parallel;
 
-pub use parallel::{run_ordered, write_timing_json};
+pub use parallel::{results_dir, run_ordered, write_merged_record, write_timing_json};
 
 /// Per-run instruction budget, workload sizing, and harness parallelism.
 #[derive(Debug, Clone, Copy)]
@@ -40,16 +40,30 @@ pub struct Budget {
     pub jobs: usize,
 }
 
+/// Parses a `CARF_JOBS`-style worker-count override: `Some(n)` for a
+/// positive integer (surrounding whitespace allowed), `None` for anything
+/// degenerate (empty, zero, negative, non-numeric, overflowing).
+pub fn parse_jobs_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|n| *n >= 1)
+}
+
 /// The default worker count: the `CARF_JOBS` environment variable when set
 /// (and a positive integer), else the machine's available parallelism.
+/// A degenerate `CARF_JOBS` (zero, empty, non-numeric) is diagnosed once
+/// per process and falls back to the available cores — experiments that
+/// construct several [`Budget`]s must not repeat the warning per budget.
 pub fn default_jobs() -> usize {
     if let Ok(v) = std::env::var("CARF_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        if let Some(n) = parse_jobs_override(&v) {
+            return n;
         }
-        eprintln!("warning: ignoring invalid CARF_JOBS={v:?} (want a positive integer)");
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: ignoring invalid CARF_JOBS={v:?} (want a positive integer); \
+                 using available cores"
+            );
+        });
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -439,5 +453,29 @@ mod tests {
     fn budget_labels() {
         assert_eq!(Budget::quick().label(), "quick");
         assert_eq!(Budget::full().label(), "full");
+    }
+
+    #[test]
+    fn jobs_override_accepts_only_positive_integers() {
+        assert_eq!(parse_jobs_override("4"), Some(4));
+        assert_eq!(parse_jobs_override("  12 \n"), Some(12));
+        assert_eq!(parse_jobs_override("0"), None);
+        assert_eq!(parse_jobs_override(""), None);
+        assert_eq!(parse_jobs_override("-3"), None);
+        assert_eq!(parse_jobs_override("eight"), None);
+        assert_eq!(parse_jobs_override("99999999999999999999999"), None);
+    }
+
+    #[test]
+    fn budget_arg_parsing() {
+        let ok = |args: &[&str]| {
+            Budget::parse_args(args.iter().map(|s| s.to_string())).expect("valid args")
+        };
+        assert_eq!(ok(&["--quick"]).label(), "quick");
+        assert_eq!(ok(&["--full"]).label(), "full");
+        assert_eq!(ok(&["--jobs", "3"]).jobs, 3);
+        assert_eq!(ok(&["--jobs=5", "--full"]).jobs, 5);
+        assert!(Budget::parse_args(["--jobs".to_string(), "0".to_string()]).is_err());
+        assert!(Budget::parse_args(["--bogus".to_string()]).is_err());
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::Budget;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -115,14 +115,127 @@ pub fn bin_name() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// The directory result files are written to.
+///
+/// `CARF_RESULTS_DIR` overrides when set (and non-empty); otherwise this is
+/// `<workspace root>/results`, anchored from this crate's manifest directory
+/// at compile time so experiment binaries produce the same files no matter
+/// which directory they are launched from.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARF_RESULTS_DIR") {
+        if !dir.trim().is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    // crates/bench -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate manifest dir has a workspace root two levels up")
+        .join("results")
+}
+
+/// Extracts the raw value of a top-level `"name": value` field from a
+/// single-line JSON record (`None` when absent). String values are returned
+/// without their quotes; other values are returned as their raw text. This
+/// is only as smart as the records we write — nested objects stop at the
+/// first delimiter — but a field-value comparison is far more robust than
+/// matching on byte offsets in the line.
+pub fn json_field(record: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = record[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut out = String::new();
+        let mut chars = stripped.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => return Some(out),
+                '\\' => {
+                    out.push(c);
+                    if let Some(esc) = chars.next() {
+                        out.push(esc);
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        None // unterminated string: treat the field as absent
+    } else {
+        let end = rest
+            .find(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+            .unwrap_or(rest.len());
+        let value = &rest[..end];
+        if value.is_empty() {
+            None
+        } else {
+            Some(value.to_string())
+        }
+    }
+}
+
+/// Merges `record` into `existing` one-record-per-line JSON rows: any row
+/// whose `key_fields` values all equal the new record's is replaced; every
+/// other row (including rows missing a key field) is kept. The new record
+/// is appended last.
+pub fn merge_json_records(
+    existing: &[String],
+    record: &str,
+    key_fields: &[&str],
+) -> Vec<String> {
+    let new_key: Vec<Option<String>> =
+        key_fields.iter().map(|f| json_field(record, f)).collect();
+    let mut out: Vec<String> = existing
+        .iter()
+        .filter(|row| {
+            let row_key: Vec<Option<String>> =
+                key_fields.iter().map(|f| json_field(row, f)).collect();
+            // Keep the row unless its key tuple is present and equal.
+            row_key.iter().any(|v| v.is_none()) || row_key != new_key
+        })
+        .cloned()
+        .collect();
+    out.push(record.to_string());
+    out
+}
+
+/// Reads `file_name` from [`results_dir`], merges `record` by `key_fields`
+/// (see [`merge_json_records`]), rewrites the file as a JSON array with one
+/// record per line, and returns the path.
+pub fn write_merged_record(file_name: &str, record: &str, key_fields: &[&str]) -> PathBuf {
+    let dir = results_dir();
+    let path = dir.join(file_name);
+    let existing: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap_or_default()
+        .lines()
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| l.starts_with('{'))
+        .collect();
+    let records = merge_json_records(&existing, record, key_fields);
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(f, "[");
+            for (i, r) in records.iter().enumerate() {
+                let sep = if i + 1 < records.len() { "," } else { "" };
+                let _ = writeln!(f, "{r}{sep}");
+            }
+            let _ = writeln!(f, "]");
+        }
+    }
+    path
+}
+
 /// Writes (merging) the run's timing record into
-/// `results/bench_timing.json` and returns the path.
+/// `<results dir>/bench_timing.json` (see [`results_dir`]) and returns the
+/// path.
 ///
 /// The file is a JSON array with one record per line, each of the form
 /// `{"bin": ..., "budget": ..., "jobs": N, "total_secs": S, "points":
 /// [{"name": ..., "secs": ...}, ...]}`. Records are keyed by
-/// `(bin, budget, jobs)`: re-running the same configuration replaces its
-/// record, so the file accumulates one row per distinct configuration.
+/// `(bin, budget, jobs)` **field values**: re-running the same
+/// configuration replaces only its own record, so the file accumulates one
+/// row per distinct configuration.
 pub fn write_timing_json(budget: &Budget) -> PathBuf {
     let bin = bin_name();
     let points = take_points();
@@ -147,33 +260,7 @@ pub fn write_timing_json(budget: &Budget) -> PathBuf {
     }
     record.push_str("]}");
 
-    let dir = PathBuf::from("results");
-    let path = dir.join("bench_timing.json");
-    let key = format!(
-        "{{\"bin\":\"{}\",\"budget\":\"{}\",\"jobs\":{},",
-        json_escape(&bin),
-        budget.label(),
-        budget.jobs
-    );
-    // Keep every record whose (bin, budget, jobs) key differs.
-    let mut records: Vec<String> = std::fs::read_to_string(&path)
-        .unwrap_or_default()
-        .lines()
-        .map(|l| l.trim().trim_end_matches(',').to_string())
-        .filter(|l| l.starts_with('{') && !l.starts_with(&key))
-        .collect();
-    records.push(record);
-
-    if std::fs::create_dir_all(&dir).is_ok() {
-        if let Ok(mut f) = std::fs::File::create(&path) {
-            let _ = writeln!(f, "[");
-            for (i, r) in records.iter().enumerate() {
-                let sep = if i + 1 < records.len() { "," } else { "" };
-                let _ = writeln!(f, "{r}{sep}");
-            }
-            let _ = writeln!(f, "]");
-        }
-    }
+    let path = write_merged_record("bench_timing.json", &record, &["bin", "budget", "jobs"]);
     println!(
         "timing: {} points in {:.2}s with {} worker(s) -> {}",
         points.len(),
@@ -207,5 +294,68 @@ mod tests {
     #[test]
     fn json_escaping_handles_quotes_and_control() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn json_field_extracts_strings_and_scalars() {
+        let rec = r#"{"bin":"fig5_ipc_sweep","budget":"quick","jobs":8,"total_secs":1.234}"#;
+        assert_eq!(json_field(rec, "bin").as_deref(), Some("fig5_ipc_sweep"));
+        assert_eq!(json_field(rec, "budget").as_deref(), Some("quick"));
+        assert_eq!(json_field(rec, "jobs").as_deref(), Some("8"));
+        assert_eq!(json_field(rec, "total_secs").as_deref(), Some("1.234"));
+        assert_eq!(json_field(rec, "missing"), None);
+        // Escaped quotes inside a string value don't end the scan early.
+        let tricky = r#"{"bin":"a\"b","jobs":2}"#;
+        assert_eq!(json_field(tricky, "bin").as_deref(), Some(r#"a\"b"#));
+        assert_eq!(json_field(tricky, "jobs").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn json_field_is_not_fooled_by_value_prefixes() {
+        // The old prefix-matching merge treated "quick" and "quick2" (or
+        // jobs 1 vs 16, had the order differed) as the same key. Field
+        // comparison must not.
+        let a = r#"{"bin":"x","budget":"quick","jobs":1}"#;
+        let b = r#"{"bin":"x","budget":"quick","jobs":16}"#;
+        assert_ne!(json_field(a, "jobs"), json_field(b, "jobs"));
+    }
+
+    #[test]
+    fn merge_replaces_only_matching_key_tuple() {
+        let existing = vec![
+            r#"{"bin":"a","budget":"quick","jobs":4,"total_secs":1.0}"#.to_string(),
+            r#"{"bin":"a","budget":"full","jobs":4,"total_secs":9.0}"#.to_string(),
+            r#"{"bin":"b","budget":"quick","jobs":4,"total_secs":2.0}"#.to_string(),
+        ];
+        let rerun = r#"{"bin":"a","budget":"quick","jobs":4,"total_secs":1.5}"#;
+        let merged = merge_json_records(&existing, rerun, &["bin", "budget", "jobs"]);
+        assert_eq!(merged.len(), 3, "{merged:?}");
+        // The stale (a, quick, 4) record is gone; the other two survive.
+        assert!(!merged.iter().any(|r| r.contains("\"total_secs\":1.0")));
+        assert!(merged.iter().any(|r| r.contains("\"budget\":\"full\"")));
+        assert!(merged.iter().any(|r| r.contains("\"bin\":\"b\"")));
+        assert_eq!(merged.last().map(String::as_str), Some(rerun));
+    }
+
+    #[test]
+    fn merge_keeps_rows_missing_a_key_field() {
+        let existing = vec![r#"{"note":"hand-written row"}"#.to_string()];
+        let merged =
+            merge_json_records(&existing, r#"{"bin":"a","jobs":1}"#, &["bin", "jobs"]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], existing[0]);
+    }
+
+    #[test]
+    fn results_dir_is_anchored_at_the_workspace_root() {
+        // Regression for the cwd-relative `results/` bug: unless overridden,
+        // the directory must be absolute and live next to this crate's
+        // workspace, not under whatever directory the binary ran from.
+        if std::env::var("CARF_RESULTS_DIR").map_or(true, |v| v.trim().is_empty()) {
+            let dir = results_dir();
+            assert!(dir.is_absolute(), "{}", dir.display());
+            assert_eq!(dir.file_name().and_then(|n| n.to_str()), Some("results"));
+            assert!(dir.parent().unwrap().join("crates/bench/Cargo.toml").exists());
+        }
     }
 }

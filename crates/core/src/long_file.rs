@@ -30,6 +30,8 @@ pub struct LongFile {
     occupancy_sum: u64,
     occupancy_hist: Vec<u64>,
     peak: usize,
+    allocations: u64,
+    releases: u64,
     /// Dynamic cap on live entries (≤ len). Models sharing the physical
     /// array with another consumer (the paper's §6 SMT direction): the
     /// co-runner's live entries shrink this thread's effective capacity.
@@ -46,6 +48,8 @@ impl LongFile {
             occupancy_sum: 0,
             occupancy_hist: vec![0; entries + 1],
             peak: 0,
+            allocations: 0,
+            releases: 0,
             capacity_limit: entries,
         }
     }
@@ -94,6 +98,7 @@ impl LongFile {
         }
         let idx = self.free.pop().ok_or(LongFileFull)? as usize;
         self.values[idx] = high;
+        self.allocations += 1;
         self.peak = self.peak.max(self.live_count());
         Ok(idx)
     }
@@ -119,6 +124,17 @@ impl LongFile {
             "double free of long register {index}"
         );
         self.free.push(index as u32);
+        self.releases += 1;
+    }
+
+    /// Successful allocations over the run (free-list pointer traffic).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Entry releases over the run (free-list pointer traffic).
+    pub fn releases(&self) -> u64 {
+        self.releases
     }
 
     /// Records the current occupancy (call once per sampling period).

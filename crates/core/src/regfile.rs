@@ -464,6 +464,14 @@ impl IntRegFile for ContentAwareRegFile {
         self.long.sample_occupancy();
         self.short_occupancy_sum += self.short.occupancy() as u64;
         self.occupancy_samples += 1;
+        // Mirror the sub-files' traffic counters into the access stats so
+        // observers see Short alloc/reject/reclaim and Long pointer traffic
+        // without reaching into the sub-file internals.
+        self.stats.short_allocs = self.short.allocations();
+        self.stats.short_alloc_rejects = self.short.rejected_allocations();
+        self.stats.short_reclaims = self.short.reclaims();
+        self.stats.long_allocs = self.long.allocations();
+        self.stats.long_releases = self.long.releases();
     }
 
     fn stats(&self) -> &AccessStats {

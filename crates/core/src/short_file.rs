@@ -43,6 +43,7 @@ pub struct ShortFile {
     slots: Vec<ShortSlot>,
     allocations: u64,
     rejected_allocations: u64,
+    reclaims: u64,
 }
 
 impl ShortFile {
@@ -52,6 +53,7 @@ impl ShortFile {
             slots: vec![ShortSlot::default(); params.short_entries],
             allocations: 0,
             rejected_allocations: 0,
+            reclaims: 0,
         }
     }
 
@@ -103,6 +105,9 @@ impl ShortFile {
             return Some(idx);
         }
         if slot.is_free() {
+            if slot.occupied {
+                self.reclaims += 1;
+            }
             *slot = ShortSlot { high, occupied: true, tcur: true, tarch: false, told: false };
             self.allocations += 1;
             Some(idx)
@@ -133,6 +138,9 @@ impl ShortFile {
                 }
             }
         };
+        if self.slots[idx].occupied {
+            self.reclaims += 1;
+        }
         self.slots[idx] = ShortSlot { high, occupied: true, tcur: true, tarch: false, told: false };
         self.allocations += 1;
         Some(idx)
@@ -179,6 +187,12 @@ impl ShortFile {
     /// indicator).
     pub fn rejected_allocations(&self) -> u64 {
         self.rejected_allocations
+    }
+
+    /// Allocations that displaced an aged-out similarity group (the slot
+    /// was occupied but all reference bits had cleared).
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims
     }
 }
 
@@ -239,9 +253,12 @@ mod tests {
         assert!(!f.slot(3).is_free()); // told still holds it
         f.rob_interval_tick([]); // told <- 0
         assert!(f.slot(3).is_free());
-        // Now a new group can claim the slot.
+        // Now a new group can claim the slot — counted as a reclaim
+        // because it displaces an aged-out group.
+        assert_eq!(f.reclaims(), 0);
         assert_eq!(f.try_alloc(&p, val(3, 0x2)), Some(3));
         assert_eq!(f.slot(3).high, 0x2);
+        assert_eq!(f.reclaims(), 1);
     }
 
     #[test]

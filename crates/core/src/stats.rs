@@ -75,6 +75,16 @@ pub struct AccessStats {
     /// Write attempts deferred because the Long file was full (the paper's
     /// pseudo-deadlock pressure indicator).
     pub long_write_stalls: u64,
+    /// Short-file slot allocations (content-aware file only).
+    pub short_allocs: u64,
+    /// Short-file allocations rejected because the indexed slot was held.
+    pub short_alloc_rejects: u64,
+    /// Short-file allocations that displaced an aged-out similarity group.
+    pub short_reclaims: u64,
+    /// Long-file entry allocations (free-list pointer traffic).
+    pub long_allocs: u64,
+    /// Long-file entry releases (free-list pointer traffic).
+    pub long_releases: u64,
 }
 
 impl AccessStats {
@@ -99,6 +109,11 @@ impl AccessStats {
         self.total_reads += other.total_reads;
         self.total_writes += other.total_writes;
         self.long_write_stalls += other.long_write_stalls;
+        self.short_allocs += other.short_allocs;
+        self.short_alloc_rejects += other.short_alloc_rejects;
+        self.short_reclaims += other.short_reclaims;
+        self.long_allocs += other.long_allocs;
+        self.long_releases += other.long_releases;
     }
 }
 

@@ -156,6 +156,20 @@ impl SimConfig {
         }
     }
 
+    /// A short human-readable tag for this machine configuration, used by
+    /// diagnostics (`carf-trace`) and result-file labels.
+    pub fn describe(&self) -> String {
+        match &self.regfile {
+            RegFileKind::Baseline => format!("baseline({}p)", self.int_pregs),
+            RegFileKind::ContentAware(p, _) => format!(
+                "carf(d+n={},M={},K={})",
+                p.dn(),
+                p.short_entries,
+                p.long_entries
+            ),
+        }
+    }
+
     /// The content-aware machine with explicit policies (ablations).
     pub fn paper_carf_with(params: CarfParams, policies: Policies) -> Self {
         Self {
@@ -287,5 +301,12 @@ mod tests {
             RegFileKind::ContentAware(p, _) => assert_eq!(p.dn(), 20),
             other => panic!("expected content-aware, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn describe_names_both_organizations() {
+        assert!(SimConfig::paper_baseline().describe().starts_with("baseline("));
+        let carf = SimConfig::paper_carf(CarfParams::paper_default()).describe();
+        assert!(carf.contains("d+n=20"), "{carf}");
     }
 }

@@ -76,6 +76,18 @@ impl FuPool {
     pub fn denials(&self) -> u64 {
         self.denials
     }
+
+    /// Mean issue-slot occupancy over `cycles`: acquisitions per
+    /// unit-cycle, in `[0, 1]` for pipelined workloads (0.0 when no time
+    /// has passed).
+    pub fn utilization(&self, cycles: u64) -> f64 {
+        let capacity = cycles.saturating_mul(self.len() as u64);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.acquisitions as f64 / capacity as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +102,8 @@ mod tests {
         assert!(p.try_acquire(6, 1));
         assert_eq!(p.acquisitions(), 2);
         assert_eq!(p.denials(), 1);
+        assert!((p.utilization(10) - 0.2).abs() < 1e-12);
+        assert_eq!(p.utilization(0), 0.0);
     }
 
     #[test]

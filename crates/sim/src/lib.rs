@@ -55,6 +55,7 @@ mod rename;
 mod sim;
 mod smt;
 mod stats;
+mod trace;
 
 pub use bpred::{BpredStats, BranchPredictor};
 pub use config::{BpredConfig, RegFileKind, SimConfig};
@@ -64,3 +65,7 @@ pub use rename::{Preg, RenameTables};
 pub use sim::{InstTimeline, SimError, SimResult, Simulator};
 pub use smt::{SharedLongSmt, SmtThreadResult};
 pub use stats::{DispatchStalls, OperandMix, OracleData, SimStats};
+pub use trace::{
+    DispatchStallCause, LatencyHistogram, NopTracer, SquashReason, StageHistograms, StallCause,
+    StallReport, TraceCounters, TraceEvent, TraceRecorder, Tracer,
+};

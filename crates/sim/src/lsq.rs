@@ -86,6 +86,7 @@ pub struct LoadStoreQueue {
     capacity: usize,
     forwards: u64,
     wait_events: u64,
+    peak_len: usize,
 }
 
 /// Error returned when the queue is full at allocation.
@@ -95,7 +96,7 @@ pub struct LsqFull;
 impl LoadStoreQueue {
     /// Creates an empty queue holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { entries: VecDeque::new(), capacity, forwards: 0, wait_events: 0 }
+        Self { entries: VecDeque::new(), capacity, forwards: 0, wait_events: 0, peak_len: 0 }
     }
 
     /// Entries currently in the queue.
@@ -131,6 +132,7 @@ impl LoadStoreQueue {
         }
         self.entries
             .push_back(LsqEntry { seq, is_load, addr: None, size, data: None, performed: false });
+        self.peak_len = self.peak_len.max(self.entries.len());
         Ok(())
     }
 
@@ -286,6 +288,11 @@ impl LoadStoreQueue {
     pub fn wait_events(&self) -> u64 {
         self.wait_events
     }
+
+    /// Highest occupancy ever reached (a sizing indicator).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +415,8 @@ mod tests {
         // New entries can arrive after the squash point.
         lsq.try_push(6, true, 8).unwrap();
         assert_eq!(lsq.len(), 3);
+        // The peak remembers the pre-squash high-water mark.
+        assert_eq!(lsq.peak_len(), 5);
     }
 
     #[test]

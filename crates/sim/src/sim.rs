@@ -31,6 +31,7 @@ use crate::fu::FuPool;
 use crate::lsq::{LoadDecision, LoadStoreQueue, MemDepPolicy};
 use crate::rename::{Preg, RenameTables};
 use crate::stats::SimStats;
+use crate::trace::{DispatchStallCause, NopTracer, SquashReason, StallCause, TraceEvent, Tracer};
 
 /// Sentinel for "not scheduled yet".
 const NEVER: u64 = u64::MAX;
@@ -220,6 +221,10 @@ struct Fetched {
 
 /// The machine.
 ///
+/// Generic over a [`Tracer`]; the default [`NopTracer`] compiles every
+/// tracing hook away (see the `trace` module), so plain
+/// `Simulator::new` is exactly the untraced machine.
+///
 /// # Example
 ///
 /// ```
@@ -240,7 +245,7 @@ struct Fetched {
 /// assert!(result.ipc > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct Simulator {
+pub struct Simulator<T: Tracer = NopTracer> {
     config: SimConfig,
     program: Program,
     now: u64,
@@ -299,12 +304,20 @@ pub struct Simulator {
     timeline: Vec<InstTimeline>,
     timeline_limit: usize,
     stats: SimStats,
+    tracer: T,
 }
 
 impl Simulator {
-    /// Builds a machine around `program` (the program's data image is
-    /// loaded into simulated memory).
+    /// Builds an untraced machine around `program` (the program's data
+    /// image is loaded into simulated memory).
     pub fn new(config: SimConfig, program: &Program) -> Self {
+        Self::with_tracer(config, program, NopTracer)
+    }
+}
+
+impl<T: Tracer> Simulator<T> {
+    /// Builds a machine that reports pipeline events to `tracer`.
+    pub fn with_tracer(config: SimConfig, program: &Program, tracer: T) -> Self {
         let int_rf: Box<dyn IntRegFile> = match &config.regfile {
             RegFileKind::Baseline => Box::new(BaselineRegFile::new(config.int_pregs)),
             RegFileKind::ContentAware(params, policies) => {
@@ -370,6 +383,7 @@ impl Simulator {
             timeline: Vec::new(),
             timeline_limit: 0,
             stats: SimStats::default(),
+            tracer,
             program: program.clone(),
             config,
         };
@@ -394,6 +408,22 @@ impl Simulator {
     /// The accumulated statistics (finalized by [`Simulator::run`]).
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the installed tracer.
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// Consumes the machine and returns the tracer (to read out reports
+    /// after a run).
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// Records the pipeline timeline of the first `limit` committed
@@ -475,6 +505,10 @@ impl Simulator {
         self.stats.int_rf = *self.int_rf.stats();
         self.stats.fp_rf = *self.fp_rf.stats();
         self.stats.stl_forwards = self.lsq.forwards();
+        self.stats.int_fu_denials = self.int_fus.denials();
+        self.stats.fp_fu_denials = self.fp_fus.denials();
+        self.stats.lsq_wait_events = self.lsq.wait_events();
+        self.stats.lsq_peak = self.lsq.peak_len();
         if let Some(carf) = self.carf() {
             let (mean, peak, short, hist) = (
                 carf.long_file().mean_live(),
@@ -520,7 +554,22 @@ impl Simulator {
         self.fp_read_ports.begin_cycle();
         self.fp_write_ports.begin_cycle();
 
+        let committed_before = self.stats.committed;
         self.commit()?;
+        if T::ENABLED {
+            // Exactly one Cycle event per simulated cycle (including the
+            // halting one), so attribution buckets sum to total cycles.
+            let commits = self.stats.committed - committed_before;
+            let cause = self.classify_cycle(commits);
+            self.tracer.event(TraceEvent::Cycle {
+                cycle: self.now,
+                commits,
+                cause,
+                rob: self.rob.len() as u32,
+                iq: (self.int_iq.len() + self.fp_iq.len()) as u32,
+                lsq: self.lsq.len() as u32,
+            });
+        }
         if self.halted {
             return Ok(());
         }
@@ -533,6 +582,48 @@ impl Simulator {
         self.fetch()?;
         self.sample();
         Ok(())
+    }
+
+    /// Charges the just-finished commit stage's cycle to one
+    /// [`StallCause`] bucket, based on what is blocking the ROB head.
+    /// Called once per cycle, so the buckets sum to total cycles.
+    fn classify_cycle(&self, commits: u64) -> StallCause {
+        if commits > 0 {
+            return StallCause::Commit;
+        }
+        let Some(head) = self.rob.front() else {
+            return StallCause::FrontendEmpty;
+        };
+        match head.state {
+            SlotState::Waiting => {
+                let capture = self.now + self.read_stages;
+                let ready =
+                    head.srcs.iter().all(|src| self.can_capture(*src, capture).is_some());
+                if ready {
+                    StallCause::IssueStructural
+                } else {
+                    StallCause::DataDependency
+                }
+            }
+            SlotState::Issued | SlotState::Captured => StallCause::Execute,
+            SlotState::WaitDisambig => StallCause::MemDisambig,
+            SlotState::WaitData => StallCause::MemData,
+            SlotState::WbPending => {
+                if head.wb_fail_cycles > 0 {
+                    StallCause::LongWriteback
+                } else {
+                    StallCause::WritebackPort
+                }
+            }
+            SlotState::WbGranted => StallCause::WritebackLatency,
+            SlotState::Completed => {
+                if head.kind == InstKind::Store {
+                    StallCause::StoreCommitPort
+                } else {
+                    StallCause::Other
+                }
+            }
+        }
     }
 
     // ----- commit --------------------------------------------------------
@@ -584,6 +675,13 @@ impl Simulator {
     fn retire_bookkeeping(&mut self, slot: &Slot) {
         self.stats.committed += 1;
         self.last_commit_cycle = self.now;
+        if T::ENABLED {
+            self.tracer.event(TraceEvent::Retire {
+                cycle: self.now,
+                seq: slot.seq,
+                pc: slot.pc,
+            });
+        }
         if self.timeline.len() < self.timeline_limit {
             self.timeline.push(InstTimeline {
                 seq: slot.seq,
@@ -733,11 +831,19 @@ impl Simulator {
                     continue;
                 }
                 match self.int_rf.try_write(dest.new as usize, result, false) {
-                    Ok(_) => {
+                    Ok(class) => {
                         let done = self.now + self.wb_stages;
                         self.rob[idx].state = SlotState::WbGranted;
                         self.rob[idx].wb_done_at = done;
                         self.int_pregs[dest.new as usize].in_rf_at = done;
+                        if T::ENABLED {
+                            // `class` is the WR1 type-determination outcome.
+                            self.tracer.event(TraceEvent::Writeback {
+                                cycle: self.now,
+                                seq,
+                                class,
+                            });
+                        }
                     }
                     Err(_) => {
                         self.stats.wb_long_retries += 1;
@@ -748,6 +854,9 @@ impl Simulator {
                             recovery = Some(seq);
                         }
                         self.wb_pending.push(seq);
+                        if T::ENABLED {
+                            self.tracer.event(TraceEvent::WritebackRetry { cycle: self.now, seq });
+                        }
                     }
                 }
             } else {
@@ -762,6 +871,9 @@ impl Simulator {
                 self.rob[idx].state = SlotState::WbGranted;
                 self.rob[idx].wb_done_at = done;
                 self.fp_pregs[dest.new as usize].in_rf_at = done;
+                if T::ENABLED {
+                    self.tracer.event(TraceEvent::Writeback { cycle: self.now, seq, class: None });
+                }
             }
         }
         self.seq_scratch.clear();
@@ -773,7 +885,7 @@ impl Simulator {
             if self.slot_index(seq).is_some_and(|i| i + 1 < self.rob.len()) {
                 self.stats.deadlock_recoveries += 1;
                 let redirect = self.next_pc_of(seq);
-                self.squash_younger_than(seq);
+                self.squash_younger_than(seq, SquashReason::LongRecovery);
                 self.redirect_fetch(redirect);
             }
         }
@@ -845,6 +957,10 @@ impl Simulator {
                 if kind == InstKind::Store {
                     self.lsq.set_store_data(seq, b);
                     self.rob[idx].state = SlotState::Completed;
+                    if T::ENABLED {
+                        // Address generation done: the store is executed.
+                        self.tracer.event(TraceEvent::Execute { cycle: self.now, seq });
+                    }
                     // Optimistic disambiguation: a younger load may already
                     // have read stale data for this address — squash from it.
                     if self.config.mem_dep == MemDepPolicy::Optimistic {
@@ -857,7 +973,7 @@ impl Simulator {
                                     .expect("violating load is in flight");
                                 self.rob[v].pc
                             };
-                            self.squash_younger_than(victim - 1);
+                            self.squash_younger_than(victim - 1, SquashReason::MemOrder);
                             self.redirect_fetch(target);
                         }
                     }
@@ -936,12 +1052,15 @@ impl Simulator {
                 let idx = self.slot_index(seq).expect("slot vanished");
                 self.rob[idx].state = SlotState::Completed;
                 self.rob[idx].executed_at = self.now;
+                if T::ENABLED {
+                    self.tracer.event(TraceEvent::Execute { cycle: self.now, seq });
+                }
             }
         }
 
         if let Some(target) = squash_to {
             self.stats.mispredicts += 1;
-            self.squash_younger_than(seq);
+            self.squash_younger_than(seq, SquashReason::Mispredict);
             self.redirect_fetch(target);
         }
     }
@@ -952,6 +1071,9 @@ impl Simulator {
         let idx = self.slot_index(seq).expect("slot vanished");
         self.rob[idx].result = value;
         self.rob[idx].executed_at = self.now;
+        if T::ENABLED {
+            self.tracer.event(TraceEvent::Execute { cycle: self.now, seq });
+        }
         match self.rob[idx].dest {
             Some(dest) => {
                 let bank = if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
@@ -1160,6 +1282,9 @@ impl Simulator {
         let guard = self.int_rf.should_stall_issue();
         if guard {
             self.stats.long_guard_stall_cycles += 1;
+            if T::ENABLED {
+                self.tracer.event(TraceEvent::LongGuard { cycle: self.now });
+            }
         }
         let oldest = self.rob.front().map(|s| s.seq);
         let capture_cycle = self.now + self.read_stages;
@@ -1246,6 +1371,9 @@ impl Simulator {
             self.rob[idx].state = SlotState::Issued;
             self.rob[idx].issued_at = self.now;
             self.rob[idx].src_from_rf = from_rf;
+            if T::ENABLED {
+                self.tracer.event(TraceEvent::Issue { cycle: self.now, seq });
+            }
             Self::schedule_event(&mut self.captures, &mut self.vec_pool, capture_cycle, seq);
             // Speculative wakeup: consumers may be selected against the
             // scheduled completion time of this producer. Loads are woken
@@ -1289,6 +1417,13 @@ impl Simulator {
 
     // ----- dispatch (rename) ----------------------------------------------
 
+    #[inline]
+    fn dispatch_stall_event(&mut self, cause: DispatchStallCause) {
+        if T::ENABLED {
+            self.tracer.event(TraceEvent::DispatchStall { cycle: self.now, cause });
+        }
+    }
+
     fn dispatch(&mut self) {
         for _ in 0..self.config.fetch_width {
             let Some(fetched) = self.fetch_q.front().copied() else { break };
@@ -1301,11 +1436,13 @@ impl Simulator {
             // Structural hazards.
             if self.rob.len() >= self.config.rob_size {
                 self.stats.dispatch_stalls.rob += 1;
+                self.dispatch_stall_event(DispatchStallCause::Rob);
                 break;
             }
             let is_mem = matches!(kind, InstKind::Load | InstKind::Store);
             if is_mem && self.lsq.is_full() {
                 self.stats.dispatch_stalls.lsq += 1;
+                self.dispatch_stall_event(DispatchStallCause::Lsq);
                 break;
             }
             let uses_fp_iq = matches!(kind, InstKind::FpAlu | InstKind::FpDiv);
@@ -1315,12 +1452,14 @@ impl Simulator {
                 let cap = if uses_fp_iq { self.config.iq_fp } else { self.config.iq_int };
                 if q.len() >= cap {
                     self.stats.dispatch_stalls.iq += 1;
+                    self.dispatch_stall_event(DispatchStallCause::Iq);
                     break;
                 }
             }
             let takes_checkpoint = matches!(kind, InstKind::Branch | InstKind::JumpReg);
             if takes_checkpoint && self.unresolved_branches >= self.config.checkpoints {
                 self.stats.dispatch_stalls.checkpoints += 1;
+                self.dispatch_stall_event(DispatchStallCause::Checkpoints);
                 break;
             }
             let dest_ref = inst.dest();
@@ -1330,6 +1469,7 @@ impl Simulator {
                 || (needs_fp_preg && self.rename.fp_free_count() == 0)
             {
                 self.stats.dispatch_stalls.pregs += 1;
+                self.dispatch_stall_event(DispatchStallCause::Pregs);
                 break;
             }
 
@@ -1414,6 +1554,15 @@ impl Simulator {
                 issued_at: 0,
                 executed_at: 0,
             });
+            if T::ENABLED {
+                self.tracer.event(TraceEvent::Dispatch {
+                    cycle: self.now,
+                    seq,
+                    pc: fetched.pc,
+                    inst,
+                    kind,
+                });
+            }
         }
     }
 
@@ -1487,6 +1636,9 @@ impl Simulator {
                 cond_pred,
             });
             self.stats.fetched += 1;
+            if T::ENABLED {
+                self.tracer.event(TraceEvent::Fetch { cycle: self.now, pc });
+            }
             if inst.kind() == InstKind::Halt {
                 self.fetch_wild = true; // nothing meaningful follows
                 break;
@@ -1511,7 +1663,8 @@ impl Simulator {
     /// Squashes every instruction strictly younger than `keep_seq`,
     /// rebuilding the rename map from the committed map plus surviving
     /// in-flight destinations.
-    fn squash_younger_than(&mut self, keep_seq: u64) {
+    fn squash_younger_than(&mut self, keep_seq: u64, reason: SquashReason) {
+        let squashed_before = self.stats.squashed;
         let mut int_map = self.commit_int_rat;
         let mut fp_map = self.commit_fp_rat;
         for slot in &self.rob {
@@ -1552,6 +1705,14 @@ impl Simulator {
         self.pending_loads.retain(|s| *s <= keep_seq);
         // Scheduled captures/completions for squashed sequences are skipped
         // lazily (their ROB lookup fails).
+        if T::ENABLED {
+            self.tracer.event(TraceEvent::Squash {
+                cycle: self.now,
+                keep_seq,
+                squashed: self.stats.squashed - squashed_before,
+                reason,
+            });
+        }
     }
 
     // ----- sampling --------------------------------------------------------
@@ -1569,7 +1730,7 @@ impl Simulator {
     }
 }
 
-impl std::fmt::Debug for Simulator {
+impl<T: Tracer> std::fmt::Debug for Simulator<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("cycle", &self.now)

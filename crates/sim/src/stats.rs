@@ -208,6 +208,14 @@ pub struct SimStats {
     pub dest_class_total: u64,
     /// Store-to-load forwards.
     pub stl_forwards: u64,
+    /// Integer functional-unit acquisition denials (structural pressure).
+    pub int_fu_denials: u64,
+    /// FP functional-unit acquisition denials.
+    pub fp_fu_denials: u64,
+    /// Load disambiguation wait events in the LSQ.
+    pub lsq_wait_events: u64,
+    /// Highest LSQ occupancy reached.
+    pub lsq_peak: usize,
 }
 
 impl SimStats {

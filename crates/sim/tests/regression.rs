@@ -4,7 +4,7 @@
 //! squash recovery) — a scratch buffer that leaks state across cycles or
 //! across a squash shows up here as a drifted counter.
 
-use carf_sim::{SimConfig, SimStats, Simulator};
+use carf_sim::{SimConfig, SimStats, Simulator, TraceRecorder};
 use carf_workloads::{random_program, RandomProgramParams};
 
 /// A branchy, memory-heavy seeded workload: mispredict squashes and load
@@ -116,6 +116,53 @@ fn carf_stats_are_pinned() {
             ("stl_forwards", 0),
         ],
     );
+}
+
+/// Installing a tracer must observe the pipeline, never perturb it: the
+/// traced run's statistics must be bit-identical to the pinned untraced
+/// fingerprints, and the stall attribution must account for every cycle.
+#[test]
+fn traced_run_matches_pinned_fingerprint() {
+    let program = random_program(&RandomProgramParams {
+        seed: 0xCAFE,
+        body_len: 80,
+        iterations: 400,
+        include_fp: true,
+        include_mem: true,
+        include_branches: true,
+    });
+    for (untraced_cfg, pinned_cycles) in [
+        (SimConfig::paper_baseline(), 14752u64),
+        (SimConfig::paper_carf(carf_core::CarfParams::paper_default()), 14767),
+    ] {
+        let mut cfg = untraced_cfg;
+        cfg.cosim = true;
+        let untraced = pinned_run(&cfg);
+
+        let mut sim = Simulator::with_tracer(cfg.clone(), &program, TraceRecorder::new());
+        let r = sim.run(1_000_000).expect("clean traced run");
+        assert!(r.halted);
+        let traced_fp = fingerprint(sim.stats());
+        assert_eq!(
+            traced_fp,
+            fingerprint(&untraced),
+            "tracing perturbed the simulation under {:?}",
+            cfg.regfile
+        );
+        assert_eq!(untraced.cycles, pinned_cycles, "pinned cycle count drifted");
+
+        let recorder = sim.into_tracer();
+        let report = recorder.stall_report();
+        assert_eq!(recorder.cycles(), untraced.cycles, "one Cycle event per cycle");
+        assert_eq!(
+            report.bucket_sum(),
+            untraced.cycles,
+            "stall buckets must sum to total cycles:\n{report}"
+        );
+        assert_eq!(recorder.counters().retired, untraced.committed);
+        assert_eq!(recorder.counters().fetched, untraced.fetched);
+        assert_eq!(recorder.counters().squashed, untraced.squashed);
+    }
 }
 
 #[test]

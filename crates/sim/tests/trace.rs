@@ -1,0 +1,137 @@
+//! Tracer integration tests on real simulations: the Chrome trace export
+//! must be well-formed JSON with monotone timestamps, and the stall
+//! attribution must account for every simulated cycle.
+
+use carf_sim::{SimConfig, Simulator, TraceRecorder};
+use carf_workloads::{random_program, RandomProgramParams};
+
+fn traced_run(config: SimConfig) -> TraceRecorder {
+    let program = random_program(&RandomProgramParams {
+        seed: 0xBEEF,
+        body_len: 60,
+        iterations: 200,
+        include_fp: true,
+        include_mem: true,
+        include_branches: true,
+    });
+    let mut sim = Simulator::with_tracer(config, &program, TraceRecorder::new());
+    sim.run(500_000).expect("clean run");
+    sim.into_tracer()
+}
+
+/// A minimal structural JSON checker: verifies balanced braces/brackets
+/// outside strings and that strings close. It accepts a superset of JSON,
+/// but catches the failure modes of hand-rolled serialization (unbalanced
+/// nesting, unterminated or unescaped strings).
+fn assert_balanced_json(json: &str) {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else {
+                assert!(c as u32 >= 0x20, "raw control character inside a JSON string");
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_obj += 1,
+            '}' => {
+                depth_obj -= 1;
+                assert!(depth_obj >= 0, "unbalanced braces");
+            }
+            '[' => depth_arr += 1,
+            ']' => {
+                depth_arr -= 1;
+                assert!(depth_arr >= 0, "unbalanced brackets");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string");
+    assert_eq!(depth_obj, 0, "unbalanced braces");
+    assert_eq!(depth_arr, 0, "unbalanced brackets");
+}
+
+/// Extracts every `"ts":<n>` value, in order of appearance.
+fn timestamps(json: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"ts\":") {
+        rest = &rest[pos + 5..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        out.push(rest[..end].parse::<u64>().expect("numeric ts"));
+    }
+    out
+}
+
+#[test]
+fn chrome_trace_is_valid_and_monotone() {
+    for config in [
+        SimConfig::paper_baseline(),
+        SimConfig::paper_carf(carf_core::CarfParams::paper_default()),
+    ] {
+        let recorder = traced_run(config);
+        let json = recorder.chrome_trace_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert_balanced_json(&json);
+
+        let ts = timestamps(&json);
+        assert!(ts.len() > 100, "expected a populated trace, got {} events", ts.len());
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "trace timestamps must be monotonically non-decreasing"
+        );
+        // Slices, counters, and metadata are all present.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"M\""));
+    }
+}
+
+#[test]
+fn stall_buckets_sum_to_total_cycles() {
+    for config in [
+        SimConfig::paper_baseline(),
+        SimConfig::paper_carf(carf_core::CarfParams::paper_default()),
+    ] {
+        let recorder = traced_run(config);
+        let report = recorder.stall_report();
+        assert!(recorder.cycles() > 0);
+        assert_eq!(report.total_cycles, recorder.cycles());
+        assert_eq!(
+            report.bucket_sum(),
+            recorder.cycles(),
+            "every cycle must land in exactly one bucket:\n{report}"
+        );
+        // A real run commits most cycles; the commit bucket dominates.
+        let commit = report.buckets().iter().find(|(n, _)| *n == "commit").unwrap().1;
+        assert!(commit > 0, "commit bucket empty on a committing run");
+    }
+}
+
+#[test]
+fn counters_json_is_valid_and_reflects_the_run() {
+    let recorder = traced_run(SimConfig::paper_carf(carf_core::CarfParams::paper_default()));
+    let json = recorder.counters_json();
+    assert_balanced_json(&json);
+    assert!(json.contains("\"cycles\":"));
+    assert!(json.contains("\"wr1\":{"));
+    assert!(json.contains("\"stall_cycles\":{"));
+    // The CARF machine classifies integer results at WR1: the outcomes
+    // must be populated on this integer-heavy workload.
+    let c = recorder.counters();
+    assert!(c.wr1_simple + c.wr1_short + c.wr1_long > 0, "no WR1 outcomes recorded");
+    assert!(c.retired > 0 && c.dispatched >= c.retired);
+}

@@ -13,4 +13,12 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> carf-trace smoke test"
+# One traced point end to end: exercises the tracer hooks, the stall
+# attribution invariant (the binary exits non-zero if the buckets do not
+# sum to the cycle count), and both JSON exporters.
+CARF_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release -q -p carf-bench --bin carf-trace -- \
+    --quick --jobs 2 --machine both sort_kernel >/dev/null
+
 echo "==> all checks passed"
