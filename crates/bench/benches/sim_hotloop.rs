@@ -1,0 +1,50 @@
+//! Criterion microbenchmark pinning the scheduler hot loop in isolation:
+//! the wakeup/select/complete machinery dominates these kernels, so a
+//! regression in the event-driven scheduler shows up here before it is
+//! visible in full experiment wall-clock.
+//!
+//! `pointer_chase` is the long-tail case (serial loads keep the IQ full of
+//! stalled instructions — the worst case for a scan-based scheduler and
+//! the best case for O(woken) wakeup); `hash_table` is the mixed case.
+
+use carf_core::CarfParams;
+use carf_sim::{SimConfig, Simulator};
+use carf_workloads::int_suite;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_hotloop(c: &mut Criterion) {
+    let workloads = int_suite();
+    let find = |name: &str| {
+        workloads.iter().find(|w| w.name == name).unwrap_or_else(|| panic!("{name} registered"))
+    };
+    let pointer_chase = find("pointer_chase");
+    let chase_program = pointer_chase.build(pointer_chase.size(carf_workloads::SizeClass::Test));
+    let hash = find("hash_table");
+    let hash_program = hash.build(hash.size(carf_workloads::SizeClass::Test));
+
+    let mut group = c.benchmark_group("sim_hotloop");
+    group.sample_size(10);
+    group.bench_function("pointer_chase_baseline", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::paper_baseline(), &chase_program);
+            black_box(sim.run(20_000).expect("clean run"))
+        })
+    });
+    group.bench_function("pointer_chase_carf", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &chase_program);
+            black_box(sim.run(20_000).expect("clean run"))
+        })
+    });
+    group.bench_function("hash_table_baseline", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::paper_baseline(), &hash_program);
+            black_box(sim.run(20_000).expect("clean run"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotloop);
+criterion_main!(benches);

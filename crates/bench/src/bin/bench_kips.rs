@@ -1,0 +1,168 @@
+//! KIPS throughput harness: measures how fast the *simulator* runs, in
+//! committed kilo-instructions per wall-second, one point per workload.
+//!
+//! This is the scheduler-rewrite scoreboard: run it on the pre-change tree
+//! with `--snapshot BENCH_baseline.json`, again on the post-change tree
+//! with `--snapshot BENCH_after.json`, and compare the geomean. The merged
+//! history also lands in `results/bench_timing.json` like every other
+//! experiment binary.
+//!
+//! ```text
+//! bench_kips [--quick | --full] [--jobs N] [--suite int|fp|all] [--snapshot PATH]
+//! ```
+//!
+//! Throughput points are simulated under the paper-baseline machine (the
+//! headline configuration for every figure); `--jobs 1` gives the
+//! interference-free numbers the PR acceptance criterion is stated over.
+
+use carf_bench::parallel::{self, PointTiming};
+use carf_bench::{geomean_kips, peak_kips, print_table, run_suite, Budget};
+use carf_sim::SimConfig;
+use carf_workloads::Suite;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    budget: Budget,
+    suites: Vec<Suite>,
+    snapshot: Option<PathBuf>,
+}
+
+fn usage_exit(bad: &str) -> ! {
+    eprintln!("error: {bad}");
+    eprintln!("usage: bench_kips [--quick | --full] [--jobs N] [--suite int|fp|all] [--snapshot PATH]");
+    eprintln!("  --quick          quick budget: ~200k instructions per point (default)");
+    eprintln!("  --full           full budget: ~1M instructions per point");
+    eprintln!("  --jobs N         worker threads (default: CARF_JOBS or available cores)");
+    eprintln!("  --suite S        which suite to time: int (default), fp, or all");
+    eprintln!("  --snapshot PATH  also write the timing record to PATH as a snapshot");
+    std::process::exit(2);
+}
+
+fn parse_suite(v: &str) -> Option<Vec<Suite>> {
+    match v {
+        "int" => Some(vec![Suite::Int]),
+        "fp" => Some(vec![Suite::Fp]),
+        "all" => Some(vec![Suite::Int, Suite::Fp]),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut rest: Vec<String> = Vec::new();
+    let mut suites = vec![Suite::Int];
+    let mut snapshot = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--suite" => match args.next().as_deref().and_then(parse_suite) {
+                Some(s) => suites = s,
+                None => usage_exit("`--suite` expects int, fp, or all"),
+            },
+            "--snapshot" => match args.next() {
+                Some(p) if !p.trim().is_empty() => snapshot = Some(PathBuf::from(p)),
+                _ => usage_exit("`--snapshot` expects a file path"),
+            },
+            s => {
+                if let Some(v) = s.strip_prefix("--suite=") {
+                    match parse_suite(v) {
+                        Some(s) => suites = s,
+                        None => usage_exit("`--suite` expects int, fp, or all"),
+                    }
+                } else if let Some(v) = s.strip_prefix("--snapshot=") {
+                    if v.trim().is_empty() {
+                        usage_exit("`--snapshot` expects a file path");
+                    }
+                    snapshot = Some(PathBuf::from(v));
+                } else {
+                    rest.push(s.to_string());
+                }
+            }
+        }
+    }
+    let budget = Budget::parse_args(rest).unwrap_or_else(|bad| usage_exit(&bad));
+    Args { budget, suites, snapshot }
+}
+
+fn write_snapshot(path: &PathBuf, label: &str, jobs: usize, total: f64, points: &[PointTiming]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!(
+        "  \"bin\": \"bench_kips\",\n  \"budget\": \"{label}\",\n  \"jobs\": {jobs},\n"
+    ));
+    s.push_str(&format!(
+        "  \"total_secs\": {total:.3},\n  \"geomean_kips\": {:.3},\n  \"peak_kips\": {:.3},\n",
+        geomean_kips(points),
+        peak_kips(points)
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs\": {:.3}, \"committed\": {}, \"kips\": {:.3}}}{sep}\n",
+            p.name,
+            p.secs,
+            p.committed,
+            p.kips()
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create snapshot {}: {e}", path.display()));
+    f.write_all(s.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
+    println!("snapshot -> {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let budget = args.budget;
+    let config = SimConfig::paper_baseline();
+    println!(
+        "== simulator throughput ({} budget, jobs={}, paper-baseline machine) ==",
+        budget.label(),
+        budget.jobs
+    );
+
+    parallel::note_run_start();
+    for suite in &args.suites {
+        run_suite(&config, *suite, &budget);
+    }
+    let total = parallel::total_secs();
+    let points = parallel::take_points();
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{}", p.committed),
+                format!("{:.3}", p.secs),
+                format!("{:.1}", p.kips()),
+            ]
+        })
+        .collect();
+    print_table("KIPS per workload", &["point", "committed", "secs", "KIPS"], &rows);
+    println!(
+        "\ngeomean {:.1} KIPS, peak {:.1} KIPS, wall {:.2}s",
+        geomean_kips(&points),
+        peak_kips(&points),
+        total
+    );
+
+    let record = parallel::timing_record("bench_kips", budget.label(), budget.jobs, total, &points);
+    let path = parallel::write_rotated_record(
+        "bench_timing.json",
+        &record,
+        &["bin", "budget", "jobs"],
+        parallel::TIMING_KEEP_RUNS,
+    );
+    println!("timing history -> {}", path.display());
+
+    if let Some(snapshot) = &args.snapshot {
+        write_snapshot(snapshot, budget.label(), budget.jobs, total, &points);
+    }
+}

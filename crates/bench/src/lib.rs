@@ -25,7 +25,10 @@ use carf_workloads::{SizeClass, Suite, Workload};
 
 pub mod parallel;
 
-pub use parallel::{results_dir, run_ordered, write_merged_record, write_timing_json};
+pub use parallel::{
+    geomean_kips, peak_kips, results_dir, run_ordered, timing_record, write_merged_record,
+    write_timing_json, PointTiming,
+};
 
 /// Per-run instruction budget, workload sizing, and harness parallelism.
 #[derive(Debug, Clone, Copy)]
@@ -267,6 +270,7 @@ fn run_workload_timed(
     parallel::record_point(
         format!("{suite:?}/{}", workload.name),
         start.elapsed().as_secs_f64(),
+        stats.committed,
     );
     (workload.name.to_string(), stats)
 }

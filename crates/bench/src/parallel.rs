@@ -69,6 +69,19 @@ pub struct PointTiming {
     pub name: String,
     /// Simulation wall-clock seconds.
     pub secs: f64,
+    /// Instructions committed by the simulation.
+    pub committed: u64,
+}
+
+impl PointTiming {
+    /// Committed kilo-instructions per wall-second (0 for a zero-length run).
+    pub fn kips(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.committed as f64 / 1000.0 / self.secs
+        } else {
+            0.0
+        }
+    }
 }
 
 static POINTS: Mutex<Vec<PointTiming>> = Mutex::new(Vec::new());
@@ -79,9 +92,27 @@ pub fn note_run_start() {
     RUN_START.get_or_init(Instant::now);
 }
 
-/// Records one point's wall-clock duration.
-pub fn record_point(name: String, secs: f64) {
-    POINTS.lock().expect("timing collector poisoned").push(PointTiming { name, secs });
+/// Records one point's wall-clock duration and committed-instruction count.
+pub fn record_point(name: String, secs: f64, committed: u64) {
+    POINTS
+        .lock()
+        .expect("timing collector poisoned")
+        .push(PointTiming { name, secs, committed });
+}
+
+/// Geometric mean of per-point KIPS (0 when no point has a measurable rate).
+pub fn geomean_kips(points: &[PointTiming]) -> f64 {
+    let rates: Vec<f64> = points.iter().map(PointTiming::kips).filter(|k| *k > 0.0).collect();
+    if rates.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = rates.iter().map(|k| k.ln()).sum();
+    (log_sum / rates.len() as f64).exp()
+}
+
+/// Highest per-point KIPS (the peak committed-instruction rate).
+pub fn peak_kips(points: &[PointTiming]) -> f64 {
+    points.iter().map(PointTiming::kips).fold(0.0, f64::max)
 }
 
 /// Seconds elapsed since [`note_run_start`] (0 when nothing ran).
@@ -200,21 +231,58 @@ pub fn merge_json_records(
     out
 }
 
-/// Reads `file_name` from [`results_dir`], merges `record` by `key_fields`
-/// (see [`merge_json_records`]), rewrites the file as a JSON array with one
-/// record per line, and returns the path.
-pub fn write_merged_record(file_name: &str, record: &str, key_fields: &[&str]) -> PathBuf {
-    let dir = results_dir();
-    let path = dir.join(file_name);
-    let existing: Vec<String> = std::fs::read_to_string(&path)
+/// Merges `record` into `existing` rows keeping **history**: rows whose
+/// `key_fields` values all equal the new record's are retained (newest
+/// last) up to `keep - 1` of them, so with the appended record the file
+/// holds at most the last `keep` runs per key tuple. Rows with a different
+/// key — or missing a key field — are kept untouched. `keep == 1`
+/// degenerates to [`merge_json_records`]'s replace semantics.
+pub fn merge_json_records_rotating(
+    existing: &[String],
+    record: &str,
+    key_fields: &[&str],
+    keep: usize,
+) -> Vec<String> {
+    let keep = keep.max(1);
+    let new_key: Vec<Option<String>> =
+        key_fields.iter().map(|f| json_field(record, f)).collect();
+    let matches_key = |row: &str| {
+        let row_key: Vec<Option<String>> =
+            key_fields.iter().map(|f| json_field(row, f)).collect();
+        row_key.iter().all(|v| v.is_some()) && row_key == new_key
+    };
+    // Indices of same-key rows, oldest first; drop all but the newest keep-1.
+    let same_key: Vec<usize> = existing
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| matches_key(row))
+        .map(|(i, _)| i)
+        .collect();
+    let drop_oldest: usize = same_key.len().saturating_sub(keep - 1);
+    let dropped: std::collections::HashSet<usize> =
+        same_key.into_iter().take(drop_oldest).collect();
+    let mut out: Vec<String> = existing
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped.contains(i))
+        .map(|(_, row)| row.clone())
+        .collect();
+    out.push(record.to_string());
+    out
+}
+
+fn read_record_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
         .unwrap_or_default()
         .lines()
         .map(|l| l.trim().trim_end_matches(',').to_string())
         .filter(|l| l.starts_with('{'))
-        .collect();
-    let records = merge_json_records(&existing, record, key_fields);
-    if std::fs::create_dir_all(&dir).is_ok() {
-        if let Ok(mut f) = std::fs::File::create(&path) {
+        .collect()
+}
+
+fn write_record_lines(dir: &Path, path: &Path, records: &[String]) {
+    if std::fs::create_dir_all(dir).is_ok() {
+        if let Ok(mut f) = std::fs::File::create(path) {
             let _ = writeln!(f, "[");
             for (i, r) in records.iter().enumerate() {
                 let sep = if i + 1 < records.len() { "," } else { "" };
@@ -223,6 +291,33 @@ pub fn write_merged_record(file_name: &str, record: &str, key_fields: &[&str]) -
             let _ = writeln!(f, "]");
         }
     }
+}
+
+/// Reads `file_name` from [`results_dir`], merges `record` by `key_fields`
+/// (see [`merge_json_records`]), rewrites the file as a JSON array with one
+/// record per line, and returns the path.
+pub fn write_merged_record(file_name: &str, record: &str, key_fields: &[&str]) -> PathBuf {
+    let dir = results_dir();
+    let path = dir.join(file_name);
+    let existing = read_record_lines(&path);
+    let records = merge_json_records(&existing, record, key_fields);
+    write_record_lines(&dir, &path, &records);
+    path
+}
+
+/// [`write_merged_record`] with rotation: keeps the last `keep` runs per
+/// key tuple instead of replacing (see [`merge_json_records_rotating`]).
+pub fn write_rotated_record(
+    file_name: &str,
+    record: &str,
+    key_fields: &[&str],
+    keep: usize,
+) -> PathBuf {
+    let dir = results_dir();
+    let path = dir.join(file_name);
+    let existing = read_record_lines(&path);
+    let records = merge_json_records_rotating(&existing, record, key_fields, keep);
+    write_record_lines(&dir, &path, &records);
     path
 }
 
@@ -231,44 +326,73 @@ pub fn write_merged_record(file_name: &str, record: &str, key_fields: &[&str]) -
 /// path.
 ///
 /// The file is a JSON array with one record per line, each of the form
-/// `{"bin": ..., "budget": ..., "jobs": N, "total_secs": S, "points":
-/// [{"name": ..., "secs": ...}, ...]}`. Records are keyed by
-/// `(bin, budget, jobs)` **field values**: re-running the same
-/// configuration replaces only its own record, so the file accumulates one
-/// row per distinct configuration.
+/// `{"bin": ..., "budget": ..., "jobs": N, "total_secs": S,
+/// "geomean_kips": G, "peak_kips": P, "points": [{"name": ..., "secs": ...,
+/// "committed": ..., "kips": ...}, ...]}`. Records are keyed by
+/// `(bin, budget, jobs)` **field values** and rotated: re-running the same
+/// configuration keeps at most the last [`TIMING_KEEP_RUNS`] records for
+/// its key, so the file holds a short history per configuration without
+/// growing unboundedly.
 pub fn write_timing_json(budget: &Budget) -> PathBuf {
     let bin = bin_name();
     let points = take_points();
     let total = total_secs();
+    let record = timing_record(&bin, budget.label(), budget.jobs, total, &points);
 
-    let mut record = format!(
-        "{{\"bin\":\"{}\",\"budget\":\"{}\",\"jobs\":{},\"total_secs\":{:.3},\"points\":[",
-        json_escape(&bin),
-        budget.label(),
+    let path = write_rotated_record(
+        "bench_timing.json",
+        &record,
+        &["bin", "budget", "jobs"],
+        TIMING_KEEP_RUNS,
+    );
+    println!(
+        "timing: {} points in {:.2}s with {} worker(s), geomean {:.1} KIPS -> {}",
+        points.len(),
+        total,
         budget.jobs,
-        total
+        geomean_kips(&points),
+        path.display()
+    );
+    path
+}
+
+/// How many timing records `bench_timing.json` keeps per (bin, budget,
+/// jobs) key before the oldest rotates out.
+pub const TIMING_KEEP_RUNS: usize = 3;
+
+/// Formats one `bench_timing.json` record (exposed for the snapshot
+/// harness, which writes the same shape to a standalone file).
+pub fn timing_record(
+    bin: &str,
+    budget_label: &str,
+    jobs: usize,
+    total_secs: f64,
+    points: &[PointTiming],
+) -> String {
+    let mut record = format!(
+        "{{\"bin\":\"{}\",\"budget\":\"{}\",\"jobs\":{},\"total_secs\":{:.3},\
+         \"geomean_kips\":{:.3},\"peak_kips\":{:.3},\"points\":[",
+        json_escape(bin),
+        json_escape(budget_label),
+        jobs,
+        total_secs,
+        geomean_kips(points),
+        peak_kips(points),
     );
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             record.push(',');
         }
         record.push_str(&format!(
-            "{{\"name\":\"{}\",\"secs\":{:.3}}}",
+            "{{\"name\":\"{}\",\"secs\":{:.3},\"committed\":{},\"kips\":{:.3}}}",
             json_escape(&p.name),
-            p.secs
+            p.secs,
+            p.committed,
+            p.kips()
         ));
     }
     record.push_str("]}");
-
-    let path = write_merged_record("bench_timing.json", &record, &["bin", "budget", "jobs"]);
-    println!(
-        "timing: {} points in {:.2}s with {} worker(s) -> {}",
-        points.len(),
-        total,
-        budget.jobs,
-        path.display()
-    );
-    path
+    record
 }
 
 #[cfg(test)]
@@ -335,6 +459,89 @@ mod tests {
         assert!(merged.iter().any(|r| r.contains("\"budget\":\"full\"")));
         assert!(merged.iter().any(|r| r.contains("\"bin\":\"b\"")));
         assert_eq!(merged.last().map(String::as_str), Some(rerun));
+    }
+
+    #[test]
+    fn rotation_keeps_the_last_three_runs_per_key() {
+        // Golden test for the bench_timing.json rotation: runs 1..=4 of the
+        // same (bin, budget, jobs) key must leave exactly runs 2, 3, 4 (in
+        // that order), while a different key's row is untouched.
+        let other = r#"{"bin":"other","budget":"quick","jobs":1,"run":0}"#.to_string();
+        let mut rows = vec![other.clone()];
+        for run in 1..=4 {
+            let rec = format!("{{\"bin\":\"a\",\"budget\":\"quick\",\"jobs\":1,\"run\":{run}}}");
+            rows = merge_json_records_rotating(
+                &rows,
+                &rec,
+                &["bin", "budget", "jobs"],
+                TIMING_KEEP_RUNS,
+            );
+        }
+        let expected = vec![
+            other,
+            r#"{"bin":"a","budget":"quick","jobs":1,"run":2}"#.to_string(),
+            r#"{"bin":"a","budget":"quick","jobs":1,"run":3}"#.to_string(),
+            r#"{"bin":"a","budget":"quick","jobs":1,"run":4}"#.to_string(),
+        ];
+        assert_eq!(rows, expected);
+    }
+
+    #[test]
+    fn rotation_keeps_rows_missing_a_key_field() {
+        let existing = vec![r#"{"note":"hand-written row"}"#.to_string()];
+        let merged = merge_json_records_rotating(
+            &existing,
+            r#"{"bin":"a","jobs":1}"#,
+            &["bin", "jobs"],
+            1,
+        );
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], existing[0]);
+    }
+
+    #[test]
+    fn rotation_with_keep_one_replaces_like_plain_merge() {
+        let existing = vec![r#"{"bin":"a","jobs":1,"run":1}"#.to_string()];
+        let rec = r#"{"bin":"a","jobs":1,"run":2}"#;
+        let rotated = merge_json_records_rotating(&existing, rec, &["bin", "jobs"], 1);
+        let merged = merge_json_records(&existing, rec, &["bin", "jobs"]);
+        assert_eq!(rotated, merged);
+        assert_eq!(rotated, vec![rec.to_string()]);
+    }
+
+    #[test]
+    fn kips_is_committed_per_millisecond() {
+        let p = PointTiming { name: "x".into(), secs: 2.0, committed: 500_000 };
+        assert!((p.kips() - 250.0).abs() < 1e-9);
+        let zero = PointTiming { name: "z".into(), secs: 0.0, committed: 10 };
+        assert_eq!(zero.kips(), 0.0);
+    }
+
+    #[test]
+    fn geomean_and_peak_kips() {
+        let points = vec![
+            PointTiming { name: "a".into(), secs: 1.0, committed: 100_000 }, // 100 KIPS
+            PointTiming { name: "b".into(), secs: 1.0, committed: 400_000 }, // 400 KIPS
+            PointTiming { name: "z".into(), secs: 0.0, committed: 1 },       // excluded
+        ];
+        assert!((geomean_kips(&points) - 200.0).abs() < 1e-9);
+        assert!((peak_kips(&points) - 400.0).abs() < 1e-9);
+        assert_eq!(geomean_kips(&[]), 0.0);
+        assert_eq!(peak_kips(&[]), 0.0);
+    }
+
+    #[test]
+    fn timing_record_shape_is_stable() {
+        let points = vec![PointTiming { name: "Int/a".into(), secs: 0.5, committed: 200_000 }];
+        let rec = timing_record("bench_kips", "quick", 1, 0.5, &points);
+        assert_eq!(
+            rec,
+            "{\"bin\":\"bench_kips\",\"budget\":\"quick\",\"jobs\":1,\
+             \"total_secs\":0.500,\"geomean_kips\":400.000,\"peak_kips\":400.000,\
+             \"points\":[{\"name\":\"Int/a\",\"secs\":0.500,\"committed\":200000,\
+             \"kips\":400.000}]}"
+        );
+        assert_eq!(json_field(&rec, "geomean_kips").as_deref(), Some("400.000"));
     }
 
     #[test]

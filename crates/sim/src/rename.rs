@@ -193,6 +193,11 @@ impl RenameTables {
         &self.int_map
     }
 
+    /// The current floating-point map (for recovery snapshots).
+    pub fn fp_map(&self) -> &[Preg; 32] {
+        &self.fp_map
+    }
+
     /// Replaces both maps wholesale (recovery paths that rebuild the map
     /// from the committed state instead of restoring a stored checkpoint).
     pub fn set_maps(&mut self, int_map: [Preg; 32], fp_map: [Preg; 32]) {

@@ -40,6 +40,64 @@ const NEVER: u64 = u64::MAX;
 /// pseudo-deadlock recovery flush.
 const LONG_RECOVERY_PATIENCE: u32 = 16;
 
+/// A bucketed timing wheel: O(1) event scheduling and per-cycle drain.
+///
+/// Events within the ring horizon land in a power-of-two slot array; the
+/// rare event beyond it (only possible with latencies past the horizon)
+/// spills to a `BTreeMap`. As long as every event for a given cycle lands
+/// in the ring — true for all supported memory/FU latencies — a cycle's
+/// events drain in exact insertion order, matching the event-map scheduler
+/// this replaces.
+#[derive(Debug)]
+struct TimingWheel {
+    slots: Vec<Vec<u64>>,
+    mask: u64,
+    overflow: BTreeMap<u64, Vec<u64>>,
+}
+
+impl TimingWheel {
+    fn new(len: usize) -> Self {
+        debug_assert!(len.is_power_of_two());
+        Self {
+            slots: (0..len).map(|_| Vec::new()).collect(),
+            mask: len as u64 - 1,
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    /// Schedules `seq` for cycle `when` (`when >= now`; a slot is reused
+    /// only after its cycle has drained, so the ring never wraps onto a
+    /// live slot within the horizon).
+    fn schedule(&mut self, now: u64, when: u64, seq: u64) {
+        debug_assert!(when >= now, "scheduling into the past: {when} < {now}");
+        if when - now < self.slots.len() as u64 {
+            self.slots[(when & self.mask) as usize].push(seq);
+        } else {
+            self.overflow.entry(when).or_default().push(seq);
+        }
+    }
+
+    /// Appends every event scheduled for `now` to `out` (ring slot first,
+    /// then any overflow spill) and clears them. Slot capacity is kept, so
+    /// the steady-state hot loop is allocation-free.
+    fn drain_into(&mut self, now: u64, out: &mut Vec<u64>) {
+        let slot = &mut self.slots[(now & self.mask) as usize];
+        out.append(slot);
+        if !self.overflow.is_empty() {
+            if let Some(mut spill) = self.overflow.remove(&now) {
+                out.append(&mut spill);
+            }
+        }
+    }
+}
+
+/// Ring horizon for completion/wakeup events: comfortably past the worst
+/// memory round trip (L1 + L2 + DRAM ≈ 105 cycles) and the slowest FU.
+const WHEEL_SLOTS: usize = 512;
+
+/// Ring horizon for operand-capture events (at most `read_stages` ahead).
+const CAPTURE_SLOTS: usize = 8;
+
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -261,8 +319,8 @@ pub struct Simulator<T: Tracer = NopTracer> {
     rename: RenameTables,
     unresolved_branches: usize,
     rob: VecDeque<Slot>,
-    int_iq: Vec<u64>,
-    fp_iq: Vec<u64>,
+    int_iq_len: usize,
+    fp_iq_len: usize,
     lsq: LoadStoreQueue,
     // Register files and the bypass scoreboard.
     int_rf: Box<dyn IntRegFile>,
@@ -276,8 +334,14 @@ pub struct Simulator<T: Tracer = NopTracer> {
     int_write_ports: PortMeter,
     fp_read_ports: PortMeter,
     fp_write_ports: PortMeter,
-    captures: BTreeMap<u64, Vec<u64>>,
-    completions: BTreeMap<u64, Vec<u64>>,
+    // Event-driven scheduling: timing wheels make per-cycle event cost
+    // proportional to the events that fire, and per-preg consumer lists
+    // make wakeup O(woken) instead of a full issue-queue rescan.
+    capture_wheel: TimingWheel,
+    completion_wheel: TimingWheel,
+    wake_wheel: TimingWheel,
+    int_consumers: Vec<Vec<u64>>,
+    fp_consumers: Vec<Vec<u64>>,
     pending_loads: Vec<u64>,
     wb_pending: Vec<u64>,
     // Reusable scratch buffers: the per-cycle stages below swap through
@@ -285,8 +349,7 @@ pub struct Simulator<T: Tracer = NopTracer> {
     // allocation-free.
     seq_scratch: Vec<u64>,
     issue_cand: Vec<u64>,
-    issued_scratch: Vec<u64>,
-    vec_pool: Vec<Vec<u64>>,
+    event_scratch: Vec<u64>,
     oracle_scratch: Vec<u64>,
     // Memory.
     hier: MemoryHierarchy,
@@ -348,8 +411,8 @@ impl<T: Tracer> Simulator<T> {
             rename,
             unresolved_branches: 0,
             rob: VecDeque::new(),
-            int_iq: Vec::new(),
-            fp_iq: Vec::new(),
+            int_iq_len: 0,
+            fp_iq_len: 0,
             lsq: LoadStoreQueue::new(config.lsq_size),
             int_rf,
             fp_rf: BaselineRegFile::new(config.fp_pregs),
@@ -361,14 +424,16 @@ impl<T: Tracer> Simulator<T> {
             int_write_ports: PortMeter::new(config.rf_write_ports),
             fp_read_ports: PortMeter::new(config.rf_read_ports),
             fp_write_ports: PortMeter::new(config.rf_write_ports),
-            captures: BTreeMap::new(),
-            completions: BTreeMap::new(),
+            capture_wheel: TimingWheel::new(CAPTURE_SLOTS),
+            completion_wheel: TimingWheel::new(WHEEL_SLOTS),
+            wake_wheel: TimingWheel::new(WHEEL_SLOTS),
+            int_consumers: vec![Vec::new(); config.int_pregs],
+            fp_consumers: vec![Vec::new(); config.fp_pregs],
             pending_loads: Vec::new(),
             wb_pending: Vec::new(),
             seq_scratch: Vec::new(),
             issue_cand: Vec::new(),
-            issued_scratch: Vec::new(),
-            vec_pool: Vec::new(),
+            event_scratch: Vec::new(),
             oracle_scratch: Vec::new(),
             hier: MemoryHierarchy::new(config.hierarchy),
             mem,
@@ -527,11 +592,29 @@ impl<T: Tracer> Simulator<T> {
         self.int_rf.as_any().downcast_ref::<ContentAwareRegFile>()
     }
 
+    /// ROB lookup with an O(1) fast path. Sequence numbers increase by one
+    /// per dispatch, so with no squash between `front` and `seq` the
+    /// offset from the head IS the position. A squash burns the numbers of
+    /// its victims (the counter never rewinds), which only shifts younger
+    /// entries left: `rob[i].seq >= front + i` always, so the true
+    /// position is never right of the probe, and a prefix binary search
+    /// covers the post-squash case.
     fn slot_index(&self, seq: u64) -> Option<usize> {
-        if self.rob.is_empty() {
+        let front = self.rob.front()?.seq;
+        if seq < front {
             return None;
         }
-        let (mut lo, mut hi) = (0usize, self.rob.len());
+        let probe = ((seq - front) as usize).min(self.rob.len() - 1);
+        let probe_seq = self.rob[probe].seq;
+        if probe_seq == seq {
+            return Some(probe);
+        }
+        if probe_seq < seq {
+            // Only possible when the probe clamped to the back: `seq` is
+            // younger than everything live (it was squashed).
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, probe);
         while lo < hi {
             let mid = (lo + hi) / 2;
             if self.rob[mid].seq < seq {
@@ -540,7 +623,7 @@ impl<T: Tracer> Simulator<T> {
                 hi = mid;
             }
         }
-        (lo < self.rob.len() && self.rob[lo].seq == seq).then_some(lo)
+        (lo < probe && self.rob[lo].seq == seq).then_some(lo)
     }
 
     // ----- per-cycle machinery ------------------------------------------
@@ -566,7 +649,7 @@ impl<T: Tracer> Simulator<T> {
                 commits,
                 cause,
                 rob: self.rob.len() as u32,
-                iq: (self.int_iq.len() + self.fp_iq.len()) as u32,
+                iq: (self.int_iq_len + self.fp_iq_len) as u32,
                 lsq: self.lsq.len() as u32,
             });
         }
@@ -836,6 +919,10 @@ impl<T: Tracer> Simulator<T> {
                         self.rob[idx].state = SlotState::WbGranted;
                         self.rob[idx].wb_done_at = done;
                         self.int_pregs[dest.new as usize].in_rf_at = done;
+                        // The register-file path opens: consumers may issue
+                        // once their capture cycle reaches `done`.
+                        let at = self.now.max(done.saturating_sub(self.read_stages));
+                        self.wake_consumers(true, dest.new, at);
                         if T::ENABLED {
                             // `class` is the WR1 type-determination outcome.
                             self.tracer.event(TraceEvent::Writeback {
@@ -871,6 +958,8 @@ impl<T: Tracer> Simulator<T> {
                 self.rob[idx].state = SlotState::WbGranted;
                 self.rob[idx].wb_done_at = done;
                 self.fp_pregs[dest.new as usize].in_rf_at = done;
+                let at = self.now.max(done.saturating_sub(self.read_stages));
+                self.wake_consumers(false, dest.new, at);
                 if T::ENABLED {
                     self.tracer.event(TraceEvent::Writeback { cycle: self.now, seq, class: None });
                 }
@@ -901,32 +990,100 @@ impl<T: Tracer> Simulator<T> {
         }
     }
 
+    // ----- wakeup --------------------------------------------------------
+
+    /// Fires the wakeup list of a physical register whose availability
+    /// improved: every still-waiting consumer becomes an issue candidate at
+    /// cycle `at` (the first cycle the improvement can matter). Consumers
+    /// that issued or were squashed are dropped; the rest stay parked for
+    /// the register's next event (e.g. the bypass window closing and the
+    /// register-file path opening later).
+    fn wake_consumers(&mut self, is_int: bool, preg: Preg, at: u64) {
+        let list = if is_int {
+            &mut self.int_consumers[preg as usize]
+        } else {
+            &mut self.fp_consumers[preg as usize]
+        };
+        if list.is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(list);
+        let mut keep = 0usize;
+        for i in 0..list.len() {
+            let seq = list[i];
+            let waiting = self
+                .slot_index(seq)
+                .is_some_and(|idx| self.rob[idx].state == SlotState::Waiting);
+            if waiting {
+                self.wake_wheel.schedule(self.now, at, seq);
+                list[keep] = seq;
+                keep += 1;
+            }
+        }
+        list.truncate(keep);
+        let slot = if is_int {
+            &mut self.int_consumers[preg as usize]
+        } else {
+            &mut self.fp_consumers[preg as usize]
+        };
+        debug_assert!(slot.is_empty());
+        *slot = list;
+    }
+
+    /// The earliest cycle `>= from` at which `src` could be captured
+    /// (issue at `t` captures at `t + read_stages`), given the operand's
+    /// current availability. `None` means no capture is schedulable from
+    /// what is known now — the consumer parks on the producer's wakeup
+    /// list and a future event (speculative wakeup, load resolution,
+    /// completion, or writeback grant) reschedules it.
+    fn operand_next_cycle(&self, src: Src, from: u64) -> Option<u64> {
+        let st = match src {
+            Src::None | Src::Zero => return Some(from),
+            Src::Int(p) => &self.int_pregs[p as usize],
+            Src::Fp(p) => &self.fp_pregs[p as usize],
+        };
+        let mut best: Option<u64> = None;
+        if st.in_rf_at != NEVER {
+            best = Some(from.max(st.in_rf_at.saturating_sub(self.read_stages)));
+        }
+        if st.cap_avail_at != NEVER {
+            let t = from.max(st.cap_avail_at.saturating_sub(self.read_stages));
+            // The bypass network holds a value for two cycles past its
+            // availability (see `can_capture`); if the earliest capture
+            // already misses that window, later ones miss it too.
+            let feasible = self.full_bypass
+                || t + self.read_stages < st.cap_avail_at.saturating_add(2);
+            if feasible {
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        }
+        best
+    }
+
+    /// Schedules the next issue evaluation of a waiting instruction at the
+    /// earliest cycle (`>= from`) all of its operands could be captured.
+    /// If any operand has no schedulable capture, the instruction is not
+    /// queued at all — it is parked on that operand's wakeup list.
+    fn requeue_waiting(&mut self, seq: u64, srcs: [Src; 2], from: u64) {
+        let mut when = from;
+        for src in srcs {
+            match self.operand_next_cycle(src, from) {
+                Some(t) => when = when.max(t),
+                None => return,
+            }
+        }
+        self.wake_wheel.schedule(self.now, when, seq);
+    }
+
     // ----- execute -------------------------------------------------------
 
-    /// Appends `seq` to the event list at cycle `when`, reusing a pooled
-    /// list allocation when one is available.
-    fn schedule_event(
-        map: &mut BTreeMap<u64, Vec<u64>>,
-        pool: &mut Vec<Vec<u64>>,
-        when: u64,
-        seq: u64,
-    ) {
-        map.entry(when).or_insert_with(|| pool.pop().unwrap_or_default()).push(seq);
-    }
-
-    /// Returns a drained event list's allocation to the pool.
-    fn recycle_event_list(&mut self, mut seqs: Vec<u64>) {
-        // Event lists live at most a handful of distinct future cycles, so
-        // the pool stays tiny; the cap only guards pathological runs.
-        if self.vec_pool.len() < 64 {
-            seqs.clear();
-            self.vec_pool.push(seqs);
-        }
-    }
-
     fn exec_complete(&mut self) {
-        let Some(seqs) = self.completions.remove(&self.now) else { return };
+        let mut seqs = std::mem::take(&mut self.event_scratch);
+        debug_assert!(seqs.is_empty());
+        self.completion_wheel.drain_into(self.now, &mut seqs);
         for &seq in &seqs {
+            // Squashed events (a mid-list branch resolution may flush
+            // younger entries) are skipped lazily.
             let Some(idx) = self.slot_index(seq) else { continue };
             match self.rob[idx].state {
                 SlotState::Captured => self.finish_execution(seq),
@@ -934,7 +1091,8 @@ impl<T: Tracer> Simulator<T> {
                 _ => {}
             }
         }
-        self.recycle_event_list(seqs);
+        seqs.clear();
+        self.event_scratch = seqs;
     }
 
     fn finish_execution(&mut self, seq: u64) {
@@ -1083,6 +1241,9 @@ impl<T: Tracer> Simulator<T> {
                 st.valid = true;
                 self.rob[idx].state = SlotState::WbPending;
                 self.wb_pending.push(seq);
+                // The value is on the bypass network this cycle; waiting
+                // consumers can be selected from this cycle's issue stage.
+                self.wake_consumers(dest.is_int, dest.new, self.now);
             }
             None => {
                 self.rob[idx].state = SlotState::Completed;
@@ -1116,7 +1277,7 @@ impl<T: Tracer> Simulator<T> {
                     self.rob[idx].load_data = v;
                     self.rob[idx].state = SlotState::WaitData;
                     self.lsq.mark_performed(seq);
-                    Self::schedule_event(&mut self.completions, &mut self.vec_pool, self.now + 1, seq);
+                    self.completion_wheel.schedule(self.now, self.now + 1, seq);
                 }
                 LoadDecision::Memory => {
                     if self.hier.try_dl1_port() {
@@ -1131,7 +1292,7 @@ impl<T: Tracer> Simulator<T> {
                         self.rob[idx].state = SlotState::WaitData;
                         self.lsq.mark_performed(seq);
                         let done = self.now + latency;
-                        Self::schedule_event(&mut self.completions, &mut self.vec_pool, done, seq);
+                        self.completion_wheel.schedule(self.now, done, seq);
                         // Load-resolution wakeup: the return time is now
                         // known, so dependents may schedule against it.
                         if let Some(dest) = self.rob[idx].dest {
@@ -1141,6 +1302,8 @@ impl<T: Tracer> Simulator<T> {
                                 &mut self.fp_pregs
                             };
                             bank[dest.new as usize].cap_avail_at = done;
+                            let at = self.now.max(done.saturating_sub(self.read_stages));
+                            self.wake_consumers(dest.is_int, dest.new, at);
                         }
                     } else {
                         self.pending_loads.push(seq);
@@ -1166,7 +1329,9 @@ impl<T: Tracer> Simulator<T> {
     // ----- operand capture -----------------------------------------------
 
     fn capture_operands(&mut self) {
-        let Some(seqs) = self.captures.remove(&self.now) else { return };
+        let mut seqs = std::mem::take(&mut self.event_scratch);
+        debug_assert!(seqs.is_empty());
+        self.capture_wheel.drain_into(self.now, &mut seqs);
         for &seq in &seqs {
             let Some(idx) = self.slot_index(seq) else { continue };
             if self.rob[idx].state != SlotState::Issued {
@@ -1198,10 +1363,17 @@ impl<T: Tracer> Simulator<T> {
                     bank[dest.new as usize].cap_avail_at = NEVER;
                 }
                 if matches!(kind, InstKind::FpAlu | InstKind::FpDiv) {
-                    self.fp_iq.push(seq);
+                    self.fp_iq_len += 1;
                 } else {
-                    self.int_iq.push(seq);
+                    self.int_iq_len += 1;
                 }
+                // Back in the queue: re-park on every still-unwritten
+                // operand (the issue may have dropped this entry from the
+                // wakeup lists) and re-evaluate from this cycle's issue
+                // stage, exactly when the scan-based scheduler would next
+                // have seen it.
+                self.register_consumers(seq, srcs);
+                self.requeue_waiting(seq, srcs, self.now);
                 continue;
             }
             let mut vals = [0u64; 2];
@@ -1237,9 +1409,30 @@ impl<T: Tracer> Simulator<T> {
             self.rob[idx].src_vals = vals;
             self.rob[idx].state = SlotState::Captured;
             let latency = self.exec_latency(self.rob[idx].kind);
-            Self::schedule_event(&mut self.completions, &mut self.vec_pool, self.now + latency, seq);
+            self.completion_wheel.schedule(self.now, self.now + latency, seq);
         }
-        self.recycle_event_list(seqs);
+        seqs.clear();
+        self.event_scratch = seqs;
+    }
+
+    /// Parks a waiting instruction on the wakeup list of every source
+    /// register that has not yet been granted its register-file write:
+    /// such a register's availability can still change (speculative
+    /// wakeup, revocation, completion, writeback), and each change fires
+    /// the list. A source already granted (`in_rf_at` finite) is frozen —
+    /// `requeue_waiting` computes its exact readiness, no parking needed.
+    fn register_consumers(&mut self, seq: u64, srcs: [Src; 2]) {
+        for src in srcs {
+            match src {
+                Src::Int(p) if self.int_pregs[p as usize].in_rf_at == NEVER => {
+                    self.int_consumers[p as usize].push(seq);
+                }
+                Src::Fp(p) if self.fp_pregs[p as usize].in_rf_at == NEVER => {
+                    self.fp_consumers[p as usize].push(seq);
+                }
+                _ => {}
+            }
+        }
     }
 
     fn exec_latency(&self, kind: InstKind) -> u64 {
@@ -1288,26 +1481,42 @@ impl<T: Tracer> Simulator<T> {
         }
         let oldest = self.rob.front().map(|s| s.seq);
         let capture_cycle = self.now + self.read_stages;
-        // Oldest-first across both queues, scanned through a persistent
-        // candidate buffer (no per-cycle allocation).
+        // Event-driven candidate set: only instructions woken for this
+        // cycle are evaluated, instead of rescanning both issue queues.
+        // Sorted (oldest-first, as the scan-based scheduler selected) and
+        // deduplicated (an entry may have been woken by several events).
+        // Every candidate the cycle cannot issue is rescheduled, so the
+        // candidate set always covers what the full rescan would have
+        // found ready; evaluating a not-ready entry has no side effects.
         self.issue_cand.clear();
-        self.issue_cand.extend(self.int_iq.iter().copied());
-        self.issue_cand.extend(self.fp_iq.iter().copied());
+        self.wake_wheel.drain_into(self.now, &mut self.issue_cand);
+        if self.issue_cand.is_empty() {
+            return;
+        }
         self.issue_cand.sort_unstable();
+        self.issue_cand.dedup();
 
         let mut issued = 0usize;
-        let mut issued_int = false;
-        let mut issued_fp = false;
-        for ci in 0..self.issue_cand.len() {
+        let mut ci = 0usize;
+        while ci < self.issue_cand.len() {
             let seq = self.issue_cand[ci];
             if issued >= self.config.issue_width {
+                // Issue width exhausted: everything still pending retries
+                // next cycle (the rescan scheduler re-saw it every cycle).
+                for wi in ci..self.issue_cand.len() {
+                    let s = self.issue_cand[wi];
+                    self.wake_wheel.schedule(self.now, self.now + 1, s);
+                }
                 break;
             }
-            if guard && Some(seq) != oldest {
-                continue;
-            }
+            ci += 1;
+            // Squashed or already-issued wakeups drop out here.
             let Some(idx) = self.slot_index(seq) else { continue };
             if self.rob[idx].state != SlotState::Waiting {
+                continue;
+            }
+            if guard && Some(seq) != oldest {
+                self.wake_wheel.schedule(self.now, self.now + 1, seq);
                 continue;
             }
             let kind = self.rob[idx].kind;
@@ -1340,15 +1549,21 @@ impl<T: Tracer> Simulator<T> {
                 }
             }
             if !ready {
+                // Re-evaluate at the operands' next possible capture (or
+                // park on a producer's wakeup list if none is known).
+                self.requeue_waiting(seq, srcs, self.now + 1);
                 continue;
             }
 
             // Register-file read ports at the capture cycle (checked before
-            // the FU so a denial leaks nothing past this cycle).
+            // the FU so a denial leaks nothing past this cycle). Denials
+            // are structural: retry next cycle.
             if int_reads > 0 && !self.int_read_ports.try_acquire_n(int_reads) {
+                self.wake_wheel.schedule(self.now, self.now + 1, seq);
                 continue;
             }
             if fp_reads > 0 && !self.fp_read_ports.try_acquire_n(fp_reads) {
+                self.wake_wheel.schedule(self.now, self.now + 1, seq);
                 continue;
             }
 
@@ -1364,6 +1579,7 @@ impl<T: Tracer> Simulator<T> {
                 _ => &mut self.int_fus,
             };
             if !pool.try_acquire(exec_start, duration) {
+                self.wake_wheel.schedule(self.now, self.now + 1, seq);
                 continue;
             }
 
@@ -1374,7 +1590,7 @@ impl<T: Tracer> Simulator<T> {
             if T::ENABLED {
                 self.tracer.event(TraceEvent::Issue { cycle: self.now, seq });
             }
-            Self::schedule_event(&mut self.captures, &mut self.vec_pool, capture_cycle, seq);
+            self.capture_wheel.schedule(self.now, capture_cycle, seq);
             // Speculative wakeup: consumers may be selected against the
             // scheduled completion time of this producer. Loads are woken
             // assuming an L1 hit (address generation + hit latency);
@@ -1389,29 +1605,18 @@ impl<T: Tracer> Simulator<T> {
                 };
                 let bank = if dest.is_int { &mut self.int_pregs } else { &mut self.fp_pregs };
                 bank[dest.new as usize].cap_avail_at = done;
+                // `done - read_stages` is the first cycle a consumer could
+                // be selected against this estimate; it is always at least
+                // `now + 1` (a dependent can never issue the same cycle,
+                // and this cycle's wakeups have already drained).
+                let at = (self.now + 1).max(done.saturating_sub(self.read_stages));
+                self.wake_consumers(dest.is_int, dest.new, at);
             }
-            // Queue removal is batched into one sweep per queue after the
-            // scan (issued entries are in `Issued` state, so they cannot be
-            // re-selected meanwhile).
             match kind {
-                InstKind::FpAlu | InstKind::FpDiv => issued_fp = true,
-                _ => issued_int = true,
+                InstKind::FpAlu | InstKind::FpDiv => self.fp_iq_len -= 1,
+                _ => self.int_iq_len -= 1,
             }
-            self.issued_scratch.push(seq);
             issued += 1;
-        }
-        if issued > 0 {
-            // `issued_scratch` is ascending (candidates were scanned in
-            // sorted order), so membership is a binary search.
-            let issued_seqs = std::mem::take(&mut self.issued_scratch);
-            if issued_int {
-                self.int_iq.retain(|s| issued_seqs.binary_search(s).is_err());
-            }
-            if issued_fp {
-                self.fp_iq.retain(|s| issued_seqs.binary_search(s).is_err());
-            }
-            self.issued_scratch = issued_seqs;
-            self.issued_scratch.clear();
         }
     }
 
@@ -1448,9 +1653,9 @@ impl<T: Tracer> Simulator<T> {
             let uses_fp_iq = matches!(kind, InstKind::FpAlu | InstKind::FpDiv);
             let needs_iq = !matches!(kind, InstKind::Nop | InstKind::Halt);
             if needs_iq {
-                let q = if uses_fp_iq { &self.fp_iq } else { &self.int_iq };
+                let len = if uses_fp_iq { self.fp_iq_len } else { self.int_iq_len };
                 let cap = if uses_fp_iq { self.config.iq_fp } else { self.config.iq_int };
-                if q.len() >= cap {
+                if len >= cap {
                     self.stats.dispatch_stalls.iq += 1;
                     self.dispatch_stall_event(DispatchStallCause::Iq);
                     break;
@@ -1494,6 +1699,9 @@ impl<T: Tracer> Simulator<T> {
                         self.rename.rename_int_dest(r).expect("free count checked above");
                     self.int_rf.on_alloc(new as usize);
                     self.int_pregs[new as usize] = PregState::reset();
+                    // A freed register's waiting consumers were all
+                    // squashed or committed; drop the stale list entries.
+                    self.int_consumers[new as usize].clear();
                     Some(Dest { is_int: true, arch: r.number(), new, old })
                 }
                 Some(carf_isa::RegRef::Fp(r)) => {
@@ -1501,6 +1709,7 @@ impl<T: Tracer> Simulator<T> {
                         self.rename.rename_fp_dest(r).expect("free count checked above");
                     self.fp_rf.on_alloc(new as usize);
                     self.fp_pregs[new as usize] = PregState::reset();
+                    self.fp_consumers[new as usize].clear();
                     Some(Dest { is_int: false, arch: r.number(), new, old })
                 }
                 _ => None,
@@ -1526,10 +1735,16 @@ impl<T: Tracer> Simulator<T> {
             let state = if needs_iq { SlotState::Waiting } else { SlotState::Completed };
             if needs_iq {
                 if uses_fp_iq {
-                    self.fp_iq.push(seq);
+                    self.fp_iq_len += 1;
                 } else {
-                    self.int_iq.push(seq);
+                    self.int_iq_len += 1;
                 }
+                // Event-driven scheduling: park on the producers that may
+                // still change, and queue the first issue evaluation for
+                // the earliest cycle the operands allow (issue has already
+                // run this cycle, so never before `now + 1`).
+                self.register_consumers(seq, srcs);
+                self.requeue_waiting(seq, srcs, self.now + 1);
             }
             self.rob.push_back(Slot {
                 seq,
@@ -1660,37 +1875,42 @@ impl<T: Tracer> Simulator<T> {
         self.fetch_q.clear();
     }
 
-    /// Squashes every instruction strictly younger than `keep_seq`,
-    /// rebuilding the rename map from the committed map plus surviving
-    /// in-flight destinations.
+    /// Squashes every instruction strictly younger than `keep_seq`.
+    ///
+    /// Cost is proportional to the squashed suffix only: the rename maps
+    /// are recovered by undoing each popped rename in reverse program
+    /// order (`map[arch] = old` restores what `arch` pointed to before
+    /// that rename — after the whole suffix is undone, the maps equal the
+    /// committed RAT plus the surviving prefix renames, i.e. exactly what
+    /// a forward rebuild from the committed map produces). Surviving
+    /// instructions are never visited, and no pending-event list is swept:
+    /// squashed sequence numbers — never reused — are dropped lazily when
+    /// their ROB lookup or state check fails.
     fn squash_younger_than(&mut self, keep_seq: u64, reason: SquashReason) {
         let squashed_before = self.stats.squashed;
-        let mut int_map = self.commit_int_rat;
-        let mut fp_map = self.commit_fp_rat;
-        for slot in &self.rob {
-            if slot.seq > keep_seq {
-                break;
-            }
-            if let Some(d) = slot.dest {
-                if d.is_int {
-                    int_map[d.arch as usize] = d.new;
-                } else {
-                    fp_map[d.arch as usize] = d.new;
-                }
-            }
-        }
+        let mut int_map = *self.rename.int_map();
+        let mut fp_map = *self.rename.fp_map();
         while matches!(self.rob.back(), Some(s) if s.seq > keep_seq) {
             let slot = self.rob.pop_back().expect("checked above");
             self.stats.squashed += 1;
             if slot.branch_unresolved {
                 self.unresolved_branches = self.unresolved_branches.saturating_sub(1);
             }
+            if slot.state == SlotState::Waiting {
+                if matches!(slot.kind, InstKind::FpAlu | InstKind::FpDiv) {
+                    self.fp_iq_len -= 1;
+                } else {
+                    self.int_iq_len -= 1;
+                }
+            }
             if let Some(d) = slot.dest {
                 if d.is_int {
+                    int_map[d.arch as usize] = d.old;
                     self.int_rf.release(d.new as usize);
                     self.rename.free_int(d.new);
                     self.int_pregs[d.new as usize] = PregState::reset();
                 } else {
+                    fp_map[d.arch as usize] = d.old;
                     self.fp_rf.release(d.new as usize);
                     self.rename.free_fp(d.new);
                     self.fp_pregs[d.new as usize] = PregState::reset();
@@ -1699,12 +1919,6 @@ impl<T: Tracer> Simulator<T> {
         }
         self.rename.set_maps(int_map, fp_map);
         self.lsq.squash_after(keep_seq);
-        self.int_iq.retain(|s| *s <= keep_seq);
-        self.fp_iq.retain(|s| *s <= keep_seq);
-        self.wb_pending.retain(|s| *s <= keep_seq);
-        self.pending_loads.retain(|s| *s <= keep_seq);
-        // Scheduled captures/completions for squashed sequences are skipped
-        // lazily (their ROB lookup fails).
         if T::ENABLED {
             self.tracer.event(TraceEvent::Squash {
                 cycle: self.now,

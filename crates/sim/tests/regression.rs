@@ -165,6 +165,69 @@ fn traced_run_matches_pinned_fingerprint() {
     }
 }
 
+/// The bpred-hostile branch storm: near-random branch outcomes keep the
+/// front end squashing, so the recovery path (`squash_younger_than`) runs
+/// constantly. Pinned so the suffix-bounded recovery rewrite is provably
+/// behaviour-preserving, with sanity bounds proving the kernel really is
+/// hostile (a healthy mispredict rate, not a predictable loop).
+fn branch_storm_run() -> SimStats {
+    let wl = carf_workloads::extended_suite()
+        .into_iter()
+        .find(|w| w.name == "branch_storm")
+        .expect("branch_storm registered");
+    let program = wl.build(8); // 2000 iterations
+    let mut cfg = SimConfig::paper_baseline();
+    cfg.cosim = true;
+    let mut sim = Simulator::new(cfg, &program);
+    let r = sim.run(1_000_000).expect("clean run");
+    assert!(r.halted, "branch storm must run to completion");
+    sim.stats().clone()
+}
+
+#[test]
+fn squash_storm_stats_are_pinned() {
+    let stats = branch_storm_run();
+    assert!(
+        stats.mispredicts * 4 > stats.branches,
+        "branch_storm must be bpred-hostile: {} mispredicts / {} branches",
+        stats.mispredicts,
+        stats.branches
+    );
+    assert!(
+        stats.squashed * 4 > stats.committed,
+        "mispredict recovery must dominate: {} squashed / {} committed",
+        stats.squashed,
+        stats.committed
+    );
+    let got = fingerprint(&stats);
+    let expected: &[(&str, u64)] = &[
+        ("cycles", 32983),
+        ("committed", 28014),
+        ("loads", 0),
+        ("stores", 1),
+        ("branches", 6000),
+        ("fetched", 107626),
+        ("squashed", 55537),
+        ("mispredicts", 2944),
+        ("bypassed_operands", 35563),
+        ("rf_operands", 17550),
+        ("zero_operands", 9834),
+        ("load_replays", 0),
+        ("int_rf_reads", 17550),
+        ("int_rf_writes", 30442),
+        ("fp_rf_reads", 0),
+        ("fp_rf_writes", 0),
+        ("stl_forwards", 0),
+    ];
+    for ((name, want), (_, have)) in expected.iter().zip(&got) {
+        assert_eq!(
+            have, want,
+            "{name} drifted on the squash storm (got {have}, pinned {want});\n\
+             full fingerprint: {got:?}"
+        );
+    }
+}
+
 #[test]
 #[ignore = "prints the current fingerprints for re-pinning"]
 fn print_fingerprints() {
@@ -175,4 +238,5 @@ fn print_fingerprints() {
     carf.cosim = true;
     carf.oracle_period = Some(16);
     println!("carf: {:?}", fingerprint(&pinned_run(&carf)));
+    println!("branch_storm: {:?}", fingerprint(&branch_storm_run()));
 }

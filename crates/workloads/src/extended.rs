@@ -3,15 +3,16 @@
 //! These are *not* part of [`crate::int_suite`]/[`crate::fp_suite`] (whose
 //! composition the recorded experiment results depend on); they widen the
 //! behaviour space for tests and for users bringing their own studies:
-//! search-tree descent, bit-board manipulation, FIR filtering, and an
-//! escape-time fractal loop with data-dependent FP exits.
+//! search-tree descent, bit-board manipulation, FIR filtering, an
+//! escape-time fractal loop with data-dependent FP exits, and a
+//! bpred-hostile branch storm for squash-recovery stress.
 
 use crate::gen::{payload_values, random_f64s, rng, GLOBALS_BASE, HEAP_BASE};
 use crate::suite::{Suite, Workload};
 use carf_isa::{f, x, Asm, Program};
 use rand::Rng;
 
-/// Four additional kernels (two integer, two floating-point).
+/// Five additional kernels (three integer, two floating-point).
 pub fn extended_suite() -> Vec<Workload> {
     vec![
         Workload::new(
@@ -41,6 +42,13 @@ pub fn extended_suite() -> Vec<Workload> {
             "escape-time iteration with FP-compare-driven exits",
             escape_iter,
             (1, 25, 250),
+        ),
+        Workload::new(
+            "branch_storm",
+            Suite::Int,
+            "bpred-hostile LCG-driven branching: near-50% mispredict squash storm",
+            branch_storm,
+            (4, 60, 600),
         ),
     ]
 }
@@ -206,6 +214,50 @@ fn fir_filter(size: u32) -> Program {
     asm.fst(f(1), x(28), 0);
     asm.halt();
     asm.finish().expect("fir_filter assembles")
+}
+
+/// A squash storm: every iteration branches on a fresh LCG bit, so gshare
+/// sees an effectively random outcome stream and mispredicts close to half
+/// the time. Each arm then runs a short dependent tail so the recovery
+/// path always has a ROB suffix to walk — this is the regression kernel
+/// for `squash_younger_than` being bounded by the squashed suffix.
+fn branch_storm(size: u32) -> Program {
+    let iters = u64::from(size) * 250;
+
+    let mut asm = Asm::new();
+    asm.li(x(4), 0x2545_F491_4F6C_DD1D); // LCG state
+    asm.li(x(5), 6364136223846793005);
+    asm.li(x(6), 1442695040888963407);
+    asm.li(x(1), 0); // checksum
+    asm.li(x(20), iters);
+    asm.label("storm");
+    asm.mul(x(4), x(4), x(5));
+    asm.add(x(4), x(4), x(6));
+    asm.srli(x(7), x(4), 61); // top bits: the least predictable
+    asm.andi(x(8), x(7), 1);
+    asm.bne(x(8), x(0), "odd");
+    // Even arm: dependent add chain the squash has to unwind when the
+    // branch above was guessed "taken".
+    asm.addi(x(1), x(1), 3);
+    asm.slli(x(9), x(1), 1);
+    asm.xor(x(1), x(1), x(9));
+    asm.srli(x(1), x(1), 1);
+    asm.j("join");
+    asm.label("odd");
+    asm.xori(x(1), x(1), 0x55);
+    asm.add(x(1), x(1), x(7));
+    asm.slli(x(9), x(7), 2);
+    asm.add(x(1), x(1), x(9));
+    asm.label("join");
+    // Second unpredictable branch per iteration doubles the squash rate.
+    asm.andi(x(8), x(7), 2);
+    asm.beq(x(8), x(0), "skip");
+    asm.addi(x(1), x(1), 1);
+    asm.label("skip");
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "storm");
+    epilogue_int(&mut asm);
+    asm.finish().expect("branch_storm assembles")
 }
 
 /// Escape-time iteration (Mandelbrot-style) over a grid of points:

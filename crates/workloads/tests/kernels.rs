@@ -138,7 +138,7 @@ mod extended {
 
     #[test]
     fn extended_kernels_halt_and_scale() {
-        assert_eq!(extended_suite().len(), 4);
+        assert_eq!(extended_suite().len(), 5);
         for wl in extended_suite() {
             let p = wl.build_class(SizeClass::Test);
             let mut m = Machine::load(&p);

@@ -21,4 +21,16 @@ CARF_RESULTS_DIR="$(mktemp -d)" \
     cargo run --release -q -p carf-bench --bin carf-trace -- \
     --quick --jobs 2 --machine both sort_kernel >/dev/null
 
+echo "==> scheduler hot-loop microbench (informational)"
+# Perf smoke: the Criterion microbench and a headline KIPS run. Both are
+# informational — they fail the gate only if the simulator crashes, never
+# on a slow number (CI machines vary too much for a hard threshold).
+cargo bench -q -p carf-bench --bench sim_hotloop -- --sample-size 10 \
+    | grep -E "time:|sim_hotloop/" || true
+
+echo "==> headline throughput (quick budget, jobs=1)"
+CARF_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release -q -p carf-bench --bin bench_kips -- \
+    --quick --jobs 1 --suite int
+
 echo "==> all checks passed"
