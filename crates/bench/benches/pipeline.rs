@@ -1,7 +1,7 @@
 //! Criterion benchmarks of simulator throughput: cycles per second on a
 //! representative kernel for each register-file organization.
 
-use carf_core::CarfParams;
+use carf_core::{BaselineRegFile, CarfParams, ContentAwareRegFile};
 use carf_sim::{SimConfig, Simulator};
 use carf_workloads::int_suite;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -13,14 +13,14 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("baseline", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::paper_baseline(), &program);
+            let mut sim = Simulator::<BaselineRegFile>::new(SimConfig::paper_baseline(), &program);
             black_box(sim.run(50_000).expect("clean run"))
         })
     });
     group.bench_function("content_aware", |b| {
         b.iter(|| {
             let mut sim =
-                Simulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &program);
+                Simulator::<ContentAwareRegFile>::new(SimConfig::paper_carf(CarfParams::paper_default()), &program);
             black_box(sim.run(50_000).expect("clean run"))
         })
     });
@@ -28,7 +28,7 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = SimConfig::paper_baseline();
             cfg.cosim = true;
-            let mut sim = Simulator::new(cfg, &program);
+            let mut sim = Simulator::<BaselineRegFile>::new(cfg, &program);
             black_box(sim.run(50_000).expect("clean run"))
         })
     });

@@ -7,7 +7,7 @@
 //! stalled instructions — the worst case for a scan-based scheduler and
 //! the best case for O(woken) wakeup); `hash_table` is the mixed case.
 
-use carf_core::CarfParams;
+use carf_core::{BaselineRegFile, CarfParams, ContentAwareRegFile};
 use carf_sim::{SimConfig, Simulator};
 use carf_workloads::int_suite;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -26,20 +26,20 @@ fn bench_hotloop(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("pointer_chase_baseline", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::paper_baseline(), &chase_program);
+            let mut sim = Simulator::<BaselineRegFile>::new(SimConfig::paper_baseline(), &chase_program);
             black_box(sim.run(20_000).expect("clean run"))
         })
     });
     group.bench_function("pointer_chase_carf", |b| {
         b.iter(|| {
             let mut sim =
-                Simulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &chase_program);
+                Simulator::<ContentAwareRegFile>::new(SimConfig::paper_carf(CarfParams::paper_default()), &chase_program);
             black_box(sim.run(20_000).expect("clean run"))
         })
     });
     group.bench_function("hash_table_baseline", |b| {
         b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::paper_baseline(), &hash_program);
+            let mut sim = Simulator::<BaselineRegFile>::new(SimConfig::paper_baseline(), &hash_program);
             black_box(sim.run(20_000).expect("clean run"))
         })
     });

@@ -7,7 +7,7 @@
 //! * the extra bypass level (§3.1: optional, small effect);
 //! * the pseudo-deadlock guard threshold (§3.1: stall at the issue width).
 
-use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json, Budget, SuiteResult};
+use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json, SuiteResult};
 use carf_core::{CarfParams, Policies, ShortAllocPolicy, ShortIndexPolicy};
 use carf_sim::{SimConfig, SimStats};
 use carf_workloads::Suite;
@@ -24,7 +24,7 @@ fn collapse(int: &SuiteResult, fp: &SuiteResult) -> (f64, Vec<SimStats>) {
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Design-choice ablations at d+n = 20 ({} run)", budget.label());
 
     let variants: [(&str, Policies); 4] = [

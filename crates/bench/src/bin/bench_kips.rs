@@ -15,6 +15,7 @@
 //! headline configuration for every figure); `--jobs 1` gives the
 //! interference-free numbers the PR acceptance criterion is stated over.
 
+use carf_bench::cli::{parse_suites, CliSpec, OptSpec};
 use carf_bench::parallel::{self, PointTiming};
 use carf_bench::{geomean_kips, peak_kips, print_table, run_suite, Budget};
 use carf_sim::SimConfig;
@@ -22,66 +23,37 @@ use carf_workloads::Suite;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+const SPEC: CliSpec = CliSpec {
+    bin: "bench_kips",
+    options: &[
+        OptSpec {
+            name: "--suite",
+            value: Some("S"),
+            help: "which suite to time: int (default), fp, or all",
+        },
+        OptSpec {
+            name: "--snapshot",
+            value: Some("PATH"),
+            help: "also write the timing record to PATH as a snapshot",
+        },
+    ],
+    operands: None,
+};
+
 struct Args {
     budget: Budget,
     suites: Vec<Suite>,
     snapshot: Option<PathBuf>,
 }
 
-fn usage_exit(bad: &str) -> ! {
-    eprintln!("error: {bad}");
-    eprintln!("usage: bench_kips [--quick | --full] [--jobs N] [--suite int|fp|all] [--snapshot PATH]");
-    eprintln!("  --quick          quick budget: ~200k instructions per point (default)");
-    eprintln!("  --full           full budget: ~1M instructions per point");
-    eprintln!("  --jobs N         worker threads (default: CARF_JOBS or available cores)");
-    eprintln!("  --suite S        which suite to time: int (default), fp, or all");
-    eprintln!("  --snapshot PATH  also write the timing record to PATH as a snapshot");
-    std::process::exit(2);
-}
-
-fn parse_suite(v: &str) -> Option<Vec<Suite>> {
-    match v {
-        "int" => Some(vec![Suite::Int]),
-        "fp" => Some(vec![Suite::Fp]),
-        "all" => Some(vec![Suite::Int, Suite::Fp]),
-        _ => None,
-    }
-}
-
 fn parse_args() -> Args {
-    let mut rest: Vec<String> = Vec::new();
-    let mut suites = vec![Suite::Int];
-    let mut snapshot = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--suite" => match args.next().as_deref().and_then(parse_suite) {
-                Some(s) => suites = s,
-                None => usage_exit("`--suite` expects int, fp, or all"),
-            },
-            "--snapshot" => match args.next() {
-                Some(p) if !p.trim().is_empty() => snapshot = Some(PathBuf::from(p)),
-                _ => usage_exit("`--snapshot` expects a file path"),
-            },
-            s => {
-                if let Some(v) = s.strip_prefix("--suite=") {
-                    match parse_suite(v) {
-                        Some(s) => suites = s,
-                        None => usage_exit("`--suite` expects int, fp, or all"),
-                    }
-                } else if let Some(v) = s.strip_prefix("--snapshot=") {
-                    if v.trim().is_empty() {
-                        usage_exit("`--snapshot` expects a file path");
-                    }
-                    snapshot = Some(PathBuf::from(v));
-                } else {
-                    rest.push(s.to_string());
-                }
-            }
-        }
-    }
-    let budget = Budget::parse_args(rest).unwrap_or_else(|bad| usage_exit(&bad));
-    Args { budget, suites, snapshot }
+    let parsed = SPEC.parse();
+    let suites = match parsed.option("--suite") {
+        Some(v) => parse_suites(v).unwrap_or_else(|bad| SPEC.fail(&bad)),
+        None => vec![Suite::Int],
+    };
+    let snapshot = parsed.option("--snapshot").map(PathBuf::from);
+    Args { budget: parsed.budget, suites, snapshot }
 }
 
 fn write_snapshot(path: &PathBuf, label: &str, jobs: usize, total: f64, points: &[PointTiming]) {

@@ -12,120 +12,77 @@
 //! Replaces the old `diag_stalls` diagnostic, which ignored its arguments
 //! and panicked on unknown workloads.
 
+use carf_bench::cli::{CliSpec, MachineSet, OptSpec};
 use carf_bench::{parallel, Budget};
-use carf_core::CarfParams;
-use carf_sim::{SimConfig, Simulator, StageHistograms, StallReport, TraceRecorder};
+use carf_sim::{SimConfig, AnySimulator, StageHistograms, StallReport, TraceRecorder};
 use carf_workloads::{all_workloads, Workload};
 
 /// Workloads traced when none are named: the four kernels where the
 /// baseline and content-aware machines diverge the most.
 const DEFAULT_WORKLOADS: [&str; 4] = ["stencil3", "particle_push", "tridiag", "sort_kernel"];
 
-/// Which machine configurations to trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Machine {
-    Base,
-    Carf,
-    Both,
-}
+const SPEC: CliSpec = CliSpec {
+    bin: "carf-trace",
+    options: &[
+        OptSpec {
+            name: "--window",
+            value: Some("N"),
+            help: "Chrome-trace cycle window length (default 5000)",
+        },
+        OptSpec {
+            name: "--machine",
+            value: Some("M"),
+            help: "trace the baseline, the content-aware machine, or both (default)",
+        },
+    ],
+    operands: Some((
+        "workload",
+        "kernels to trace (default: stencil3 particle_push tridiag sort_kernel)",
+    )),
+};
 
 struct TraceArgs {
     budget: Budget,
     window: u64,
-    machine: Machine,
+    machine: MachineSet,
     workloads: Vec<Workload>,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: carf-trace [--quick | --full] [--jobs N] [--window N] \
-         [--machine base|carf|both] [workload...]"
-    );
-    eprintln!("  --quick        quick budget: ~200k instructions per point (default)");
-    eprintln!("  --full         full budget: ~1M instructions per point");
-    eprintln!("  --jobs N       worker threads (default: CARF_JOBS or available cores)");
-    eprintln!("  --window N     Chrome-trace cycle window length (default 5000)");
-    eprintln!("  --machine M    trace the baseline, the content-aware machine, or both (default)");
-    eprintln!("  workload...    kernels to trace (default: {})", DEFAULT_WORKLOADS.join(" "));
-    std::process::exit(2);
-}
-
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    usage()
-}
-
-fn parse_machine(v: &str) -> Machine {
-    match v {
-        "base" | "baseline" => Machine::Base,
-        "carf" => Machine::Carf,
-        "both" => Machine::Both,
-        other => fail(&format!("`--machine` expects base, carf, or both (got `{other}`)")),
-    }
-}
-
-fn parse_window(v: &str) -> u64 {
-    match v.parse::<u64>() {
-        Ok(n) if n >= 1 => n,
-        _ => fail("`--window` expects a positive cycle count"),
-    }
-}
-
 fn parse_trace_args() -> TraceArgs {
-    let mut budget_args: Vec<String> = Vec::new();
-    let mut window: u64 = 5_000;
-    let mut machine = Machine::Both;
-    let mut names: Vec<String> = Vec::new();
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--help" | "-h" => usage(),
-            "--window" => match args.next() {
-                Some(v) => window = parse_window(&v),
-                None => fail("`--window` expects a value"),
-            },
-            "--machine" => match args.next() {
-                Some(v) => machine = parse_machine(&v),
-                None => fail("`--machine` expects a value"),
-            },
-            "--quick" | "--full" => budget_args.push(arg),
-            "--jobs" => {
-                budget_args.push(arg);
-                if let Some(v) = args.next() {
-                    budget_args.push(v);
-                }
-            }
-            s if s.starts_with("--window=") => window = parse_window(&s["--window=".len()..]),
-            s if s.starts_with("--machine=") => machine = parse_machine(&s["--machine=".len()..]),
-            s if s.starts_with("--jobs=") => budget_args.push(arg),
-            s if s.starts_with('-') => fail(&format!("unrecognized argument `{s}`")),
-            _ => names.push(arg),
-        }
-    }
-
-    let budget = Budget::parse_args(budget_args).unwrap_or_else(|bad| fail(&bad));
+    let parsed = SPEC.parse();
+    let window = match parsed.option("--window") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => SPEC.fail("`--window` expects a positive cycle count"),
+        },
+        None => 5_000,
+    };
+    let machine = match parsed.option("--machine") {
+        Some(v) => MachineSet::parse(v).unwrap_or_else(|bad| SPEC.fail(&bad)),
+        None => MachineSet::Both,
+    };
 
     let registry = all_workloads();
-    if names.is_empty() {
-        names = DEFAULT_WORKLOADS.iter().map(|s| s.to_string()).collect();
-    }
+    let names: Vec<String> = if parsed.operands.is_empty() {
+        DEFAULT_WORKLOADS.iter().map(|s| s.to_string()).collect()
+    } else {
+        parsed.operands
+    };
     let mut workloads = Vec::new();
     for name in &names {
         match registry.iter().find(|w| w.name == *name) {
             Some(w) => workloads.push(w.clone()),
             None => {
-                eprintln!("error: unknown workload `{name}`");
                 eprintln!(
                     "valid workloads: {}",
                     registry.iter().map(|w| w.name).collect::<Vec<_>>().join(" ")
                 );
-                std::process::exit(2);
+                SPEC.fail(&format!("unknown workload `{name}`"));
             }
         }
     }
 
-    TraceArgs { budget, window, machine, workloads }
+    TraceArgs { budget: parsed.budget, window, machine, workloads }
 }
 
 /// Everything one traced point produces.
@@ -151,7 +108,7 @@ fn run_point(
 ) -> Result<PointOutput, String> {
     let program = workload.build(workload.size(budget.size));
     let mut sim =
-        Simulator::with_tracer(config.clone(), &program, TraceRecorder::with_window(0, window));
+        AnySimulator::with_tracer(config.clone(), &program, TraceRecorder::with_window(0, window));
     let result = sim
         .run(budget.max_insts)
         .map_err(|e| format!("{} under {label}: {e}", workload.name))?;
@@ -183,13 +140,7 @@ fn run_point(
 fn main() {
     let TraceArgs { budget, window, machine, workloads } = parse_trace_args();
 
-    let mut configs: Vec<(&'static str, SimConfig)> = Vec::new();
-    if machine != Machine::Carf {
-        configs.push(("base", SimConfig::paper_baseline()));
-    }
-    if machine != Machine::Base {
-        configs.push(("carf", SimConfig::paper_carf(CarfParams::paper_default())));
-    }
+    let configs = machine.configs();
 
     let points: Vec<(Workload, &'static str, SimConfig)> = workloads
         .iter()

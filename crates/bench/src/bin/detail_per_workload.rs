@@ -2,13 +2,13 @@
 //! machines, the relative IPC the paper's Figure 5 averages, and the
 //! write-classification mix per kernel.
 
-use carf_bench::{pct, print_table, run_workload, Budget};
+use carf_bench::{pct, print_table, run_workload};
 use carf_core::{CarfParams, ValueClass};
 use carf_sim::SimConfig;
 use carf_workloads::all_workloads;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Per-workload detail at d+n = 20 ({} run)", budget.label());
 
     let unlimited = SimConfig::paper_unlimited();

@@ -8,7 +8,7 @@
 
 use carf_bench::{
     baseline_geometry, pct, print_table, rf_energy_carf, rf_energy_monolithic, run_matrix,
-    write_timing_json, Budget, ClassTotals, DN_SWEEP,
+    write_timing_json, ClassTotals, DN_SWEEP,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
@@ -35,7 +35,7 @@ fn combined_totals(
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Energy-delay analysis across d+n ({} run)", budget.label());
     let model = TechModel::default_model();
 

@@ -6,13 +6,13 @@
 //! * SMT sharing — the mean live Long count sits far below the provisioned
 //!   48 (paper: ≈12.7), so one Long file could feed several threads.
 
-use carf_bench::{mean, pct, print_table, run_suite, Budget};
+use carf_bench::{mean, pct, print_table, run_suite};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("§6 extension measurements ({} run)", budget.label());
     let cfg = SimConfig::paper_carf(CarfParams::paper_default());
 

@@ -9,7 +9,7 @@
 //! `P(combined > K)` estimates how often a shared K-entry file would have
 //! to stall one thread.
 
-use carf_bench::{pct, print_table, run_workload, Budget};
+use carf_bench::{pct, print_table, run_workload};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::{all_workloads, Workload};
@@ -40,7 +40,7 @@ fn overflow(dist: &[f64], k: usize) -> f64 {
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("§6 SMT Long-file sharing estimate ({} run)", budget.label());
     let cfg = SimConfig::paper_carf(CarfParams::paper_default());
 

@@ -8,20 +8,20 @@
 //! than one thread, especially if only one of them has high peak register
 //! usage."
 
-use carf_bench::{pct, print_table, Budget};
+use carf_bench::{Budget, pct, print_table};
 use carf_core::CarfParams;
-use carf_sim::{SharedLongSmt, SimConfig, Simulator};
+use carf_sim::{SharedLongSmt, SimConfig, AnySimulator};
 use carf_workloads::{all_workloads, Workload};
 
 fn solo_ipc(cfg: &SimConfig, program: &carf_isa::Program, budget: &Budget) -> f64 {
-    let mut sim = Simulator::new(cfg.clone(), program);
+    let mut sim = AnySimulator::new(cfg.clone(), program);
     // Same instruction quota as each SMT thread, so warm-up amortizes
     // identically and the ratio isolates the sharing effect.
     sim.run(budget.max_insts / 2).expect("solo run").ipc
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("§6 SMT shared-Long-file timing study ({} run)", budget.label());
 
     // The private Long file must be at least as large as any shared size

@@ -23,7 +23,7 @@ fn merged(suite: Suite, budget: &Budget) -> GroupAccumulator {
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Figure 1: distribution of live integer data values ({} run)", budget.label());
     let int = merged(Suite::Int, &budget);
     let fp = merged(Suite::Fp, &budget);

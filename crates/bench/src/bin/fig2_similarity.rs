@@ -5,13 +5,13 @@
 //! `64-d` bits, exposing *partial* value locality: the population collapses
 //! into far fewer groups as `d` grows.
 
-use carf_bench::{pct, print_table, run_suite, Budget};
+use carf_bench::{pct, print_table, run_suite};
 use carf_core::analysis::{GroupAccumulator, GROUP_LABELS};
 use carf_sim::{SimConfig, SimStats};
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Figure 2: (64-d)-similar live value distribution ({} run)", budget.label());
     let mut cfg = SimConfig::paper_baseline();
     cfg.oracle_period = Some(budget.oracle_period);

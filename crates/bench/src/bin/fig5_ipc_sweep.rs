@@ -5,13 +5,13 @@
 //! Configuration per the paper: 8 Short registers (n = 3), 48 Long, 112
 //! Simple; `d+n` swept from 8 to 32.
 
-use carf_bench::{pct, print_table, run_matrix, write_timing_json, Budget, DN_SWEEP};
+use carf_bench::{pct, print_table, run_matrix, write_timing_json, DN_SWEEP};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Figure 5: relative IPC vs d+n ({} run)", budget.label());
 
     // One flat matrix: 2 reference configs + the 7-point sweep, for both

@@ -5,13 +5,13 @@
 //! simple — at `d+n = 24` over half of all accesses are short and long
 //! accesses drop below 20%.
 
-use carf_bench::{pct, print_table, run_suite, Budget, DN_SWEEP};
+use carf_bench::{pct, print_table, run_suite, DN_SWEEP};
 use carf_core::{CarfParams, ValueClass};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Figure 6: access distribution by value type ({} run)", budget.label());
 
     let mut read_rows = Vec::new();

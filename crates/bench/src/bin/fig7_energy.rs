@@ -5,9 +5,9 @@
 //! Combines the measured access counts (Figure 6's data) with the
 //! per-access energies (Table 3's data), exactly as the paper does.
 
-use carf_bench::{
+use carf_bench::{Budget, 
     baseline_geometry, pct, print_table, rf_energy_carf, rf_energy_monolithic, run_suite,
-    unlimited_geometry, Budget, ClassTotals, DN_SWEEP,
+    unlimited_geometry, ClassTotals, DN_SWEEP,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
@@ -32,7 +32,7 @@ fn totals(cfg: &SimConfig, budget: &Budget) -> (ClassTotals, ClassTotals) {
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Figure 7: relative register-file energy ({} run)", budget.label());
     let model = TechModel::default_model();
 

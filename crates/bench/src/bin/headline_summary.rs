@@ -4,7 +4,7 @@
 
 use carf_bench::{
     baseline_geometry, carf_geometries, pct, print_table, rf_energy_carf, rf_energy_monolithic,
-    run_matrix, unlimited_geometry, write_timing_json, Budget, ClassTotals,
+    run_matrix, unlimited_geometry, write_timing_json, ClassTotals,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
@@ -12,7 +12,7 @@ use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Headline summary at d+n = 20 ({} run)", budget.label());
     let params = CarfParams::paper_default();
     let model = TechModel::default_model();

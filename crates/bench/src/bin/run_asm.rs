@@ -16,7 +16,7 @@
 
 use carf_core::CarfParams;
 use carf_isa::{parse_asm, Machine};
-use carf_sim::{SimConfig, Simulator};
+use carf_sim::{SimConfig, AnySimulator};
 
 fn main() {
     if let Err(e) = run() {
@@ -83,7 +83,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     };
     config.cosim = cosim;
 
-    let mut sim = Simulator::new(config, &program);
+    let mut sim = AnySimulator::new(config, &program);
     if timeline > 0 {
         sim.record_timeline(timeline);
     }

@@ -2,7 +2,7 @@
 //! to 8 read / 6 write at a combined ~0.4% IPC cost, and we sweep the same
 //! axis.
 
-use carf_bench::{pct, print_table, run_matrix, write_timing_json, Budget};
+use carf_bench::{pct, print_table, run_matrix, write_timing_json};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
@@ -15,7 +15,7 @@ const PORT_SWEEP: [(u32, u32, &str); 5] = [
 ];
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Baseline register-file port sweep ({} run)", budget.label());
 
     // The 16R/8W reference is the sweep's first point; everything runs as

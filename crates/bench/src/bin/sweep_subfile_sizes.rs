@@ -6,7 +6,7 @@
 //! FP wants 56 to reach 99.75%. Mean live Long count is far below the
 //! peak (the paper reports ≈12.7), motivating the SMT direction.
 
-use carf_bench::{pct, print_table, run_matrix, write_timing_json, Budget};
+use carf_bench::{pct, print_table, run_matrix, write_timing_json};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -15,7 +15,7 @@ const SHORT_SIZES: [usize; 3] = [2, 8, 32];
 const LONG_SIZES: [usize; 4] = [40, 48, 56, 112];
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Sub-file size sensitivity at d+n = 20 ({} run)", budget.label());
 
     // One flat matrix: the unlimited references, the Short-size sweep, and

@@ -7,7 +7,7 @@
 //! ones more. This sweep quantifies that, supporting the paper's framing
 //! that the technique targets wide-issue 64-bit processors.
 
-use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json, Budget};
+use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -26,7 +26,7 @@ fn width_config(width: usize, base: SimConfig) -> SimConfig {
 }
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Issue-width sensitivity of the content-aware organization ({} run)", budget.label());
 
     // One flat matrix: per width, base Int/Fp then carf Int/Fp.

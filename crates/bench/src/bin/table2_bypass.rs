@@ -3,13 +3,13 @@
 //! content-aware machine (extra bypass level covering the longer
 //! writeback).
 
-use carf_bench::{pct, print_table, run_suite, Budget};
+use carf_bench::{pct, print_table, run_suite};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Table 2: percentage of bypassed operands ({} run)", budget.label());
     let base = SimConfig::paper_baseline();
     let carf = SimConfig::paper_carf(CarfParams::paper_default());

@@ -4,13 +4,13 @@
 //! The paper's motivation for value-type clustering: over 86% of
 //! instructions read operands of a single type.
 
-use carf_bench::{pct, print_table, run_suite, Budget};
+use carf_bench::{pct, print_table, run_suite};
 use carf_core::CarfParams;
 use carf_sim::{OperandMix, SimConfig};
 use carf_workloads::Suite;
 
 fn main() {
-    let budget = Budget::from_args();
+    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
     println!("Table 4: operation distribution by source operand types ({} run)", budget.label());
     let cfg = SimConfig::paper_carf(CarfParams::paper_default());
 

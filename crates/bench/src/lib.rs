@@ -20,9 +20,10 @@
 
 use carf_core::{CarfParams, ValueClass};
 use carf_energy::{RegFileGeometry, TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
-use carf_sim::{SimConfig, SimStats, Simulator};
+use carf_sim::{SimConfig, SimStats, AnySimulator};
 use carf_workloads::{SizeClass, Suite, Workload};
 
+pub mod cli;
 pub mod parallel;
 
 pub use parallel::{
@@ -97,6 +98,9 @@ impl Budget {
     /// `--jobs=N`) overrides the worker count, which otherwise comes from
     /// [`default_jobs`]. Any other argument prints a usage message and
     /// exits with status 2.
+    ///
+    /// Binaries should prefer [`cli::budget_for`], which names the binary
+    /// in the usage message; richer grammars build a [`cli::CliSpec`].
     pub fn from_args() -> Self {
         Self::parse_args(std::env::args().skip(1)).unwrap_or_else(|bad| {
             eprintln!("error: {bad}");
@@ -160,7 +164,7 @@ impl Budget {
 /// experiment must not silently produce numbers from a broken run.
 pub fn run_workload(config: &SimConfig, workload: &Workload, budget: &Budget) -> SimStats {
     let program = workload.build(workload.size(budget.size));
-    let mut sim = Simulator::new(config.clone(), &program);
+    let mut sim = AnySimulator::new(config.clone(), &program);
     sim.run(budget.max_insts)
         .unwrap_or_else(|e| panic!("{} under {:?}: {e}", workload.name, config.regfile));
     sim.stats().clone()

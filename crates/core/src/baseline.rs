@@ -38,14 +38,6 @@ impl BaselineRegFile {
 }
 
 impl IntRegFile for BaselineRegFile {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
     fn num_tags(&self) -> usize {
         self.values.len()
     }

@@ -57,7 +57,9 @@ mod value;
 pub use baseline::BaselineRegFile;
 pub use long_file::{LongFile, LongFileFull};
 pub use params::{CarfParams, ParamError};
-pub use regfile::{ContentAwareRegFile, IntRegFile, Policies, ShortAllocPolicy, ShortIndexPolicy};
+pub use regfile::{
+    ContentAwareRegFile, IntRegFile, Policies, ShortAllocPolicy, ShortIndexPolicy, SubfileOccupancy,
+};
 pub use short_file::{ShortFile, ShortSlot};
 pub use simple_file::{SimpleEntry, SimpleFile};
 pub use stats::{AccessKind, AccessStats, ClassCounts};

@@ -60,19 +60,36 @@ impl Default for Policies {
     }
 }
 
+/// Occupancy report of a content-aware (or otherwise partitioned) register
+/// file's sub-structures, for end-of-run statistics. Organizations without
+/// sub-files (the baseline) report `None` from
+/// [`IntRegFile::occupancy_report`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SubfileOccupancy {
+    /// Mean live Long entries over the sampled run.
+    pub long_mean_live: f64,
+    /// Peak live Long entries.
+    pub long_peak_live: usize,
+    /// Mean sampled Short-file occupancy.
+    pub short_mean_occupancy: f64,
+    /// Histogram of live-Long-entry counts (index = live entries).
+    pub long_occupancy_hist: Vec<u64>,
+}
+
 /// The physical integer register file interface the pipeline uses.
 ///
 /// Both the conventional [`BaselineRegFile`](crate::BaselineRegFile) and the
-/// [`ContentAwareRegFile`] implement this; the simulator is generic over it.
-/// Tags are physical register numbers assigned by the renamer.
+/// [`ContentAwareRegFile`] implement this; the simulator is generic over it
+/// and monomorphizes per backend. Tags are physical register numbers
+/// assigned by the renamer.
+///
+/// Organization-specific capabilities (CARF introspection, SMT Long-file
+/// sharing, occupancy reporting) are defaulted hooks rather than concrete-type
+/// escape hatches: a backend without the capability inherits the no-op default,
+/// and callers stay generic. New backends — e.g. static data compression or
+/// read-port-reduction schemes — implement the core methods and override
+/// only the hooks that apply.
 pub trait IntRegFile {
-    /// Concrete-type escape hatch (organization-specific statistics).
-    fn as_any(&self) -> &dyn std::any::Any;
-
-    /// Mutable concrete-type escape hatch (organization-specific tuning,
-    /// e.g. the SMT shared-Long-file experiments).
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
-
     /// Number of physical tags.
     fn num_tags(&self) -> usize;
 
@@ -145,6 +162,51 @@ pub trait IntRegFile {
 
     /// Mutable access to statistics (the pipeline adds bypass counts).
     fn stats_mut(&mut self) -> &mut AccessStats;
+
+    // ----- defaulted capability hooks -----------------------------------
+    //
+    // Everything below has a no-op default so simple organizations (the
+    // baseline) implement nothing, while content-aware-style organizations
+    // expose their specifics without concrete-type escape hatches.
+
+    /// The CARF geometry, for organizations built from [`CarfParams`].
+    fn carf_params(&self) -> Option<&CarfParams> {
+        None
+    }
+
+    /// The CARF policies, for organizations that have them.
+    fn carf_policies(&self) -> Option<&Policies> {
+        None
+    }
+
+    /// Caps the number of live Long entries (SMT shared-Long-file
+    /// experiments). No-op for organizations without a Long file.
+    fn set_long_capacity_limit(&mut self, _limit: usize) {}
+
+    /// Currently live Long entries (0 for organizations without a Long
+    /// file).
+    fn long_live_count(&self) -> usize {
+        0
+    }
+
+    /// Mean sampled Short-file occupancy (0.0 without a Short file).
+    fn mean_short_occupancy(&self) -> f64 {
+        0.0
+    }
+
+    /// End-of-run sub-file occupancy statistics, `None` for monolithic
+    /// organizations.
+    fn occupancy_report(&self) -> Option<SubfileOccupancy> {
+        None
+    }
+
+    /// The value class WR1 type-determination *would* choose for `value`
+    /// right now, without performing the write or any allocation (a probe
+    /// miss reports [`ValueClass::Long`] even where the actual write could
+    /// still allocate a Short entry). `None` for untyped organizations.
+    fn classify_value(&self, _value: u64, _from_address_op: bool) -> Option<ValueClass> {
+        None
+    }
 }
 
 /// The paper's three-file content-aware integer register file.
@@ -259,22 +321,6 @@ impl ContentAwareRegFile {
         &self.long
     }
 
-    /// Caps the Long file's live entries (see
-    /// [`LongFile::set_capacity_limit`]); models sharing the physical
-    /// array with another SMT thread.
-    pub fn set_long_capacity_limit(&mut self, limit: usize) {
-        self.long.set_capacity_limit(limit);
-    }
-
-    /// Mean sampled Short-file occupancy.
-    pub fn mean_short_occupancy(&self) -> f64 {
-        if self.occupancy_samples == 0 {
-            0.0
-        } else {
-            self.short_occupancy_sum as f64 / self.occupancy_samples as f64
-        }
-    }
-
     fn probe_short(&self, value: u64) -> Option<usize> {
         match self.policies.short_index {
             ShortIndexPolicy::DirectIndexed => self.short.probe(&self.params, value),
@@ -308,14 +354,6 @@ impl ContentAwareRegFile {
 }
 
 impl IntRegFile for ContentAwareRegFile {
-    fn as_any(&self) -> &dyn std::any::Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-
     fn num_tags(&self) -> usize {
         self.params.simple_entries
     }
@@ -480,6 +518,52 @@ impl IntRegFile for ContentAwareRegFile {
 
     fn stats_mut(&mut self) -> &mut AccessStats {
         &mut self.stats
+    }
+
+    fn carf_params(&self) -> Option<&CarfParams> {
+        Some(&self.params)
+    }
+
+    fn carf_policies(&self) -> Option<&Policies> {
+        Some(&self.policies)
+    }
+
+    /// Caps the Long file's live entries (see
+    /// [`LongFile::set_capacity_limit`]); models sharing the physical
+    /// array with another SMT thread.
+    fn set_long_capacity_limit(&mut self, limit: usize) {
+        self.long.set_capacity_limit(limit);
+    }
+
+    fn long_live_count(&self) -> usize {
+        self.long.live_count()
+    }
+
+    fn mean_short_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.short_occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    fn occupancy_report(&self) -> Option<SubfileOccupancy> {
+        Some(SubfileOccupancy {
+            long_mean_live: self.long.mean_live(),
+            long_peak_live: self.long.peak_live(),
+            short_mean_occupancy: self.mean_short_occupancy(),
+            long_occupancy_hist: self.long.occupancy_histogram().to_vec(),
+        })
+    }
+
+    fn classify_value(&self, value: u64, _from_address_op: bool) -> Option<ValueClass> {
+        Some(if is_simple(&self.params, value) {
+            ValueClass::Simple
+        } else if self.probe_short(value).is_some() {
+            ValueClass::Short
+        } else {
+            ValueClass::Long
+        })
     }
 }
 

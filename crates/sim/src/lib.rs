@@ -24,11 +24,16 @@
 //! golden model (`cosim` in [`SimConfig`]); the oracle sampler records the
 //! live-value demographics behind the paper's Figures 1 and 2.
 //!
+//! The simulator is generic over its register-file backend
+//! ([`Simulator<R, T>`](Simulator)), so the RF hot path is monomorphized
+//! per organization; [`AnySimulator`] enum-dispatches the backend choice at
+//! the configuration boundary for [`RegFileKind`]-driven harnesses.
+//!
 //! # Example
 //!
 //! ```
 //! use carf_isa::{Asm, x};
-//! use carf_sim::{SimConfig, Simulator};
+//! use carf_sim::{AnySimulator, SimConfig};
 //! use carf_core::CarfParams;
 //!
 //! let mut asm = Asm::new();
@@ -40,9 +45,9 @@
 //! let program = asm.finish()?;
 //!
 //! // Same program on the baseline and the content-aware machine.
-//! let base = Simulator::new(SimConfig::paper_baseline(), &program).run(10_000)?;
-//! let carf =
-//!     Simulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &program).run(10_000)?;
+//! let base = AnySimulator::new(SimConfig::paper_baseline(), &program).run(10_000)?;
+//! let carf = AnySimulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &program)
+//!     .run(10_000)?;
 //! assert!(base.halted && carf.halted);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -62,7 +67,7 @@ pub use config::{BpredConfig, RegFileKind, SimConfig};
 pub use fu::FuPool;
 pub use lsq::{LoadDecision, LoadStoreQueue, LsqEntry, LsqFull, MemDepPolicy};
 pub use rename::{Preg, RenameTables};
-pub use sim::{InstTimeline, SimError, SimResult, Simulator};
+pub use sim::{AnySimulator, InstTimeline, RegFileBackend, SimError, SimResult, Simulator};
 pub use smt::{SharedLongSmt, SmtThreadResult};
 pub use stats::{DispatchStalls, OperandMix, OracleData, SimStats};
 pub use trace::{

@@ -18,7 +18,7 @@
 
 use crate::config::{RegFileKind, SimConfig};
 use crate::sim::{SimError, Simulator};
-use carf_core::ContentAwareRegFile;
+use carf_core::{ContentAwareRegFile, IntRegFile};
 use carf_isa::Program;
 
 /// Per-thread outcome of a shared-Long-file run.
@@ -53,7 +53,7 @@ pub struct SmtThreadResult {
 /// ```
 #[derive(Debug)]
 pub struct SharedLongSmt {
-    threads: Vec<Simulator>,
+    threads: Vec<Simulator<ContentAwareRegFile>>,
     done: Vec<bool>,
     finish_cycle: Vec<u64>,
     shared_capacity: usize,
@@ -99,12 +99,8 @@ impl SharedLongSmt {
         Ok(Self { threads: sims, done, finish_cycle, shared_capacity, cycles: 0 })
     }
 
-    fn long_live(sim: &Simulator) -> usize {
-        sim.int_regfile()
-            .as_any()
-            .downcast_ref::<ContentAwareRegFile>()
-            .map(|rf| rf.long_file().live_count())
-            .unwrap_or(0)
+    fn long_live(sim: &Simulator<ContentAwareRegFile>) -> usize {
+        sim.int_regfile().long_live_count()
     }
 
     /// Advances every unfinished thread one cycle under the shared budget.
@@ -123,13 +119,7 @@ impl SharedLongSmt {
             }
             let others = total - lives[i];
             let budget = self.shared_capacity.saturating_sub(others);
-            if let Some(rf) = sim
-                .int_regfile_mut()
-                .as_any_mut()
-                .downcast_mut::<ContentAwareRegFile>()
-            {
-                rf.set_long_capacity_limit(budget);
-            }
+            sim.int_regfile_mut().set_long_capacity_limit(budget);
             sim.step_cycle()?;
             if sim.is_halted() || sim.stats().committed >= per_thread_insts {
                 self.done[i] = true;

@@ -2,7 +2,7 @@
 //! the timing pipeline must match the functional machine exactly.
 
 use carf_core::{CarfParams, Policies};
-use carf_sim::{RegFileKind, SimConfig, Simulator};
+use carf_sim::{RegFileKind, SimConfig, AnySimulator};
 use carf_workloads::{random_program, RandomProgramParams};
 use proptest::prelude::*;
 
@@ -44,7 +44,7 @@ proptest! {
             iterations,
             ..Default::default()
         });
-        let mut sim = Simulator::new(cfg_for(kind), &program);
+        let mut sim = AnySimulator::new(cfg_for(kind), &program);
         let result = sim.run(5_000_000)
             .unwrap_or_else(|e| panic!("seed {seed} kind {kind}: {e}"));
         prop_assert!(result.halted);
@@ -60,7 +60,7 @@ proptest! {
             ..Default::default()
         });
         let run = || {
-            let mut sim = Simulator::new(cfg_for(1), &program);
+            let mut sim = AnySimulator::new(cfg_for(1), &program);
             sim.run(1_000_000).expect("clean run")
         };
         let (a, b) = (run(), run());

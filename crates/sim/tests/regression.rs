@@ -4,7 +4,7 @@
 //! squash recovery) — a scratch buffer that leaks state across cycles or
 //! across a squash shows up here as a drifted counter.
 
-use carf_sim::{SimConfig, SimStats, Simulator, TraceRecorder};
+use carf_sim::{SimConfig, SimStats, AnySimulator, TraceRecorder};
 use carf_workloads::{random_program, RandomProgramParams};
 
 /// A branchy, memory-heavy seeded workload: mispredict squashes and load
@@ -19,7 +19,7 @@ fn pinned_run(config: &SimConfig) -> SimStats {
         include_mem: true,
         include_branches: true,
     });
-    let mut sim = Simulator::new(config.clone(), &program);
+    let mut sim = AnySimulator::new(config.clone(), &program);
     let r = sim.run(1_000_000).expect("clean run");
     assert!(r.halted, "pinned workload must run to completion");
     sim.stats().clone()
@@ -139,7 +139,7 @@ fn traced_run_matches_pinned_fingerprint() {
         cfg.cosim = true;
         let untraced = pinned_run(&cfg);
 
-        let mut sim = Simulator::with_tracer(cfg.clone(), &program, TraceRecorder::new());
+        let mut sim = AnySimulator::with_tracer(cfg.clone(), &program, TraceRecorder::new());
         let r = sim.run(1_000_000).expect("clean traced run");
         assert!(r.halted);
         let traced_fp = fingerprint(sim.stats());
@@ -178,7 +178,7 @@ fn branch_storm_run() -> SimStats {
     let program = wl.build(8); // 2000 iterations
     let mut cfg = SimConfig::paper_baseline();
     cfg.cosim = true;
-    let mut sim = Simulator::new(cfg, &program);
+    let mut sim = AnySimulator::new(cfg, &program);
     let r = sim.run(1_000_000).expect("clean run");
     assert!(r.halted, "branch storm must run to completion");
     sim.stats().clone()

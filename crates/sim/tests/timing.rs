@@ -6,7 +6,7 @@
 use carf_core::CarfParams;
 use carf_isa::{x, Asm, Program};
 use carf_mem::HierarchyConfig;
-use carf_sim::{SimConfig, Simulator};
+use carf_sim::{SimConfig, AnySimulator};
 
 /// A machine with no cold-start noise: tiny caches so warm-up is cheap,
 /// no co-simulation overhead on timing (cosim does not change timing, but
@@ -19,7 +19,7 @@ fn cfg() -> SimConfig {
 }
 
 fn cycles(config: &SimConfig, program: &Program) -> u64 {
-    let mut sim = Simulator::new(config.clone(), program);
+    let mut sim = AnySimulator::new(config.clone(), program);
     let r = sim.run(10_000_000).expect("clean run");
     assert!(r.halted);
     r.cycles

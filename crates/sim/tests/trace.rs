@@ -2,7 +2,7 @@
 //! must be well-formed JSON with monotone timestamps, and the stall
 //! attribution must account for every simulated cycle.
 
-use carf_sim::{SimConfig, Simulator, TraceRecorder};
+use carf_sim::{SimConfig, AnySimulator, TraceRecorder};
 use carf_workloads::{random_program, RandomProgramParams};
 
 fn traced_run(config: SimConfig) -> TraceRecorder {
@@ -14,7 +14,7 @@ fn traced_run(config: SimConfig) -> TraceRecorder {
         include_mem: true,
         include_branches: true,
     });
-    let mut sim = Simulator::with_tracer(config, &program, TraceRecorder::new());
+    let mut sim = AnySimulator::with_tracer(config, &program, TraceRecorder::new());
     sim.run(500_000).expect("clean run");
     sim.into_tracer()
 }

@@ -10,7 +10,7 @@ use carf_bench::{rf_energy_carf, rf_energy_monolithic, ClassTotals};
 use carf_core::CarfParams;
 use carf_energy::{TechModel, PAPER_BASELINE};
 use carf_isa::{x, Asm};
-use carf_sim::{SimConfig, Simulator};
+use carf_sim::{SimConfig, AnySimulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ledger: 1024 accounts of (balance, flags); apply 5000 transactions
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CarfParams::paper_default();
     let mut config = SimConfig::paper_carf(params);
     config.cosim = true;
-    let mut sim = Simulator::new(config, &program);
+    let mut sim = AnySimulator::new(config, &program);
     let result = sim.run(10_000_000)?;
     let stats = sim.stats();
 

@@ -8,7 +8,7 @@
 
 use carf_core::analysis::GROUP_LABELS;
 use carf_core::CarfParams;
-use carf_sim::{SimConfig, Simulator};
+use carf_sim::{SimConfig, AnySimulator};
 use carf_workloads::{int_suite, SizeClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Oracle pass: what do the live integer values look like?
     let mut config = SimConfig::paper_baseline();
     config.oracle_period = Some(8);
-    let mut sim = Simulator::new(config, &program);
+    let mut sim = AnySimulator::new(config, &program);
     sim.run(500_000)?;
     let oracle = &sim.stats().oracle;
 
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pointers into a handful of groups — the locality the Short file captures.");
 
     // Content-aware pass: how does the register file classify the traffic?
-    let mut sim = Simulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &program);
+    let mut sim = AnySimulator::new(SimConfig::paper_carf(CarfParams::paper_default()), &program);
     sim.run(500_000)?;
     let writes = sim.stats().int_rf.writes;
     println!(

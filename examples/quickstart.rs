@@ -7,7 +7,7 @@
 
 use carf_core::CarfParams;
 use carf_isa::{x, Asm};
-use carf_sim::{SimConfig, Simulator};
+use carf_sim::{AnySimulator, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small kernel: sum a table of heap values.
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("content-aware ", SimConfig::paper_carf(CarfParams::paper_default())),
     ] {
         config.cosim = true;
-        let mut sim = Simulator::new(config, &program);
+        let mut sim = AnySimulator::new(config, &program);
         let result = sim.run(10_000_000)?;
         let stats = sim.stats();
         println!(

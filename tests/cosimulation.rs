@@ -4,7 +4,7 @@
 //! deliberately tiny (stress) machine shapes.
 
 use carf_core::{CarfParams, Policies};
-use carf_sim::{RegFileKind, SimConfig, Simulator};
+use carf_sim::{RegFileKind, SimConfig, AnySimulator};
 use carf_workloads::{random_program, RandomProgramParams};
 
 fn stress_config() -> SimConfig {
@@ -23,7 +23,7 @@ fn stress_config() -> SimConfig {
 
 fn run_seed(cfg: &SimConfig, seed: u64) {
     let program = random_program(&RandomProgramParams { seed, ..Default::default() });
-    let mut sim = Simulator::new(cfg.clone(), &program);
+    let mut sim = AnySimulator::new(cfg.clone(), &program);
     let result = sim.run(5_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     assert!(result.halted, "seed {seed} did not halt");
 }
@@ -78,7 +78,7 @@ fn unsatisfiable_long_file_is_detected_not_hung() {
         Policies { long_stall_threshold: 2, ..Policies::default() },
     );
     let program = random_program(&RandomProgramParams { seed: 0, ..Default::default() });
-    let mut sim = Simulator::new(cfg, &program);
+    let mut sim = AnySimulator::new(cfg, &program);
     match sim.run(5_000_000) {
         Err(carf_sim::SimError::Watchdog { .. }) => {}
         other => panic!("expected a watchdog report, got {other:?}"),
@@ -138,7 +138,7 @@ fn branch_heavy_random_programs() {
             include_mem: true,
             include_branches: true,
         });
-        let mut sim = Simulator::new(cfg.clone(), &program);
+        let mut sim = AnySimulator::new(cfg.clone(), &program);
         let result = sim.run(5_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(result.halted);
     }
@@ -160,7 +160,7 @@ fn memory_heavy_random_programs() {
             include_mem: true,
             include_branches: false,
         });
-        let mut sim = Simulator::new(cfg.clone(), &program);
+        let mut sim = AnySimulator::new(cfg.clone(), &program);
         let result = sim.run(5_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(result.halted);
     }
@@ -183,7 +183,7 @@ fn random_programs_with_optimistic_memory_disambiguation() {
             include_mem: true,
             include_branches: true,
         });
-        let mut sim = Simulator::new(cfg.clone(), &program);
+        let mut sim = AnySimulator::new(cfg.clone(), &program);
         let result = sim.run(5_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(result.halted, "seed {seed}");
     }

@@ -3,13 +3,13 @@
 //! check enabled throughout.
 
 use carf_core::CarfParams;
-use carf_sim::{RegFileKind, SimConfig, SimResult, Simulator};
+use carf_sim::{RegFileKind, SimConfig, SimResult, AnySimulator};
 use carf_workloads::{all_workloads, int_suite, SizeClass};
 
 fn run(cfg: &SimConfig, name: &str, max: u64) -> (SimResult, carf_sim::SimStats) {
     let wl = all_workloads().into_iter().find(|w| w.name == name).expect("workload exists");
     let program = wl.build_class(SizeClass::Test);
-    let mut sim = Simulator::new(cfg.clone(), &program);
+    let mut sim = AnySimulator::new(cfg.clone(), &program);
     let result = sim.run(max).unwrap_or_else(|e| panic!("{name}: {e}"));
     (result, sim.stats().clone())
 }
@@ -132,7 +132,7 @@ fn extended_kernels_run_cosim_clean_on_both_machines() {
             SimConfig::paper_carf(CarfParams::paper_default()),
         ] {
             cfg.cosim = true;
-            let mut sim = Simulator::new(cfg, &program);
+            let mut sim = AnySimulator::new(cfg, &program);
             let r = sim.run(120_000).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
             assert!(r.committed > 1_000, "{}", wl.name);
         }

@@ -11,7 +11,7 @@
 
 use carf_bench::run_ordered;
 use carf_core::CarfParams;
-use carf_sim::{SimConfig, SimStats, Simulator, TraceRecorder};
+use carf_sim::{SimConfig, SimStats, AnySimulator, TraceRecorder};
 use carf_workloads::{all_workloads, SizeClass, Workload};
 
 /// Committed-instruction cap per point: small enough to keep 3 configs ×
@@ -64,7 +64,7 @@ fn stats_hash(s: &SimStats) -> u64 {
 fn run_point(cfg: &SimConfig, workload: &Workload, traced: bool) -> SimStats {
     let program = workload.build_class(SizeClass::Test);
     if traced {
-        let mut sim = Simulator::with_tracer(cfg.clone(), &program, TraceRecorder::new());
+        let mut sim = AnySimulator::with_tracer(cfg.clone(), &program, TraceRecorder::new());
         sim.run(MAX_INSTS).unwrap_or_else(|e| panic!("{} traced: {e}", workload.name));
         let stats = sim.stats().clone();
         let recorder = sim.into_tracer();
@@ -77,7 +77,7 @@ fn run_point(cfg: &SimConfig, workload: &Workload, traced: bool) -> SimStats {
         );
         stats
     } else {
-        let mut sim = Simulator::new(cfg.clone(), &program);
+        let mut sim = AnySimulator::new(cfg.clone(), &program);
         sim.run(MAX_INSTS).unwrap_or_else(|e| panic!("{}: {e}", workload.name));
         sim.stats().clone()
     }
