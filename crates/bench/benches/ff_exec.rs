@@ -1,0 +1,57 @@
+//! Criterion microbenchmark for the functional fast-forward path: the
+//! per-step decoding executor (`run_stepwise`) against the decoded-cache
+//! dispatch loop (`run_decoded`, with decode done once outside the timed
+//! region, as a sampling driver amortizes it) and against decode+run (the
+//! cold-start cost a single fast-forward pays).
+//!
+//! Two kernels bound the spread: `pointer_chase` is load/branch-dominated
+//! (decode overhead is a smaller share of step cost), `hash_table` is
+//! ALU-dense (decode overhead dominates, the best case for the cache).
+
+use carf_isa::{DecodedProgram, Machine};
+use carf_workloads::{int_suite, SizeClass};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const BUDGET: u64 = 100_000;
+
+fn bench_ff(c: &mut Criterion) {
+    let workloads = int_suite();
+    let find = |name: &str| {
+        workloads.iter().find(|w| w.name == name).unwrap_or_else(|| panic!("{name} registered"))
+    };
+
+    let mut group = c.benchmark_group("ff_exec");
+    group.sample_size(20);
+    for name in ["pointer_chase", "hash_table"] {
+        let w = find(name);
+        let program = w.build(w.size(SizeClass::Quick));
+        let decoded = DecodedProgram::decode(&program);
+
+        group.bench_function(&format!("{name}_stepwise"), |b| {
+            b.iter(|| {
+                let mut m = Machine::load(&program);
+                black_box(m.run_stepwise(&program, BUDGET).ok());
+                black_box(m.retired())
+            })
+        });
+        group.bench_function(&format!("{name}_decoded"), |b| {
+            b.iter(|| {
+                let mut m = Machine::load(&program);
+                black_box(m.run_decoded(&decoded, BUDGET).ok());
+                black_box(m.retired())
+            })
+        });
+        group.bench_function(&format!("{name}_decode_plus_run"), |b| {
+            b.iter(|| {
+                let cold = DecodedProgram::decode(&program);
+                let mut m = Machine::load(&program);
+                black_box(m.run_decoded(&cold, BUDGET).ok());
+                black_box(m.retired())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ff);
+criterion_main!(benches);

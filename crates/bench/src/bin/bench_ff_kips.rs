@@ -1,0 +1,149 @@
+//! Functional fast-forward throughput: committed kilo-instructions per
+//! wall-second of the *functional* executor, stepwise vs. decoded-cache,
+//! one pair of points per workload.
+//!
+//! This is the scoreboard for the decoded-instruction cache
+//! ([`carf_isa::DecodedProgram`]): `stepwise/<w>` times the per-step
+//! decode path ([`carf_isa::Machine::run_stepwise`]), `decoded/<w>` times
+//! decode-once + tight dispatch ([`carf_isa::Machine::run_decoded`],
+//! including the one-time decode). Fast-forward speed bounds how cheaply
+//! sampled simulation (`carf-sample`) can skip between measured intervals,
+//! so the speedup column is the number that matters.
+//!
+//! ```text
+//! bench_ff_kips [--quick | --full] [--jobs N] [--suite int|fp|all]
+//! ```
+//!
+//! Timings land in `results/bench_timing.json` under bin `bench_ff_kips`,
+//! next to the cycle-level `bench_kips` records, so one file answers both
+//! "how fast is the simulator" and "how fast is the fast-forward".
+
+use carf_bench::cli::{parse_suites, CliSpec, OptSpec};
+use carf_bench::parallel::{self, PointTiming};
+use carf_bench::{geomean_kips, print_table, Budget};
+use carf_isa::{DecodedProgram, ExecError, Machine};
+use carf_workloads::{Suite, Workload};
+use std::time::Instant;
+
+const SPEC: CliSpec = CliSpec {
+    bin: "bench_ff_kips",
+    options: &[OptSpec {
+        name: "--suite",
+        value: Some("S"),
+        help: "which suite to time: int (default), fp, or all",
+    }],
+    operands: None,
+};
+
+/// Runs `m` for up to `max_insts` instructions and returns the retired
+/// count; both "halted" and "budget exhausted" are successful outcomes
+/// here.
+fn retired_or_die(result: Result<u64, ExecError>, name: &str) -> u64 {
+    match result {
+        Ok(done) => done,
+        Err(ExecError::InstLimit(done)) => done,
+        Err(e) => panic!("functional run of {name} failed: {e}"),
+    }
+}
+
+fn time_pair(workload: &Workload, budget: &Budget) -> (PointTiming, PointTiming) {
+    let program = workload.build(workload.size(budget.size));
+
+    let start = Instant::now();
+    let mut m = Machine::load(&program);
+    let stepwise_done = retired_or_die(m.run_stepwise(&program, budget.max_insts), workload.name);
+    let stepwise = PointTiming {
+        name: format!("stepwise/{}", workload.name),
+        secs: start.elapsed().as_secs_f64(),
+        committed: stepwise_done,
+    };
+
+    let start = Instant::now();
+    let decoded = DecodedProgram::decode(&program);
+    let mut m = Machine::load(&program);
+    let decoded_done = retired_or_die(m.run_decoded(&decoded, budget.max_insts), workload.name);
+    let decoded = PointTiming {
+        name: format!("decoded/{}", workload.name),
+        secs: start.elapsed().as_secs_f64(),
+        committed: decoded_done,
+    };
+
+    assert_eq!(
+        stepwise_done, decoded_done,
+        "executors retired different counts on {}",
+        workload.name
+    );
+    (stepwise, decoded)
+}
+
+fn main() {
+    let parsed = SPEC.parse();
+    let budget = parsed.budget;
+    let suites = match parsed.option("--suite") {
+        Some(v) => parse_suites(v).unwrap_or_else(|bad| SPEC.fail(&bad)),
+        None => vec![Suite::Int],
+    };
+    println!(
+        "== functional fast-forward throughput ({} budget, {} insts/point) ==",
+        budget.label(),
+        budget.max_insts
+    );
+
+    let workloads: Vec<Workload> = suites
+        .iter()
+        .flat_map(|s| match s {
+            Suite::Int => carf_workloads::int_suite(),
+            Suite::Fp => carf_workloads::fp_suite(),
+        })
+        .collect();
+
+    parallel::note_run_start();
+    let pairs = parallel::run_ordered(&workloads, budget.jobs, |w| time_pair(w, &budget));
+    let total = parallel::total_secs();
+
+    let mut points: Vec<PointTiming> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (stepwise, decoded) in pairs {
+        let name = stepwise.name.trim_start_matches("stepwise/").to_string();
+        let speedup = if stepwise.secs > 0.0 && decoded.secs > 0.0 {
+            decoded.kips() / stepwise.kips()
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            name,
+            format!("{}", stepwise.committed),
+            format!("{:.1}", stepwise.kips()),
+            format!("{:.1}", decoded.kips()),
+            format!("{speedup:.2}x"),
+        ]);
+        points.push(stepwise);
+        points.push(decoded);
+    }
+    print_table(
+        "fast-forward KIPS per workload",
+        &["workload", "insts", "stepwise KIPS", "decoded KIPS", "speedup"],
+        &rows,
+    );
+
+    let stepwise: Vec<PointTiming> =
+        points.iter().filter(|p| p.name.starts_with("stepwise/")).cloned().collect();
+    let decoded: Vec<PointTiming> =
+        points.iter().filter(|p| p.name.starts_with("decoded/")).cloned().collect();
+    println!(
+        "\ngeomean: stepwise {:.1} KIPS, decoded {:.1} KIPS ({:.2}x), wall {total:.2}s",
+        geomean_kips(&stepwise),
+        geomean_kips(&decoded),
+        geomean_kips(&decoded) / geomean_kips(&stepwise).max(f64::MIN_POSITIVE),
+    );
+
+    let record =
+        parallel::timing_record("bench_ff_kips", budget.label(), budget.jobs, total, &points);
+    let path = parallel::write_rotated_record(
+        "bench_timing.json",
+        &record,
+        &["bin", "budget", "jobs"],
+        parallel::TIMING_KEEP_RUNS,
+    );
+    println!("timing history -> {}", path.display());
+}

@@ -146,13 +146,16 @@ impl CliSpec {
             "--quick".into(),
             "--full".into(),
             "--jobs N".into(),
+            "--sample[=I/P/W]".into(),
         ];
         let mut helps: Vec<&str> = vec![
             "quick budget: ~200k instructions per point (default)",
             "full budget: ~1M instructions per point",
             "worker threads (default: CARF_JOBS or available cores)",
+            "interval sampling: interval/period/warmup (default 5000/8/2000)",
         ];
-        let mut line = format!("usage: {} [--quick | --full] [--jobs N]", self.bin);
+        let mut line =
+            format!("usage: {} [--quick | --full] [--jobs N] [--sample[=I/P/W]]", self.bin);
         for opt in self.options {
             match opt.value {
                 Some(metavar) => {
@@ -210,7 +213,7 @@ impl CliSpec {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "-h" | "--help" => return Err(CliError::Help),
-                "--quick" | "--full" => budget_args.push(arg),
+                "--quick" | "--full" | "--sample" => budget_args.push(arg),
                 "--jobs" => {
                     budget_args.push(arg);
                     match args.next() {
@@ -218,7 +221,9 @@ impl CliSpec {
                         None => return bad("`--jobs` expects a positive integer".into()),
                     }
                 }
-                s if s.starts_with("--jobs=") => budget_args.push(arg.clone()),
+                s if s.starts_with("--jobs=") || s.starts_with("--sample=") => {
+                    budget_args.push(arg.clone());
+                }
                 s if s.starts_with("--") => {
                     let (name, inline) = match s.find('=') {
                         Some(eq) => (&s[..eq], Some(s[eq + 1..].to_string())),
@@ -320,8 +325,11 @@ mod tests {
     #[test]
     fn usage_names_the_binary_and_every_option() {
         let usage = SPEC.usage();
-        assert!(usage.starts_with("usage: demo [--quick | --full] [--jobs N] [--suite S]"));
-        for needle in ["--quick", "--full", "--jobs N", "--suite S", "--verbose", "workload..."] {
+        assert!(usage
+            .starts_with("usage: demo [--quick | --full] [--jobs N] [--sample[=I/P/W]] [--suite S]"));
+        for needle in
+            ["--quick", "--full", "--jobs N", "--sample[=I/P/W]", "--suite S", "--verbose", "workload..."]
+        {
             assert!(usage.contains(needle), "usage missing {needle}:\n{usage}");
         }
     }

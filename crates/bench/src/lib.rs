@@ -25,6 +25,7 @@ use carf_workloads::{SizeClass, Suite, Workload};
 
 pub mod cli;
 pub mod parallel;
+pub mod sample;
 
 pub use parallel::{
     geomean_kips, peak_kips, results_dir, run_ordered, timing_record, write_merged_record,
@@ -42,6 +43,10 @@ pub struct Budget {
     pub oracle_period: u64,
     /// Worker threads for the parallel experiment engine (1 = serial).
     pub jobs: usize,
+    /// When set, [`run_workload`] estimates via interval sampling
+    /// (checkpointed fast-forward) instead of simulating every instruction
+    /// cycle-level.
+    pub sample: Option<sample::SampleSpec>,
 }
 
 /// Parses a `CARF_JOBS`-style worker-count override: `Some(n)` for a
@@ -80,6 +85,7 @@ impl Budget {
             max_insts: 200_000,
             oracle_period: 16,
             jobs: default_jobs(),
+            sample: None,
         }
     }
 
@@ -90,6 +96,7 @@ impl Budget {
             max_insts: 1_000_000,
             oracle_period: 8,
             jobs: default_jobs(),
+            sample: None,
         }
     }
 
@@ -104,10 +111,12 @@ impl Budget {
     pub fn from_args() -> Self {
         Self::parse_args(std::env::args().skip(1)).unwrap_or_else(|bad| {
             eprintln!("error: {bad}");
-            eprintln!("usage: <experiment> [--quick | --full] [--jobs N]");
+            eprintln!("usage: <experiment> [--quick | --full] [--jobs N] [--sample[=I/P/W]]");
             eprintln!("  --quick    quick budget: ~200k instructions per point (default)");
             eprintln!("  --full     full budget: ~1M instructions per point");
             eprintln!("  --jobs N   worker threads (default: CARF_JOBS or available cores)");
+            eprintln!("  --sample   interval sampling (default spec 5000/8/2000:");
+            eprintln!("             interval/period/warmup; override with --sample=I/P/W)");
             std::process::exit(2);
         })
     }
@@ -117,11 +126,13 @@ impl Budget {
     pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut full = false;
         let mut jobs: Option<usize> = None;
+        let mut sample: Option<sample::SampleSpec> = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--full" => full = true,
                 "--quick" => full = false,
+                "--sample" => sample = Some(sample::SampleSpec::default()),
                 "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n >= 1 => jobs = Some(n),
                     _ => return Err("`--jobs` expects a positive integer".into()),
@@ -132,6 +143,8 @@ impl Budget {
                             Ok(n) if n >= 1 => jobs = Some(n),
                             _ => return Err(format!("`{s}` expects a positive integer")),
                         }
+                    } else if let Some(v) = s.strip_prefix("--sample=") {
+                        sample = Some(sample::SampleSpec::parse(v)?);
                     } else {
                         return Err(format!("unrecognized argument `{arg}`"));
                     }
@@ -142,6 +155,7 @@ impl Budget {
         if let Some(n) = jobs {
             budget.jobs = n;
         }
+        budget.sample = sample;
         Ok(budget)
     }
 
@@ -158,11 +172,19 @@ impl Budget {
 /// Runs one workload under one machine configuration and returns the
 /// statistics.
 ///
+/// With [`Budget::sample`] set, the run is estimated via checkpointed
+/// interval sampling (see [`sample`]): the returned statistics are the
+/// exact deltas of the measured windows, so IPC and access-mix consumers
+/// work unchanged at a fraction of the cycle-level work.
+///
 /// # Panics
 ///
 /// Panics on simulator errors (co-simulation mismatch, watchdog) — an
 /// experiment must not silently produce numbers from a broken run.
 pub fn run_workload(config: &SimConfig, workload: &Workload, budget: &Budget) -> SimStats {
+    if budget.sample.is_some() {
+        return sample::run_workload_sampled(config, workload, budget).stats;
+    }
     let program = workload.build(workload.size(budget.size));
     let mut sim = AnySimulator::new(config.clone(), &program);
     sim.run(budget.max_insts)

@@ -1,0 +1,348 @@
+//! Pre-decoded programs: the decoded-instruction cache behind the fast
+//! functional executor.
+//!
+//! [`crate::Machine::step`] re-derives an instruction's execution form on
+//! every step — [`Inst::kind`] plus a nested opcode match, immediate
+//! casts, and width lookups. For fast-forwarding hundreds of millions of
+//! instructions that per-step decode dominates. [`DecodedProgram`] pays
+//! the cost once, turning a [`Program`] into a dense `Vec<DecodedOp>`
+//! indexed by instruction position, with each op split by *execution
+//! form* so the dispatch loop in [`crate::Machine::run_decoded`] matches
+//! on a single tag and goes straight to the arithmetic.
+//!
+//! Decoding is purely a re-packaging: every operand and target is taken
+//! verbatim from the [`Inst`], and execution calls the same
+//! [`crate::semantics`] evaluators as the per-step path, so the two
+//! executors agree by construction (and are pinned to each other by
+//! differential tests).
+
+use crate::inst::{Inst, InstKind, Opcode};
+use crate::program::{Program, INST_BYTES};
+use crate::semantics::{load_width, store_width, LoadWidth, StoreWidth};
+
+/// One instruction, pre-split by execution form.
+///
+/// Branch and jump targets are absolute byte addresses (exactly the
+/// instruction's `imm`); immediates are pre-cast to the `u64` the
+/// evaluators take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodedOp {
+    /// Register-register integer ALU/mul/div operation.
+    IntRR {
+        /// Operation.
+        op: Opcode,
+        /// Destination register.
+        rd: u8,
+        /// First source.
+        rs1: u8,
+        /// Second source.
+        rs2: u8,
+    },
+    /// Register-immediate integer ALU operation.
+    IntRI {
+        /// Operation.
+        op: Opcode,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Immediate operand, pre-cast.
+        imm: u64,
+    },
+    /// Load-immediate.
+    Li {
+        /// Destination register.
+        rd: u8,
+        /// The value.
+        imm: u64,
+    },
+    /// Integer load (`ld`/`lw`/`lbu`).
+    LoadInt {
+        /// Access width and extension.
+        width: LoadWidth,
+        /// Destination register.
+        rd: u8,
+        /// Base address register.
+        rs1: u8,
+        /// Address offset, pre-cast.
+        imm: u64,
+    },
+    /// FP load (`fld`).
+    LoadFp {
+        /// Destination FP register.
+        rd: u8,
+        /// Base address register.
+        rs1: u8,
+        /// Address offset, pre-cast.
+        imm: u64,
+    },
+    /// Integer store (`st`/`sw`/`sb`).
+    StoreInt {
+        /// Access width.
+        width: StoreWidth,
+        /// Base address register.
+        rs1: u8,
+        /// Data register.
+        rs2: u8,
+        /// Address offset, pre-cast.
+        imm: u64,
+    },
+    /// FP store (`fst`).
+    StoreFp {
+        /// Base address register.
+        rs1: u8,
+        /// Data FP register.
+        rs2: u8,
+        /// Address offset, pre-cast.
+        imm: u64,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition.
+        op: Opcode,
+        /// First compare register.
+        rs1: u8,
+        /// Second compare register.
+        rs2: u8,
+        /// Absolute byte target when taken.
+        target: u64,
+    },
+    /// Unconditional jump-and-link.
+    Jump {
+        /// Link register.
+        rd: u8,
+        /// Absolute byte target.
+        target: u64,
+    },
+    /// Indirect jump-and-link.
+    JumpReg {
+        /// Link register.
+        rd: u8,
+        /// Target base register.
+        rs1: u8,
+        /// Target offset, pre-cast.
+        imm: u64,
+    },
+    /// FP arithmetic producing an FP result.
+    FpRR {
+        /// Operation.
+        op: Opcode,
+        /// Destination FP register.
+        rd: u8,
+        /// First source.
+        rs1: u8,
+        /// Second source.
+        rs2: u8,
+    },
+    /// The int→FP conversion.
+    FpFromInt {
+        /// Destination FP register.
+        rd: u8,
+        /// Integer source.
+        rs1: u8,
+    },
+    /// FP compares and the FP→int conversion (integer result).
+    IntFromFp {
+        /// Operation.
+        op: Opcode,
+        /// Destination integer register.
+        rd: u8,
+        /// First FP source.
+        rs1: u8,
+        /// Second FP source.
+        rs2: u8,
+    },
+    /// No-operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+}
+
+impl DecodedOp {
+    /// Decodes one instruction into its execution form.
+    pub fn decode(inst: &Inst) -> Self {
+        use Opcode::*;
+        match inst.kind() {
+            InstKind::IntAlu | InstKind::IntMul | InstKind::IntDiv => match inst.op {
+                Fcmplt | Fcmpeq | FcvtIF => {
+                    DecodedOp::IntFromFp { op: inst.op, rd: inst.rd, rs1: inst.rs1, rs2: inst.rs2 }
+                }
+                Li => DecodedOp::Li { rd: inst.rd, imm: inst.imm as u64 },
+                Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => DecodedOp::IntRI {
+                    op: inst.op,
+                    rd: inst.rd,
+                    rs1: inst.rs1,
+                    imm: inst.imm as u64,
+                },
+                _ => DecodedOp::IntRR { op: inst.op, rd: inst.rd, rs1: inst.rs1, rs2: inst.rs2 },
+            },
+            InstKind::Load => {
+                if inst.op == Fld {
+                    DecodedOp::LoadFp { rd: inst.rd, rs1: inst.rs1, imm: inst.imm as u64 }
+                } else {
+                    DecodedOp::LoadInt {
+                        width: load_width(inst.op),
+                        rd: inst.rd,
+                        rs1: inst.rs1,
+                        imm: inst.imm as u64,
+                    }
+                }
+            }
+            InstKind::Store => {
+                if inst.op == Fst {
+                    DecodedOp::StoreFp { rs1: inst.rs1, rs2: inst.rs2, imm: inst.imm as u64 }
+                } else {
+                    DecodedOp::StoreInt {
+                        width: store_width(inst.op),
+                        rs1: inst.rs1,
+                        rs2: inst.rs2,
+                        imm: inst.imm as u64,
+                    }
+                }
+            }
+            InstKind::Branch => DecodedOp::Branch {
+                op: inst.op,
+                rs1: inst.rs1,
+                rs2: inst.rs2,
+                target: inst.imm as u64,
+            },
+            InstKind::Jump => DecodedOp::Jump { rd: inst.rd, target: inst.imm as u64 },
+            InstKind::JumpReg => {
+                DecodedOp::JumpReg { rd: inst.rd, rs1: inst.rs1, imm: inst.imm as u64 }
+            }
+            InstKind::FpAlu | InstKind::FpDiv => match inst.op {
+                FcvtFI => DecodedOp::FpFromInt { rd: inst.rd, rs1: inst.rs1 },
+                _ => DecodedOp::FpRR { op: inst.op, rd: inst.rd, rs1: inst.rs1, rs2: inst.rs2 },
+            },
+            InstKind::Nop => DecodedOp::Nop,
+            InstKind::Halt => DecodedOp::Halt,
+        }
+    }
+}
+
+/// The decoded-instruction cache for one [`Program`]: a dense op vector
+/// indexed by instruction position, sharing the program's addressing
+/// (byte PCs starting at the code base, [`INST_BYTES`] apart).
+///
+/// # Example
+///
+/// ```
+/// use carf_isa::{Asm, DecodedProgram, Machine, x};
+///
+/// let mut asm = Asm::new();
+/// asm.li(x(1), 21);
+/// asm.add(x(1), x(1), x(1));
+/// asm.halt();
+/// let program = asm.finish()?;
+///
+/// let decoded = DecodedProgram::decode(&program);
+/// let mut m = Machine::load(&program);
+/// m.run_decoded(&decoded, 100)?;
+/// assert_eq!(m.int_reg(x(1)), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    ops: Vec<DecodedOp>,
+    code_base: u64,
+    entry: u64,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `program`.
+    pub fn decode(program: &Program) -> Self {
+        Self {
+            ops: program.insts.iter().map(DecodedOp::decode).collect(),
+            code_base: program.code_base,
+            entry: program.entry,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Byte address of instruction 0.
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Byte address execution starts at.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The decoded ops, indexed by instruction position.
+    pub fn ops(&self) -> &[DecodedOp] {
+        &self.ops
+    }
+
+    /// Byte address of instruction `index`.
+    pub fn addr_of(&self, index: usize) -> u64 {
+        self.code_base + (index as u64) * INST_BYTES
+    }
+
+    /// Instruction index of byte address `pc`, or `None` when `pc` is
+    /// outside the code segment or misaligned (same contract as
+    /// [`Program::index_of`]).
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        let off = pc.wrapping_sub(self.code_base);
+        if !off.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = off / INST_BYTES;
+        (idx < self.ops.len() as u64).then_some(idx as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn every_opcode_decodes_to_a_distinct_form() {
+        // Decode all 48 opcodes; the big match must not panic, and the
+        // control/memory forms must land in the right variants.
+        for op in Opcode::ALL {
+            let inst = Inst { op, rd: 1, rs1: 2, rs2: 3, imm: 0x40_0008 };
+            let d = DecodedOp::decode(&inst);
+            match inst.kind() {
+                InstKind::Branch => assert!(matches!(d, DecodedOp::Branch { .. }), "{op:?}"),
+                InstKind::Jump => assert!(matches!(d, DecodedOp::Jump { .. }), "{op:?}"),
+                InstKind::JumpReg => assert!(matches!(d, DecodedOp::JumpReg { .. }), "{op:?}"),
+                InstKind::Load => assert!(
+                    matches!(d, DecodedOp::LoadInt { .. } | DecodedOp::LoadFp { .. }),
+                    "{op:?}"
+                ),
+                InstKind::Store => assert!(
+                    matches!(d, DecodedOp::StoreInt { .. } | DecodedOp::StoreFp { .. }),
+                    "{op:?}"
+                ),
+                InstKind::Nop => assert_eq!(d, DecodedOp::Nop),
+                InstKind::Halt => assert_eq!(d, DecodedOp::Halt),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn addressing_matches_program() {
+        let p = Program::from_insts(vec![Inst::nop(), Inst::nop(), Inst::halt()]);
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.len(), 3);
+        for i in 0..p.len() {
+            assert_eq!(d.addr_of(i), p.addr_of(i));
+            assert_eq!(d.index_of(p.addr_of(i)), p.index_of(p.addr_of(i)));
+        }
+        assert_eq!(d.index_of(p.code_base - 8), None);
+        assert_eq!(d.index_of(p.code_base + 1), None);
+        assert_eq!(d.index_of(p.addr_of(3)), None);
+    }
+}

@@ -5,8 +5,10 @@
 //! `carf-sim` co-simulates against it at commit, checking that every retired
 //! instruction wrote the same destination value.
 
+use crate::checkpoint::{Checkpoint, CheckpointMismatch};
+use crate::decoded::{DecodedOp, DecodedProgram};
 use crate::inst::{Inst, InstKind, Opcode};
-use crate::program::Program;
+use crate::program::{Program, INST_BYTES};
 use crate::reg::{FpReg, IntReg};
 use crate::semantics::{
     eval_branch, eval_fp_alu, eval_fp_to_int, eval_int_alu, eval_int_to_fp, extend_load,
@@ -59,6 +61,47 @@ impl std::fmt::Display for ExecError {
 }
 
 impl std::error::Error for ExecError {}
+
+/// Side channel out of the decoded dispatch loop
+/// ([`Machine::run_decoded_with`]): called with each retired
+/// instruction's address, effective memory addresses, and control-flow
+/// outcomes, in program order.
+///
+/// The intended use is *functional warming* for sampled simulation — a
+/// fast-forward leg streams its access history into cache and
+/// branch-predictor models so a measured interval does not start from
+/// cold microarchitectural state. Every method defaults to a no-op and
+/// the loop is monomorphized per observer, so [`NullObserver`] costs
+/// nothing.
+pub trait ExecObserver {
+    /// An instruction at `pc` is about to execute (and will retire,
+    /// unless it is the one that trips `PcOutOfRange` next step).
+    #[inline]
+    fn retire(&mut self, _pc: u64) {}
+    /// A load's effective byte address.
+    #[inline]
+    fn load(&mut self, _addr: u64) {}
+    /// A store's effective byte address.
+    #[inline]
+    fn store(&mut self, _addr: u64) {}
+    /// A conditional branch at `pc` resolved `taken`.
+    #[inline]
+    fn cond_branch(&mut self, _pc: u64, _taken: bool) {}
+    /// An indirect jump at `pc` went to `target`; `is_return` follows the
+    /// link-register convention (no link write ⇒ return).
+    #[inline]
+    fn indirect_jump(&mut self, _pc: u64, _target: u64, _is_return: bool) {}
+    /// A call wrote `return_addr` to its link register.
+    #[inline]
+    fn call(&mut self, _return_addr: u64) {}
+}
+
+/// The do-nothing [`ExecObserver`]; `run_decoded` is
+/// `run_decoded_with(.., &mut NullObserver)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ExecObserver for NullObserver {}
 
 /// Architectural machine state plus memory.
 ///
@@ -265,11 +308,28 @@ impl Machine {
 
     /// Runs until `halt` or the instruction budget is exhausted.
     ///
+    /// Decodes `program` once (see [`DecodedProgram`]) and drives the
+    /// tight dispatch loop of [`Machine::run_decoded`]. Call sites that
+    /// run in bursts (fast-forward legs between checkpoints) should
+    /// decode once themselves and call [`Machine::run_decoded`] directly.
+    ///
     /// # Errors
     ///
     /// Propagates [`ExecError::PcOutOfRange`]; returns
     /// [`ExecError::InstLimit`] if the budget runs out first.
     pub fn run(&mut self, program: &Program, max_insts: u64) -> Result<u64, ExecError> {
+        let decoded = DecodedProgram::decode(program);
+        self.run_decoded(&decoded, max_insts)
+    }
+
+    /// [`Machine::run`] via repeated [`Machine::step`] — the pre-decoded-
+    /// cache loop. Kept as the reference the decoded executor is pinned
+    /// against (differential tests) and as the microbenchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_stepwise(&mut self, program: &Program, max_insts: u64) -> Result<u64, ExecError> {
         let start = self.retired;
         while !self.halted {
             if self.retired - start >= max_insts {
@@ -278,6 +338,183 @@ impl Machine {
             self.step(program)?;
         }
         Ok(self.retired - start)
+    }
+
+    /// The fast-forward hot loop: runs until `halt` or the budget is
+    /// exhausted, dispatching pre-decoded ops. Behaves exactly like
+    /// [`Machine::run`] — same state evolution, same errors — but skips
+    /// per-step decode and retirement-record construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_decoded(&mut self, decoded: &DecodedProgram, max_insts: u64) -> Result<u64, ExecError> {
+        self.run_decoded_with(decoded, max_insts, &mut NullObserver)
+    }
+
+    /// [`Machine::run_decoded`] with an [`ExecObserver`] wired into the
+    /// dispatch loop. The observer is monomorphized in, so
+    /// [`NullObserver`] compiles to exactly the plain loop — the observed
+    /// and unobserved paths are the same function.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_decoded_with<O: ExecObserver>(
+        &mut self,
+        decoded: &DecodedProgram,
+        max_insts: u64,
+        obs: &mut O,
+    ) -> Result<u64, ExecError> {
+        use DecodedOp::*;
+        let code_base = decoded.code_base();
+        let ops = decoded.ops();
+        let n = ops.len() as u64;
+        let mut pc = self.pc;
+        let mut done: u64 = 0;
+        let outcome = loop {
+            if self.halted {
+                break Ok(());
+            }
+            if done >= max_insts {
+                break Err(ExecError::InstLimit(max_insts));
+            }
+            let off = pc.wrapping_sub(code_base);
+            let idx = off / INST_BYTES;
+            if !off.is_multiple_of(INST_BYTES) || idx >= n {
+                break Err(ExecError::PcOutOfRange(pc));
+            }
+            obs.retire(pc);
+            let mut next = pc + INST_BYTES;
+            match ops[idx as usize] {
+                IntRR { op, rd, rs1, rs2 } => {
+                    let v = eval_int_alu(op, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                    if rd != 0 {
+                        self.regs[rd as usize] = v;
+                    }
+                }
+                IntRI { op, rd, rs1, imm } => {
+                    let v = eval_int_alu(op, self.regs[rs1 as usize], imm);
+                    if rd != 0 {
+                        self.regs[rd as usize] = v;
+                    }
+                }
+                Li { rd, imm } => {
+                    if rd != 0 {
+                        self.regs[rd as usize] = imm;
+                    }
+                }
+                LoadInt { width, rd, rs1, imm } => {
+                    let addr = self.regs[rs1 as usize].wrapping_add(imm);
+                    obs.load(addr);
+                    let bits = self.read_mem(width, addr);
+                    if rd != 0 {
+                        self.regs[rd as usize] = bits;
+                    }
+                }
+                LoadFp { rd, rs1, imm } => {
+                    let addr = self.regs[rs1 as usize].wrapping_add(imm);
+                    obs.load(addr);
+                    self.fregs[rd as usize] = f64::from_bits(self.mem.read_u64(addr));
+                }
+                StoreInt { width, rs1, rs2, imm } => {
+                    let addr = self.regs[rs1 as usize].wrapping_add(imm);
+                    obs.store(addr);
+                    self.write_mem(width, addr, self.regs[rs2 as usize]);
+                }
+                StoreFp { rs1, rs2, imm } => {
+                    let addr = self.regs[rs1 as usize].wrapping_add(imm);
+                    obs.store(addr);
+                    self.mem.write_u64(addr, self.fregs[rs2 as usize].to_bits());
+                }
+                Branch { op, rs1, rs2, target } => {
+                    let taken = eval_branch(op, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                    obs.cond_branch(pc, taken);
+                    if taken {
+                        next = target;
+                    }
+                }
+                Jump { rd, target } => {
+                    if rd != 0 {
+                        self.regs[rd as usize] = pc + INST_BYTES;
+                        obs.call(pc + INST_BYTES);
+                    }
+                    next = target;
+                }
+                JumpReg { rd, rs1, imm } => {
+                    let target = self.regs[rs1 as usize].wrapping_add(imm);
+                    obs.indirect_jump(pc, target, rd == 0);
+                    if rd != 0 {
+                        self.regs[rd as usize] = pc + INST_BYTES;
+                        obs.call(pc + INST_BYTES);
+                    }
+                    next = target;
+                }
+                FpRR { op, rd, rs1, rs2 } => {
+                    self.fregs[rd as usize] =
+                        eval_fp_alu(op, self.fregs[rs1 as usize], self.fregs[rs2 as usize]);
+                }
+                FpFromInt { rd, rs1 } => {
+                    self.fregs[rd as usize] = eval_int_to_fp(self.regs[rs1 as usize]);
+                }
+                IntFromFp { op, rd, rs1, rs2 } => {
+                    let v = eval_fp_to_int(op, self.fregs[rs1 as usize], self.fregs[rs2 as usize]);
+                    if rd != 0 {
+                        self.regs[rd as usize] = v;
+                    }
+                }
+                Nop => {}
+                Halt => {
+                    // Same contract as `step`: the halt retires and the PC
+                    // stays at the halt instruction.
+                    self.halted = true;
+                    done += 1;
+                    break Ok(());
+                }
+            }
+            done += 1;
+            pc = next;
+        };
+        self.pc = pc;
+        self.retired += done;
+        outcome.map(|()| done)
+    }
+
+    /// Captures an architectural checkpoint of this machine (see
+    /// [`Checkpoint`]). `program` must be the program the machine is
+    /// running; its initial data image is the delta base.
+    pub fn checkpoint(&self, program: &Program) -> Checkpoint {
+        Checkpoint::from_parts(
+            self.regs,
+            self.fregs.map(f64::to_bits),
+            self.pc,
+            self.retired,
+            self.halted,
+            &self.mem,
+            program,
+        )
+    }
+
+    /// Reconstructs a machine from a checkpoint, bit-identical to the one
+    /// that captured it.
+    ///
+    /// # Errors
+    ///
+    /// Refuses a `program` whose fingerprint differs from the one the
+    /// checkpoint was captured against.
+    pub fn from_checkpoint(
+        program: &Program,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, CheckpointMismatch> {
+        let mem = ckpt.restore_memory(program)?;
+        Ok(Self {
+            regs: ckpt.regs,
+            fregs: ckpt.fregs.map(f64::from_bits),
+            pc: ckpt.pc,
+            mem,
+            halted: ckpt.halted,
+            retired: ckpt.retired,
+        })
     }
 }
 
@@ -436,6 +673,93 @@ mod tests {
         let p = asm.finish().unwrap();
         let mut m = Machine::load(&p);
         assert_eq!(m.run(&p, 100), Err(ExecError::InstLimit(100)));
+    }
+
+    /// Mixed control/memory/FP kernel for the decoded-vs-stepwise
+    /// differential tests below.
+    fn mixed_kernel() -> Program {
+        let mut asm = Asm::new();
+        let buf = asm.alloc_f64s(&[1.5, 2.5, 0.0, 0.0]);
+        asm.li(x(1), 0); // i
+        asm.li(x(2), 40); // bound
+        asm.li(x(3), buf);
+        asm.label("loop");
+        asm.fld(f(1), x(3), 0);
+        asm.fld(f(2), x(3), 8);
+        asm.fmul(f(3), f(1), f(2));
+        asm.fst(f(3), x(3), 16);
+        asm.ld(x(4), x(3), 16);
+        asm.add(x(5), x(5), x(4));
+        asm.sb(x(5), x(3), 24);
+        asm.lbu(x(6), x(3), 24);
+        asm.jal(x(31), "bump");
+        asm.blt(x(1), x(2), "loop");
+        asm.halt();
+        asm.label("bump");
+        asm.addi(x(1), x(1), 1);
+        asm.ret(x(31));
+        asm.finish().expect("assembly")
+    }
+
+    fn arch_fingerprint(m: &Machine, p: &Program) -> u64 {
+        m.checkpoint(p).fingerprint()
+    }
+
+    #[test]
+    fn decoded_and_stepwise_agree_on_a_full_run() {
+        let p = mixed_kernel();
+        let mut a = Machine::load(&p);
+        let mut b = Machine::load(&p);
+        let ra = a.run(&p, 1_000_000);
+        let rb = b.run_stepwise(&p, 1_000_000);
+        assert_eq!(ra.unwrap(), rb.unwrap());
+        assert_eq!(arch_fingerprint(&a, &p), arch_fingerprint(&b, &p));
+        assert_eq!((a.pc, a.retired(), a.is_halted()), (b.pc, b.retired(), b.is_halted()));
+    }
+
+    #[test]
+    fn decoded_and_stepwise_agree_at_every_budget() {
+        let p = mixed_kernel();
+        for budget in [0u64, 1, 2, 7, 63, 200] {
+            let mut a = Machine::load(&p);
+            let mut b = Machine::load(&p);
+            assert_eq!(a.run(&p, budget), b.run_stepwise(&p, budget), "budget {budget}");
+            assert_eq!(
+                arch_fingerprint(&a, &p),
+                arch_fingerprint(&b, &p),
+                "state diverged at budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_reports_wild_control_flow_like_stepwise() {
+        // A jump straight out of the code segment: the jump itself retires
+        // and the *next* step reports PcOutOfRange, in both executors.
+        let mut asm = Asm::new();
+        asm.li(x(1), 0xdead_0000);
+        asm.jalr(x(0), x(1), 0);
+        let p = asm.finish().unwrap();
+        let mut a = Machine::load(&p);
+        let mut b = Machine::load(&p);
+        let ra = a.run(&p, 100);
+        let rb = b.run_stepwise(&p, 100);
+        assert_eq!(ra, rb);
+        assert_eq!(ra, Err(ExecError::PcOutOfRange(0xdead_0000)));
+        assert_eq!((a.pc, a.retired()), (b.pc, b.retired()));
+    }
+
+    #[test]
+    fn decoded_budget_matches_stepwise_on_the_spin_loop() {
+        let mut asm = Asm::new();
+        asm.label("spin");
+        asm.j("spin");
+        let p = asm.finish().unwrap();
+        let mut a = Machine::load(&p);
+        let mut b = Machine::load(&p);
+        assert_eq!(a.run(&p, 100), Err(ExecError::InstLimit(100)));
+        assert_eq!(b.run_stepwise(&p, 100), Err(ExecError::InstLimit(100)));
+        assert_eq!((a.pc, a.retired()), (b.pc, b.retired()));
     }
 
     #[test]

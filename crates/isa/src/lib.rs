@@ -45,6 +45,8 @@
 //! ```
 
 mod asm;
+mod checkpoint;
+mod decoded;
 mod encode;
 mod exec;
 mod inst;
@@ -54,8 +56,10 @@ mod reg;
 pub mod semantics;
 
 pub use asm::{Asm, AsmError};
+pub use checkpoint::{program_fingerprint, Checkpoint, CheckpointMismatch};
+pub use decoded::{DecodedOp, DecodedProgram};
 pub use encode::{decode, encode, DecodeInstError};
-pub use exec::{ExecError, Machine, Retired, StepOutcome};
+pub use exec::{ExecError, ExecObserver, Machine, NullObserver, Retired, StepOutcome};
 pub use inst::{Inst, InstKind, Opcode, RegRef};
 pub use parse::{parse_asm, ParseAsmError};
 pub use program::{DataSegment, Program, INST_BYTES};

@@ -41,5 +41,5 @@ mod ports;
 
 pub use cache::{Cache, CacheConfig, CacheStats, LineState};
 pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
-pub use memory::SparseMemory;
+pub use memory::{MemoryDelta, SparseMemory};
 pub use ports::PortMeter;

@@ -67,7 +67,7 @@ pub use config::{BpredConfig, RegFileKind, SimConfig};
 pub use fu::FuPool;
 pub use lsq::{LoadDecision, LoadStoreQueue, LsqEntry, LsqFull, MemDepPolicy};
 pub use rename::{Preg, RenameTables};
-pub use sim::{AnySimulator, InstTimeline, RegFileBackend, SimError, SimResult, Simulator};
+pub use sim::{AnySimulator, InstTimeline, RegFileBackend, SimError, SimResult, Simulator, WarmEvent, WarmState};
 pub use smt::{SharedLongSmt, SmtThreadResult};
 pub use stats::{DispatchStalls, OperandMix, OracleData, SimStats};
 pub use trace::{

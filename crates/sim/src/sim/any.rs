@@ -62,6 +62,27 @@ impl AnySimulator {
     pub fn new(config: SimConfig, program: &Program) -> Self {
         Self::with_tracer(config, program, NopTracer)
     }
+
+    /// See [`Simulator::from_checkpoint`]; the backend is named by
+    /// `config.regfile`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::from_checkpoint`].
+    pub fn from_checkpoint(
+        config: SimConfig,
+        program: &Program,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, SimError> {
+        Ok(match &config.regfile {
+            RegFileKind::Baseline => AnySimulator::Baseline(Box::new(
+                Simulator::from_checkpoint(config, program, ckpt)?,
+            )),
+            RegFileKind::ContentAware(..) => AnySimulator::ContentAware(Box::new(
+                Simulator::from_checkpoint(config, program, ckpt)?,
+            )),
+        })
+    }
 }
 
 impl<T: Tracer> AnySimulator<T> {
@@ -88,6 +109,30 @@ impl<T: Tracer> AnySimulator<T> {
     /// runaway fetch, or an internal invariant failure.
     pub fn run(&mut self, max_insts: u64) -> Result<SimResult, SimError> {
         dispatch!(self, sim => sim.run(max_insts))
+    }
+
+    /// See [`Simulator::run_exact`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AnySimulator::run`].
+    pub fn run_exact(&mut self, target: u64) -> Result<SimResult, SimError> {
+        dispatch!(self, sim => sim.run_exact(target))
+    }
+
+    /// See [`Simulator::arch_checkpoint`].
+    pub fn arch_checkpoint(&self) -> Checkpoint {
+        dispatch!(self, sim => sim.arch_checkpoint())
+    }
+
+    /// See [`Simulator::retired`].
+    pub fn retired(&self) -> u64 {
+        dispatch!(self, sim => sim.retired())
+    }
+
+    /// See [`Simulator::install_warm_state`].
+    pub fn install_warm_state(&mut self, warm: &WarmState) {
+        dispatch!(self, sim => sim.install_warm_state(warm))
     }
 
     /// See [`Simulator::step_cycle`].

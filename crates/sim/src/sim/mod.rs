@@ -45,7 +45,7 @@ use carf_isa::semantics::{
     eval_branch, eval_fp_alu, eval_fp_to_int, eval_int_alu, eval_int_to_fp, extend_load,
     load_width, store_bytes, store_width, LoadWidth,
 };
-use carf_isa::{Inst, InstKind, Machine, Opcode, Program, StepOutcome, INST_BYTES};
+use carf_isa::{Checkpoint, Inst, InstKind, Machine, Opcode, Program, StepOutcome, INST_BYTES};
 use carf_mem::{MemoryHierarchy, PortMeter, SparseMemory};
 
 use crate::bpred::{BranchPredictor, CondPrediction};
@@ -402,6 +402,16 @@ pub struct Simulator<R: IntRegFile, T: Tracer = NopTracer> {
     rob_interval_count: u64,
     last_commit_cycle: u64,
     golden: Option<Machine>,
+    /// When set, commit stops (mid-burst) once `stats.committed` reaches
+    /// this count — [`Simulator::run_exact`]'s instruction-precise brake.
+    commit_limit: Option<u64>,
+    /// PC of the next instruction to commit: the architectural PC at every
+    /// commit boundary (what a checkpoint captures).
+    commit_next_pc: u64,
+    /// Instructions already retired before this simulator was constructed
+    /// (non-zero when seeded from a checkpoint); global retired count =
+    /// `retired_base + stats.committed`.
+    retired_base: u64,
     // Derived configuration.
     read_stages: u64,
     wb_stages: u64,
@@ -458,11 +468,160 @@ impl RegFileBackend for ContentAwareRegFile {
     }
 }
 
+/// One event of a fast-forwarded (functionally executed) region, replayed
+/// through [`Simulator::warm`] to bring cold cache and branch-predictor
+/// state up to date before a measured interval. Produced by an
+/// [`carf_isa::ExecObserver`] wired into the decoded fast-forward loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmEvent {
+    /// An instruction fetch at `pc` (IL1 path).
+    Fetch {
+        /// The instruction's byte address.
+        pc: u64,
+    },
+    /// A data access (DL1/L2 path).
+    Data {
+        /// Effective byte address.
+        addr: u64,
+        /// `true` for stores.
+        is_write: bool,
+    },
+    /// A conditional branch outcome (gshare training).
+    CondBranch {
+        /// The branch's byte address.
+        pc: u64,
+        /// Resolved direction.
+        taken: bool,
+    },
+    /// An indirect jump outcome (BTB/RAS training).
+    IndirectJump {
+        /// The jump's byte address.
+        pc: u64,
+        /// Resolved target.
+        target: u64,
+        /// Return-convention jump (pops the RAS).
+        is_return: bool,
+    },
+    /// A call pushed `return_addr` (RAS training).
+    Call {
+        /// The link-register value.
+        return_addr: u64,
+    },
+}
+
+/// Functionally warmed microarchitectural state: a cache hierarchy and
+/// branch predictor kept continuously up to date with the *entire*
+/// fast-forwarded instruction stream, cloned into each measured
+/// interval's simulator via [`Simulator::install_warm_state`].
+///
+/// Persistence is the point. Warming from only the events since the last
+/// measured interval cannot rebuild a working set that took the whole
+/// run to form (a table scattered across L2 sees each line touched
+/// rarely), and the resulting cold misses bias sampled IPC far below
+/// truth on exactly the workloads with the largest footprints. One
+/// warm state spanning the run gives every window the same long access
+/// memory the straight-through machine has.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    hier: MemoryHierarchy,
+    bpred: BranchPredictor,
+}
+
+impl WarmState {
+    /// Cold structures shaped by `config` (the same geometry the
+    /// simulator itself uses, so clones drop in directly).
+    pub fn new(config: &SimConfig) -> Self {
+        Self {
+            hier: MemoryHierarchy::new(config.hierarchy),
+            bpred: BranchPredictor::new(&config.bpred),
+        }
+    }
+
+    /// Applies one fast-forwarded event: a cache access down the
+    /// hierarchy, or a predict/train round of the branch predictor.
+    pub fn apply(&mut self, event: WarmEvent) {
+        match event {
+            WarmEvent::Fetch { pc } => {
+                self.hier.fetch_latency(pc);
+            }
+            WarmEvent::Data { addr, is_write } => {
+                self.hier.data_access(addr, is_write);
+            }
+            WarmEvent::CondBranch { pc, taken } => {
+                let pred = self.bpred.predict_cond(pc);
+                self.bpred.resolve_cond(pred, taken);
+            }
+            WarmEvent::IndirectJump { pc, target, is_return } => {
+                let predicted = self.bpred.predict_indirect(pc, is_return);
+                self.bpred.resolve_indirect(pc, target, predicted != target);
+            }
+            WarmEvent::Call { return_addr } => {
+                self.bpred.push_return(return_addr);
+            }
+        }
+    }
+}
+
 impl<R: RegFileBackend> Simulator<R> {
     /// Builds an untraced machine around `program` (the program's data
     /// image is loaded into simulated memory).
     pub fn new(config: SimConfig, program: &Program) -> Self {
         Self::with_tracer(config, program, NopTracer)
+    }
+
+    /// Builds an untraced machine whose architectural state — registers,
+    /// memory, PC, retired count — is seeded from `ckpt` instead of the
+    /// program's reset state. The microarchitectural state (caches, branch
+    /// predictor, register-file placement history) starts cold, exactly as
+    /// at reset; sampled-simulation drivers warm it with a detailed warm-up
+    /// window before measuring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Internal`] when `ckpt` belongs to a different
+    /// program, or when the register-file organization refuses a
+    /// checkpointed value (impossible for organizations whose Long file
+    /// covers all 32 architectural registers, as the paper's does).
+    pub fn from_checkpoint(
+        config: SimConfig,
+        program: &Program,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, SimError> {
+        let internal = |detail: String| SimError::Internal { cycle: 0, detail };
+        let mem = ckpt.restore_memory(program).map_err(|e| internal(e.to_string()))?;
+        let mut sim = Self::new(config, program);
+        sim.mem = mem;
+        // Re-seed the 32 architectural registers with the checkpointed
+        // values. Placement is value-dependent for the content-aware file,
+        // so go through the full release/alloc/write sequence rather than
+        // poking values in.
+        for i in 0..32usize {
+            sim.int_rf.release(i);
+            sim.int_rf.on_alloc(i);
+            sim.int_rf
+                .try_write(i, ckpt.regs[i], false)
+                .map_err(|_| internal(format!("register file refused checkpoint value x{i}")))?;
+            sim.int_pregs[i].value = ckpt.regs[i];
+            sim.fp_rf.release(i);
+            sim.fp_rf.on_alloc(i);
+            sim.fp_rf
+                .try_write(i, ckpt.fregs[i], false)
+                .map_err(|_| internal(format!("fp file refused checkpoint value f{i}")))?;
+            sim.fp_pregs[i].value = ckpt.fregs[i];
+        }
+        // As in `with_tracer`: seeding writes are bookkeeping, not workload
+        // accesses.
+        sim.int_rf.stats_mut().reset();
+        sim.fp_rf.stats_mut().reset();
+        sim.fetch_pc = ckpt.pc;
+        sim.commit_next_pc = ckpt.pc;
+        sim.retired_base = ckpt.retired;
+        sim.halted = ckpt.halted;
+        if sim.golden.is_some() {
+            sim.golden =
+                Some(Machine::from_checkpoint(program, ckpt).map_err(|e| internal(e.to_string()))?);
+        }
+        Ok(sim)
     }
 }
 
@@ -523,6 +682,9 @@ impl<R: RegFileBackend, T: Tracer> Simulator<R, T> {
             rob_interval_count: 0,
             last_commit_cycle: 0,
             golden: config.cosim.then(|| Machine::load(program)),
+            commit_limit: None,
+            commit_next_pc: program.entry,
+            retired_base: 0,
             read_stages,
             wb_stages,
             full_bypass,
@@ -645,6 +807,83 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
             halted: self.halted,
             ipc: self.stats.ipc(),
         })
+    }
+
+    /// Runs until the *global* retired count — `retired_base` plus this
+    /// run's commits — reaches exactly `target` (or `halt` commits first).
+    /// Unlike [`Simulator::run`], commit stops mid-burst at the boundary,
+    /// so the committed architectural state afterwards is the state after
+    /// exactly `target` instructions: the instruction-precise driver for
+    /// sampled simulation (warm-up and measurement windows end at exact
+    /// instruction counts).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_exact(&mut self, target: u64) -> Result<SimResult, SimError> {
+        let local = target.saturating_sub(self.retired_base);
+        self.commit_limit = Some(local);
+        while !self.halted && self.stats.committed < local {
+            self.cycle()?;
+            if self.now.saturating_sub(self.last_commit_cycle) > self.config.watchdog_cycles {
+                self.commit_limit = None;
+                return Err(SimError::Watchdog { cycle: self.now });
+            }
+        }
+        self.commit_limit = None;
+        self.finalize_stats();
+        Ok(SimResult {
+            committed: self.stats.committed,
+            cycles: self.stats.cycles,
+            halted: self.halted,
+            ipc: self.stats.ipc(),
+        })
+    }
+
+    /// Captures the committed architectural state as a [`Checkpoint`]:
+    /// the commit-RAT register values, the committed memory image (stores
+    /// drain to it at commit), the next-to-commit PC, and the global
+    /// retired count. Bit-comparable with the functional executor's
+    /// [`Machine::checkpoint`] — the sampling round-trip tests pin the two
+    /// to each other.
+    pub fn arch_checkpoint(&self) -> Checkpoint {
+        let regs = std::array::from_fn(|i| {
+            self.int_pregs[self.commit_int_rat[i] as usize].value
+        });
+        let fregs = std::array::from_fn(|i| {
+            self.fp_pregs[self.commit_fp_rat[i] as usize].value
+        });
+        Checkpoint::from_parts(
+            regs,
+            fregs,
+            self.commit_next_pc,
+            self.retired_base + self.stats.committed,
+            self.halted,
+            &self.mem,
+            &self.program,
+        )
+    }
+
+    /// Instructions retired globally: commits of this run plus the
+    /// checkpointed count this simulator was seeded with (0 for a
+    /// reset-state machine).
+    pub fn retired(&self) -> u64 {
+        self.retired_base + self.stats.committed
+    }
+
+    /// Installs functionally warmed cache and branch-predictor state (see
+    /// [`WarmState`]), replacing this simulator's cold structures. Call
+    /// right after [`Simulator::from_checkpoint`], before running: a
+    /// measured interval then starts with the microarchitectural memory
+    /// of every instruction the fast-forward skipped, not a cold machine.
+    ///
+    /// Only caches and predictor state change — nothing architectural, no
+    /// pipeline activity, no cycles. The absolute hit/miss and prediction
+    /// counters carried in by the warm state are harmless to a sampling
+    /// driver, which deltas statistics around the measured window anyway.
+    pub fn install_warm_state(&mut self, warm: &WarmState) {
+        self.hier = warm.hier.clone();
+        self.bpred = warm.bpred.clone();
     }
 
     fn finalize_stats(&mut self) {

@@ -49,6 +49,12 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
 
     pub(super) fn commit(&mut self) -> Result<(), SimError> {
         for _ in 0..self.config.commit_width {
+            // `run_exact`'s instruction-precise brake: stop mid-burst at
+            // the requested boundary so the committed architectural state
+            // is exactly the one after `commit_limit` instructions.
+            if self.commit_limit.is_some_and(|limit| self.stats.committed >= limit) {
+                break;
+            }
             let ready = match self.rob.front() {
                 Some(slot) => match slot.state {
                     SlotState::Completed => true,
@@ -101,6 +107,11 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
     pub(super) fn retire_bookkeeping(&mut self, slot: &Slot) {
         self.stats.committed += 1;
         self.last_commit_cycle = self.now;
+        // Architectural PC at the new commit boundary. `actual_next` is
+        // resolved by commit time for every kind; `halt` architecturally
+        // stays put (matching the functional executor).
+        self.commit_next_pc =
+            if slot.kind == InstKind::Halt { slot.pc } else { slot.actual_next };
         if T::ENABLED {
             self.tracer.event(TraceEvent::Retire {
                 cycle: self.now,

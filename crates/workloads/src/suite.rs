@@ -84,6 +84,16 @@ impl Workload {
     pub fn build_class(&self, class: SizeClass) -> Program {
         self.build(self.size(class))
     }
+
+    /// The deterministic identity of this workload at `class`: the
+    /// fingerprint of the built program (code, entry point, and the seeded
+    /// initial data image). Workloads are pure builders — same name and
+    /// size always produce the same program — so this one value is the
+    /// whole "workload state" a [`carf_isa::Checkpoint`] needs to be
+    /// restorable, and the key under which checkpoints may be cached.
+    pub fn fingerprint(&self, class: SizeClass) -> u64 {
+        carf_isa::program_fingerprint(&self.build_class(class))
+    }
 }
 
 impl std::fmt::Debug for Workload {

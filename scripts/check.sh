@@ -33,4 +33,15 @@ CARF_RESULTS_DIR="$(mktemp -d)" \
     cargo run --release -q -p carf-bench --bin bench_kips -- \
     --quick --jobs 1 --suite int
 
+echo "==> carf-sample smoke test (sampled vs full IPC)"
+# Sampled-simulation gate on a tiny budget: the int suite under the CARF
+# machine, checked against the straight-through run. The tolerance is
+# deliberately loose — at the quick budget only 5 intervals are measured,
+# so per-interval spread (CI95) does the real work and the 15% floor only
+# catches wholesale breakage (cold-state bias, window accounting bugs).
+CARF_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release -q -p carf-bench --bin carf-sample -- \
+    --quick --jobs 2 --sample --suite int --machine carf --check 0.15 \
+    | tail -n 3
+
 echo "==> all checks passed"

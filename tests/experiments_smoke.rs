@@ -14,7 +14,7 @@ use carf_workloads::{int_suite, SizeClass, Suite};
 /// Tiny scale, two workers: every smoke test also exercises the parallel
 /// experiment engine's dispatch/reassembly path.
 fn tiny_budget() -> Budget {
-    Budget { size: SizeClass::Test, max_insts: 30_000, oracle_period: 16, jobs: 2 }
+    Budget { size: SizeClass::Test, max_insts: 30_000, oracle_period: 16, jobs: 2, sample: None }
 }
 
 #[test]
