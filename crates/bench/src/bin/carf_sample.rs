@@ -16,7 +16,9 @@
 //! land in `results/sample_quality.json`.
 
 use carf_bench::cli::{parse_suites, CliSpec, MachineSet, OptSpec};
-use carf_bench::sample::{run_program_sampled, SampledRun, SampleSpec};
+use carf_bench::sample::{
+    finite_json_number, relative_error, run_program_sampled, SampledRun, SampleSpec,
+};
 use carf_bench::{parallel, print_table, Budget};
 use carf_sim::{AnySimulator, SimConfig};
 use carf_workloads::{Suite, Workload};
@@ -78,16 +80,16 @@ fn quality_record(budget: &Budget, spec: &SampleSpec, points: &[Point]) -> Strin
             s.push(',');
         }
         s.push_str(&format!(
-            "{{\"machine\":\"{}\",\"workload\":\"{}\",\"full_ipc\":{:.4},\
-             \"sampled_ipc\":{:.4},\"ci95\":{:.4},\"intervals\":{},\
-             \"detail_fraction\":{:.4}}}",
+            "{{\"machine\":\"{}\",\"workload\":\"{}\",\"full_ipc\":{},\
+             \"sampled_ipc\":{},\"ci95\":{},\"intervals\":{},\
+             \"detail_fraction\":{}}}",
             p.machine,
             p.workload,
-            p.full_ipc,
-            p.sampled.ipc(),
-            p.sampled.ci95(),
+            finite_json_number(p.full_ipc),
+            finite_json_number(p.sampled.ipc()),
+            finite_json_number(p.sampled.ci95()),
             p.sampled.intervals.len(),
-            p.sampled.detail_fraction(),
+            finite_json_number(p.sampled.detail_fraction()),
         ));
     }
     s.push_str("]}");
@@ -141,20 +143,33 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     for p in &points {
         let err = (p.sampled.ipc() - p.full_ipc).abs();
-        let rel = if p.full_ipc > 0.0 { err / p.full_ipc } else { 0.0 };
+        let rel = relative_error(p.sampled.ipc(), p.full_ipc);
         let ci = p.sampled.ci95();
         rows.push(vec![
             format!("{}/{}", p.machine, p.workload),
             format!("{:.3}", p.full_ipc),
             format!("{:.3}", p.sampled.ipc()),
             format!("±{ci:.3}"),
-            format!("{:.1}%", rel * 100.0),
+            rel.map_or("n/a".to_string(), |r| format!("{:.1}%", r * 100.0)),
             format!("{}", p.sampled.intervals.len()),
             format!("{:.1}%", p.sampled.detail_fraction() * 100.0),
         ]);
         if let Some(tol) = check {
+            // A non-finite error or bound means the run itself is broken;
+            // `err > bound` with a NaN on either side would compare false
+            // and let exactly those runs slip through, so check finiteness
+            // explicitly first.
             let bound = ci.max(tol * p.full_ipc);
-            if err > bound {
+            if rel.is_none() || !ci.is_finite() || !bound.is_finite() {
+                failures.push(format!(
+                    "{}/{}: non-finite quality figures (sampled {}, full {}, ci {ci}) — \
+                     the comparison is meaningless",
+                    p.machine,
+                    p.workload,
+                    p.sampled.ipc(),
+                    p.full_ipc
+                ));
+            } else if err > bound {
                 failures.push(format!(
                     "{}/{}: sampled {:.3} vs full {:.3} (off by {err:.3}, bound {bound:.3})",
                     p.machine,
@@ -181,13 +196,9 @@ fn main() {
     );
 
     let mean_detail = carf_bench::mean(points.iter().map(|p| p.sampled.detail_fraction()));
-    let mean_err = carf_bench::mean(points.iter().map(|p| {
-        if p.full_ipc > 0.0 {
-            (p.sampled.ipc() - p.full_ipc).abs() / p.full_ipc
-        } else {
-            0.0
-        }
-    }));
+    let mean_err = carf_bench::mean(
+        points.iter().map(|p| relative_error(p.sampled.ipc(), p.full_ipc).unwrap_or(0.0)),
+    );
     println!(
         "\nmean |error| {:.2}%, mean detail fraction {:.1}%, wall {:.2}s",
         mean_err * 100.0,

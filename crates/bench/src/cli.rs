@@ -18,7 +18,7 @@
 //! returned occurrences.
 
 use crate::Budget;
-use carf_core::CarfParams;
+use carf_core::{CarfParams, PortReducedParams};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
@@ -32,27 +32,40 @@ pub enum MachineSet {
     /// Both, baseline first.
     #[default]
     Both,
+    /// The compressed (dictionary + overflow) machine only.
+    Compressed,
+    /// The read-port-reduced machine only.
+    PortReduced,
+    /// The whole backend zoo: baseline, carf, compressed, port-reduced.
+    All,
 }
 
 impl MachineSet {
-    /// Parses a `--machine` value: `base` (or `baseline`), `carf`, `both`.
+    /// Parses a `--machine` value: `base` (or `baseline`), `carf`, `both`,
+    /// `compressed`, `ports` (or `port-reduced`), `all`.
     pub fn parse(v: &str) -> Result<Self, String> {
         match v {
             "base" | "baseline" => Ok(Self::Base),
             "carf" => Ok(Self::Carf),
             "both" => Ok(Self::Both),
-            other => Err(format!("`--machine` expects base, carf, or both (got `{other}`)")),
+            "compressed" => Ok(Self::Compressed),
+            "ports" | "port-reduced" => Ok(Self::PortReduced),
+            "all" => Ok(Self::All),
+            other => Err(format!(
+                "`--machine` expects base, carf, both, compressed, ports, or all \
+                 (got `{other}`)"
+            )),
         }
     }
 
     /// `true` when the baseline machine is in the set.
     pub fn includes_base(self) -> bool {
-        self != Self::Carf
+        matches!(self, Self::Base | Self::Both | Self::All)
     }
 
     /// `true` when the content-aware machine is in the set.
     pub fn includes_carf(self) -> bool {
-        self != Self::Base
+        matches!(self, Self::Carf | Self::Both | Self::All)
     }
 
     /// The labeled configurations in the set, with the content-aware
@@ -66,6 +79,12 @@ impl MachineSet {
         }
         if self.includes_carf() {
             configs.push(("carf", SimConfig::paper_carf(CarfParams::paper_default())));
+        }
+        if matches!(self, Self::Compressed | Self::All) {
+            configs.push(("compressed", SimConfig::paper_compressed(CarfParams::paper_default())));
+        }
+        if matches!(self, Self::PortReduced | Self::All) {
+            configs.push(("ports", SimConfig::paper_port_reduced(PortReducedParams::default())));
         }
         configs
     }
@@ -345,6 +364,17 @@ mod tests {
         assert_eq!(both[1].0, "carf");
         assert_eq!(MachineSet::Carf.configs().len(), 1);
         assert!(MachineSet::Base.includes_base() && !MachineSet::Base.includes_carf());
+        assert_eq!(MachineSet::parse("ports"), Ok(MachineSet::PortReduced));
+        assert_eq!(MachineSet::parse("port-reduced"), Ok(MachineSet::PortReduced));
+        assert_eq!(MachineSet::parse("compressed"), Ok(MachineSet::Compressed));
+        let all = MachineSet::All.configs();
+        assert_eq!(
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            ["base", "carf", "compressed", "ports"]
+        );
+        assert_eq!(MachineSet::Compressed.configs()[0].0, "compressed");
+        assert!(!MachineSet::Compressed.includes_base());
+        assert!(!MachineSet::PortReduced.includes_carf());
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //!   access counts to the analytic energy model, exactly as the paper
 //!   multiplies Table 3 per-access energies by measured access counts.
 
-use carf_core::{CarfParams, ValueClass};
-use carf_energy::{RegFileGeometry, TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
-use carf_sim::{SimConfig, SimStats, AnySimulator};
+use carf_core::{CarfParams, PortReducedParams, ValueClass};
+use carf_energy::{BankedOrganization, RegFileGeometry, TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
+use carf_sim::{RegFileKind, SimConfig, SimStats, AnySimulator};
 use carf_workloads::{SizeClass, Suite, Workload};
 
 pub mod cli;
@@ -381,6 +381,135 @@ pub fn rf_energy_monolithic(
         + writes.total as f64 * model.write_energy(geometry)
 }
 
+/// The compressed organization's three arrays: the narrow bank every tag
+/// lives in (payload + class tag), the high-bits dictionary probed on
+/// every write, and the full-width overflow bank holding incompressible
+/// values whole.
+pub fn compressed_geometries(params: &CarfParams) -> [RegFileGeometry; 3] {
+    let (r, w) = (PAPER_BASELINE.read_ports, PAPER_BASELINE.write_ports);
+    [
+        RegFileGeometry::new(params.simple_entries, params.simple_width(), r, w),
+        RegFileGeometry::new(params.short_entries, params.short_width(), r + w, w),
+        RegFileGeometry::new(params.long_entries, 64, r, w),
+    ]
+}
+
+/// Total register-file energy of a compressed run. Every access touches
+/// the narrow bank; dictionary-compressed reads also read the dictionary,
+/// overflowed values read/write the overflow bank, and — unlike CARF,
+/// where only Short writes probe — *every* classified write probes the
+/// dictionary (static compression trains on all results).
+pub fn rf_energy_compressed(
+    model: &TechModel,
+    params: &CarfParams,
+    reads: &ClassTotals,
+    writes: &ClassTotals,
+) -> f64 {
+    let [narrow, dict, overflow] = compressed_geometries(params);
+    let classified_reads = reads.simple + reads.short + reads.long;
+    let classified_writes = writes.simple + writes.short + writes.long;
+    classified_reads as f64 * model.read_energy(&narrow)
+        + reads.short as f64 * model.read_energy(&dict)
+        + reads.long as f64 * model.read_energy(&overflow)
+        + classified_writes as f64 * model.write_energy(&narrow)
+        + classified_writes as f64 * model.read_energy(&dict)
+        + writes.long as f64 * model.write_energy(&overflow)
+}
+
+/// The port-reduced organization: a full-width main array with the
+/// reduced read-port budget, plus (when configured) the small capture
+/// buffer, which keeps the baseline's port provisioning so any issue slot
+/// can source from it.
+pub fn port_reduced_geometries(
+    params: &PortReducedParams,
+) -> (RegFileGeometry, Option<RegFileGeometry>) {
+    let w = PAPER_BASELINE.write_ports;
+    let main = RegFileGeometry::new(PAPER_BASELINE.entries, 64, params.read_ports, w);
+    let capture = (params.capture_entries > 0).then(|| {
+        RegFileGeometry::new(params.capture_entries, 64, PAPER_BASELINE.read_ports, w)
+    });
+    (main, capture)
+}
+
+/// Total register-file energy of a port-reduced run: capture-buffer hits
+/// are served by the small buffer instead of the main array, every other
+/// read pays the main array, and every writeback writes both (the buffer
+/// captures the last writebacks).
+pub fn rf_energy_port_reduced(
+    model: &TechModel,
+    params: &PortReducedParams,
+    reads: &ClassTotals,
+    writes: &ClassTotals,
+    capture_hits: u64,
+) -> f64 {
+    let (main, capture) = port_reduced_geometries(params);
+    let hits = capture_hits.min(reads.total);
+    let mut energy = (reads.total - hits) as f64 * model.read_energy(&main)
+        + writes.total as f64 * model.write_energy(&main);
+    if let Some(cap) = capture {
+        energy += hits as f64 * model.read_energy(&cap)
+            + writes.total as f64 * model.write_energy(&cap);
+    }
+    energy
+}
+
+/// The banked-area/access-time view of the backend named by `kind`, for
+/// the cross-backend comparison table (paper Figures 8/9 style).
+pub fn organization_for(kind: &RegFileKind) -> BankedOrganization {
+    match kind {
+        RegFileKind::Baseline => BankedOrganization::monolithic("baseline", PAPER_BASELINE),
+        RegFileKind::ContentAware(p, _) => {
+            let [simple, short, long] = carf_geometries(p);
+            BankedOrganization::new(
+                "carf",
+                vec![
+                    ("simple".into(), simple),
+                    ("short".into(), short),
+                    ("long".into(), long),
+                ],
+            )
+        }
+        RegFileKind::Compressed(p) => {
+            let [narrow, dict, overflow] = compressed_geometries(p);
+            BankedOrganization::new(
+                "compressed",
+                vec![
+                    ("narrow".into(), narrow),
+                    ("dict".into(), dict),
+                    ("overflow".into(), overflow),
+                ],
+            )
+        }
+        RegFileKind::PortReduced(p) => {
+            let (main, cap) = port_reduced_geometries(p);
+            let mut banks = vec![("main".to_string(), main)];
+            if let Some(c) = cap {
+                banks.push(("capture".into(), c));
+            }
+            BankedOrganization::new("ports", banks)
+        }
+    }
+}
+
+/// Total register-file energy of a run under `kind`, dispatching to the
+/// backend's accounting.
+pub fn rf_energy_for(
+    model: &TechModel,
+    kind: &RegFileKind,
+    reads: &ClassTotals,
+    writes: &ClassTotals,
+    capture_hits: u64,
+) -> f64 {
+    match kind {
+        RegFileKind::Baseline => rf_energy_monolithic(model, &PAPER_BASELINE, reads, writes),
+        RegFileKind::ContentAware(p, _) => rf_energy_carf(model, p, reads, writes),
+        RegFileKind::Compressed(p) => rf_energy_compressed(model, p, reads, writes),
+        RegFileKind::PortReduced(p) => {
+            rf_energy_port_reduced(model, p, reads, writes, capture_hits)
+        }
+    }
+}
+
 /// The unlimited comparator geometry (re-exported for binaries).
 pub fn unlimited_geometry() -> RegFileGeometry {
     PAPER_UNLIMITED
@@ -477,6 +606,61 @@ mod tests {
         let carf = rf_energy_carf(&model, &params, &reads, &writes);
         let base = rf_energy_monolithic(&model, &baseline_geometry(), &reads, &writes);
         assert!(carf < base * 0.6, "carf={carf:.0} base={base:.0}");
+    }
+
+    #[test]
+    fn backend_zoo_areas_order_sensibly() {
+        let model = TechModel::default_model();
+        let base = organization_for(&RegFileKind::Baseline);
+        let comp = organization_for(&RegFileKind::Compressed(CarfParams::paper_default()));
+        let ports = organization_for(&RegFileKind::PortReduced(PortReducedParams::default()));
+        // Narrow banks shrink the compressed file below the 64-bit
+        // monolith; halving read ports shrinks every cell of the
+        // port-reduced file.
+        assert!(comp.area(&model) < base.area(&model));
+        assert!(ports.area(&model) < base.area(&model));
+        // The capture buffer is present and small.
+        assert_eq!(ports.banks.len(), 2);
+        assert!(ports.banks[1].1.entries == PortReducedParams::default().capture_entries);
+        // Zero-depth capture folds away.
+        let bare = organization_for(&RegFileKind::PortReduced(PortReducedParams {
+            read_ports: 8,
+            capture_entries: 0,
+        }));
+        assert_eq!(bare.banks.len(), 1);
+    }
+
+    #[test]
+    fn port_reduced_energy_rewards_capture_hits() {
+        let model = TechModel::default_model();
+        let params = PortReducedParams::default();
+        let reads = ClassTotals { total: 1000, ..ClassTotals::default() };
+        let writes = ClassTotals { total: 600, ..ClassTotals::default() };
+        let cold = rf_energy_port_reduced(&model, &params, &reads, &writes, 0);
+        let warm = rf_energy_port_reduced(&model, &params, &reads, &writes, 400);
+        assert!(warm < cold, "buffer-served reads must be cheaper than array reads");
+        // Hits are clamped to the read volume: more "hits" than reads must
+        // not go negative or beat the all-hits case.
+        let capped = rf_energy_port_reduced(&model, &params, &reads, &writes, 5000);
+        let all = rf_energy_port_reduced(&model, &params, &reads, &writes, 1000);
+        assert_eq!(capped, all);
+    }
+
+    #[test]
+    fn compressed_energy_is_cheaper_than_baseline_on_a_simple_mix() {
+        let model = TechModel::default_model();
+        let params = CarfParams::paper_default();
+        let reads = ClassTotals { simple: 1000, short: 0, long: 0, total: 1000 };
+        let writes = ClassTotals { simple: 600, short: 0, long: 0, total: 600 };
+        let comp = rf_energy_compressed(&model, &params, &reads, &writes);
+        let base = rf_energy_monolithic(&model, &baseline_geometry(), &reads, &writes);
+        assert!(comp < base, "comp={comp:.0} base={base:.0}");
+        // An all-overflow mix must cost more than the all-narrow mix: the
+        // exception path is the expensive one.
+        let long_reads = ClassTotals { simple: 0, short: 0, long: 1000, total: 1000 };
+        let long_writes = ClassTotals { simple: 0, short: 0, long: 600, total: 600 };
+        let overflowed = rf_energy_compressed(&model, &params, &long_reads, &long_writes);
+        assert!(overflowed > comp);
     }
 
     #[test]

@@ -166,42 +166,108 @@ pub fn results_dir() -> PathBuf {
         .join("results")
 }
 
+/// Scans the JSON string literal whose opening quote is at `record[start]`
+/// and returns the content byte range (quotes stripped, escape sequences
+/// preserved verbatim) plus the index of the closing quote. `None` when the
+/// string never terminates. Quote and backslash are ASCII, so byte-wise
+/// scanning is UTF-8 safe.
+fn scan_string(record: &str, start: usize) -> Option<(usize, usize)> {
+    let bytes = record.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((start + 1, i)),
+            b'\\' => i += 2,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Returns the index just past the JSON value starting at `record[start]`,
+/// skipping nested objects/arrays with full string awareness so separator
+/// characters inside string values never end the scan early.
+fn skip_value(record: &str, start: usize) -> Option<usize> {
+    let bytes = record.as_bytes();
+    match bytes.get(start)? {
+        b'"' => scan_string(record, start).map(|(_, close)| close + 1),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut i = start;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'{' | b'[' => {
+                        depth += 1;
+                        i += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        i += 1;
+                        if depth == 0 {
+                            return Some(i);
+                        }
+                    }
+                    b'"' => i = scan_string(record, i)?.1 + 1,
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            let rest = &record[start..];
+            let len = rest
+                .find(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
+                .unwrap_or(rest.len());
+            Some(start + len)
+        }
+    }
+}
+
 /// Extracts the raw value of a top-level `"name": value` field from a
 /// single-line JSON record (`None` when absent). String values are returned
-/// without their quotes; other values are returned as their raw text. This
-/// is only as smart as the records we write — nested objects stop at the
-/// first delimiter — but a field-value comparison is far more robust than
-/// matching on byte offsets in the line.
+/// without their quotes (escape sequences preserved); other values are
+/// returned as their raw text. The scanner walks the top-level object
+/// key-by-key, skipping nested objects, arrays, and string contents, so a
+/// field name that appears inside a nested record (`"points":[{"name":…}]`)
+/// or inside a string value never shadows — or stands in for — the
+/// top-level field.
 pub fn json_field(record: &str, name: &str) -> Option<String> {
-    let needle = format!("\"{name}\":");
-    let start = record.find(&needle)? + needle.len();
-    let rest = record[start..].trim_start();
-    if let Some(stripped) = rest.strip_prefix('"') {
-        // String value: scan to the closing unescaped quote.
-        let mut out = String::new();
-        let mut chars = stripped.chars();
-        while let Some(c) = chars.next() {
-            match c {
-                '"' => return Some(out),
-                '\\' => {
-                    out.push(c);
-                    if let Some(esc) = chars.next() {
-                        out.push(esc);
-                    }
-                }
-                c => out.push(c),
-            }
+    let bytes = record.as_bytes();
+    let mut i = record.find('{')? + 1;
+    loop {
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
         }
-        None // unterminated string: treat the field as absent
-    } else {
-        let end = rest
-            .find(|c: char| c == ',' || c == '}' || c == ']' || c.is_whitespace())
-            .unwrap_or(rest.len());
-        let value = &rest[..end];
-        if value.is_empty() {
-            None
-        } else {
-            Some(value.to_string())
+        match bytes.get(i)? {
+            b'}' => return None, // end of the top-level object: field absent
+            b'"' => {
+                let (key_start, key_end) = scan_string(record, i)?;
+                i = key_end + 1;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if bytes.get(i) != Some(&b':') {
+                    return None; // malformed row: treat the field as absent
+                }
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return None;
+                }
+                if &record[key_start..key_end] == name {
+                    return if bytes[i] == b'"' {
+                        scan_string(record, i).map(|(s, e)| record[s..e].to_string())
+                    } else {
+                        let end = skip_value(record, i)?;
+                        let value = &record[i..end];
+                        (!value.is_empty()).then(|| value.to_string())
+                    };
+                }
+                i = skip_value(record, i)?;
+            }
+            _ => return None,
         }
     }
 }
@@ -442,6 +508,79 @@ mod tests {
         let a = r#"{"bin":"x","budget":"quick","jobs":1}"#;
         let b = r#"{"bin":"x","budget":"quick","jobs":16}"#;
         assert_ne!(json_field(a, "jobs"), json_field(b, "jobs"));
+    }
+
+    #[test]
+    fn json_field_matches_only_top_level_keys() {
+        // A timing record nests `name`/`secs`/`kips` fields inside the
+        // `points` array. The scanner must neither report a nested field as
+        // the top-level one nor let a nested occurrence shadow a top-level
+        // field that comes after it.
+        let rec = r#"{"points":[{"bin":"inner","name":"Int/a"}],"bin":"outer"}"#;
+        assert_eq!(json_field(rec, "bin").as_deref(), Some("outer"));
+        assert_eq!(json_field(rec, "name"), None, "nested-only field is absent");
+        assert_eq!(json_field(rec, "secs"), None);
+        // A field name spelled out inside a string value is not a field.
+        let tricky = r#"{"note":"see \"bin\" below, jobs: 9","bin":"real","jobs":2}"#;
+        assert_eq!(json_field(tricky, "bin").as_deref(), Some("real"));
+        assert_eq!(json_field(tricky, "jobs").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn json_field_survives_separator_characters_in_values() {
+        // Key-field values carrying JSON separator characters (`,` `}` `]`
+        // `:`) must come back intact and must not derail the scan for the
+        // fields after them.
+        let rec = r#"{"budget":"quick,odd}we:ird]","spec":"5000/8/2000","jobs":4}"#;
+        assert_eq!(json_field(rec, "budget").as_deref(), Some("quick,odd}we:ird]"));
+        assert_eq!(json_field(rec, "spec").as_deref(), Some("5000/8/2000"));
+        assert_eq!(json_field(rec, "jobs").as_deref(), Some("4"));
+        // Unterminated string: the row is malformed, every field absent.
+        assert_eq!(json_field(r#"{"bin":"unterminated"#, "bin"), None);
+    }
+
+    #[test]
+    fn merge_keys_on_top_level_fields_despite_separator_values() {
+        // Two rows whose `budget` values differ only by separator-bearing
+        // text are distinct keys; a nested `bin` must not match the key.
+        let existing = vec![
+            r#"{"bin":"a","budget":"quick,v2","run":1}"#.to_string(),
+            r#"{"bin":"a","budget":"quick","run":2}"#.to_string(),
+            r#"{"points":[{"bin":"a","budget":"quick"}],"bin":"b","budget":"quick","run":3}"#
+                .to_string(),
+        ];
+        let rec = r#"{"bin":"a","budget":"quick","run":4}"#;
+        let merged = merge_json_records(&existing, rec, &["bin", "budget"]);
+        assert_eq!(merged.len(), 3, "{merged:?}");
+        assert!(merged.iter().any(|r| r.contains("\"run\":1")), "quick,v2 key kept");
+        assert!(!merged.iter().any(|r| r.contains("\"run\":2")), "(a, quick) replaced");
+        assert!(merged.iter().any(|r| r.contains("\"run\":3")), "nested key ignored");
+        assert_eq!(merged.last().map(String::as_str), Some(rec));
+    }
+
+    #[test]
+    fn rotation_at_exactly_the_limit_keeps_the_cap_not_one_more() {
+        // A file already holding exactly TIMING_KEEP_RUNS rows for a key is
+        // the boundary case: merging one more must drop exactly the oldest
+        // (never keep keep+1, never drop the newest).
+        let rows: Vec<String> = (1..=TIMING_KEEP_RUNS)
+            .map(|run| format!("{{\"bin\":\"a\",\"jobs\":1,\"run\":{run}}}"))
+            .collect();
+        let rec = r#"{"bin":"a","jobs":1,"run":99}"#;
+        let merged = merge_json_records_rotating(&rows, rec, &["bin", "jobs"], TIMING_KEEP_RUNS);
+        assert_eq!(merged.len(), TIMING_KEEP_RUNS, "{merged:?}");
+        assert!(!merged.iter().any(|r| r.contains("\"run\":1")), "oldest rotated out");
+        assert!(merged.iter().any(|r| r.contains("\"run\":2")));
+        assert_eq!(merged.last().map(String::as_str), Some(rec), "newest kept last");
+
+        // A legacy over-full file (more than the cap) shrinks back to the
+        // cap in one merge rather than lingering above it.
+        let overfull: Vec<String> = (1..=TIMING_KEEP_RUNS + 2)
+            .map(|run| format!("{{\"bin\":\"a\",\"jobs\":1,\"run\":{run}}}"))
+            .collect();
+        let merged = merge_json_records_rotating(&overfull, rec, &["bin", "jobs"], TIMING_KEEP_RUNS);
+        assert_eq!(merged.len(), TIMING_KEEP_RUNS, "{merged:?}");
+        assert_eq!(merged.last().map(String::as_str), Some(rec));
     }
 
     #[test]

@@ -172,6 +172,30 @@ impl SampledRun {
     }
 }
 
+/// Relative sampling error `|sampled - full| / full`, or `None` when the
+/// comparison is meaningless — either input non-finite or a zero
+/// reference. A checker must treat `None` as a loud failure, never as
+/// "within tolerance": NaN compares false against every bound, so a naive
+/// `err > bound` test silently passes exactly when the run is broken.
+pub fn relative_error(sampled: f64, full: f64) -> Option<f64> {
+    if !sampled.is_finite() || !full.is_finite() || full == 0.0 {
+        return None;
+    }
+    let err = (sampled - full).abs() / full.abs();
+    err.is_finite().then_some(err)
+}
+
+/// Formats a metric for a JSON record: four decimals when finite, `null`
+/// otherwise. `{:.4}` on a NaN or infinity would print bare `NaN`/`inf`,
+/// which is not JSON and corrupts every consumer of the merged file.
+pub fn finite_json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Advances the functional machine to `target` retired instructions (a
 /// no-op when already there or halted), streaming the region's accesses
 /// into `obs` for functional warming.
@@ -267,8 +291,9 @@ fn add_window_delta(agg: &mut SimStats, before: &SimStats, after: &SimStats) {
         fp_rf.total_reads, fp_rf.total_writes, fp_rf.long_write_stalls,
         fp_rf.short_allocs, fp_rf.short_alloc_rejects, fp_rf.short_reclaims,
         fp_rf.long_allocs, fp_rf.long_releases,
+        int_rf.capture_reuse_hits, fp_rf.capture_reuse_hits,
         dest_class_matches, dest_class_total, stl_forwards,
-        int_fu_denials, fp_fu_denials, lsq_wait_events,
+        rf_read_port_denials, int_fu_denials, fp_fu_denials, lsq_wait_events,
     );
     agg.lsq_peak = agg.lsq_peak.max(after.lsq_peak);
     agg.long_peak_live = agg.long_peak_live.max(after.long_peak_live);
@@ -423,6 +448,65 @@ mod tests {
             sampled.ipc(),
             err * 100.0
         );
+    }
+
+    /// One interval gives no spread to estimate from: the interval must be
+    /// pinned to a zero-width CI, not NaN (sample variance divides by
+    /// K-1).
+    #[test]
+    fn single_interval_ci_is_zero_not_nan() {
+        let one = SampledRun {
+            stats: SimStats::default(),
+            intervals: vec![IntervalSample { index: 0, start: 0, committed: 100, cycles: 50 }],
+            total_insts: 100,
+            detailed_insts: 100,
+        };
+        assert_eq!(one.ci95(), 0.0);
+        assert!(one.mean_interval_ipc().is_finite());
+        let none = SampledRun { intervals: Vec::new(), ..one };
+        assert_eq!(none.ci95(), 0.0);
+        assert_eq!(none.mean_interval_ipc(), 0.0);
+    }
+
+    /// A zero-cycle window (possible when a measured window is degenerate)
+    /// must report 0 IPC, and a run containing one must keep every derived
+    /// figure finite.
+    #[test]
+    fn zero_cycle_windows_stay_finite() {
+        let dead = IntervalSample { index: 0, start: 0, committed: 0, cycles: 0 };
+        assert_eq!(dead.ipc(), 0.0);
+        let run = SampledRun {
+            stats: SimStats::default(),
+            intervals: vec![
+                dead,
+                IntervalSample { index: 8, start: 40_000, committed: 5_000, cycles: 2_500 },
+            ],
+            total_insts: 0,
+            detailed_insts: 0,
+        };
+        assert!(run.ipc().is_finite());
+        assert!(run.mean_interval_ipc().is_finite());
+        assert!(run.ci95().is_finite());
+        assert_eq!(run.detail_fraction(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_rejects_degenerate_comparisons() {
+        assert_eq!(relative_error(1.1, 1.0), Some(0.10000000000000009));
+        assert_eq!(relative_error(2.0, 2.0), Some(0.0));
+        assert_eq!(relative_error(f64::NAN, 1.0), None);
+        assert_eq!(relative_error(1.0, f64::NAN), None);
+        assert_eq!(relative_error(f64::INFINITY, 1.0), None);
+        assert_eq!(relative_error(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn json_numbers_never_emit_bare_nan() {
+        assert_eq!(finite_json_number(1.25), "1.2500");
+        assert_eq!(finite_json_number(0.0), "0.0000");
+        assert_eq!(finite_json_number(f64::NAN), "null");
+        assert_eq!(finite_json_number(f64::INFINITY), "null");
+        assert_eq!(finite_json_number(f64::NEG_INFINITY), "null");
     }
 
     #[test]

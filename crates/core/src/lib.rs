@@ -28,6 +28,10 @@
 //!   pseudo-deadlock issue-stall guard;
 //! * [`BaselineRegFile`] — the conventional comparator (also used for the
 //!   "unlimited" configuration);
+//! * [`CompressedRegFile`] and [`PortReducedRegFile`] — the backend zoo:
+//!   static dictionary compression with a full-width overflow bank, and a
+//!   read-port-reduced monolithic file with an operand-reuse capture
+//!   buffer;
 //! * [`analysis`] — the oracle live-value demographics behind the paper's
 //!   Figures 1 and 2.
 //!
@@ -46,8 +50,10 @@
 
 pub mod analysis;
 mod baseline;
+mod compressed;
 mod long_file;
 mod params;
+mod port_reduced;
 mod regfile;
 mod short_file;
 mod simple_file;
@@ -55,8 +61,10 @@ mod stats;
 mod value;
 
 pub use baseline::BaselineRegFile;
+pub use compressed::CompressedRegFile;
 pub use long_file::{LongFile, LongFileFull};
 pub use params::{CarfParams, ParamError};
+pub use port_reduced::{PortReducedParams, PortReducedRegFile};
 pub use regfile::{
     ContentAwareRegFile, IntRegFile, Policies, ShortAllocPolicy, ShortIndexPolicy, SubfileOccupancy,
 };

@@ -1,0 +1,327 @@
+//! A monolithic register file with a reduced physical read-port budget
+//! and an operand-reuse capture buffer.
+//!
+//! Follows the read-port-count reduction schemes studied for centralized
+//! physical register files (Los, arXiv 2502.00147): the full-width
+//! monolithic array keeps fewer read ports than the issue width demands,
+//! and a small capture buffer holding the most recent writeback results
+//! serves re-read operands without consuming a port. Operands that miss
+//! the buffer arbitrate for the reduced port budget; losers retry next
+//! cycle and surface as issue-structural stalls in the tracer's
+//! attribution buckets.
+
+use crate::long_file::LongFileFull;
+use crate::regfile::IntRegFile;
+use crate::stats::AccessStats;
+use crate::value::ValueClass;
+
+/// Geometry of a [`PortReducedRegFile`]: the physical read-port budget and
+/// the capture-buffer depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortReducedParams {
+    /// Physical read ports on the monolithic array (must be at least 1;
+    /// the paper's baseline has 8).
+    pub read_ports: u32,
+    /// Capture-buffer entries (most recent writebacks); `0` disables the
+    /// buffer entirely.
+    pub capture_entries: usize,
+}
+
+impl Default for PortReducedParams {
+    /// Half the paper baseline's 8 read ports, with an 8-entry capture
+    /// buffer to win back the lost bandwidth.
+    fn default() -> Self {
+        Self { read_ports: 4, capture_entries: 8 }
+    }
+}
+
+impl PortReducedParams {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.read_ports == 0 {
+            return Err("port-reduced file needs at least one read port".into());
+        }
+        Ok(())
+    }
+}
+
+/// A monolithic N×64-bit file with a configurable read-port budget and a
+/// last-writeback capture buffer.
+///
+/// Storage semantics are identical to the baseline file (single-cycle
+/// read and writeback, no value typing); the difference is purely in
+/// issue-stage port accounting, reached through the
+/// [`IntRegFile::read_port_limit`] and [`IntRegFile::capture_buffer_hit`]
+/// hooks. A capture-buffer hit means the operand's value is still resident
+/// in the buffer from its producer's writeback, so the read consumes no
+/// physical port; the architectural value is served from the backing array
+/// either way, so correctness never depends on the buffer contents.
+///
+/// # Example
+///
+/// ```
+/// use carf_core::{IntRegFile, PortReducedParams, PortReducedRegFile};
+///
+/// let mut rf = PortReducedRegFile::new(112, PortReducedParams::default());
+/// rf.on_alloc(7);
+/// rf.try_write(7, 0xdead_beef, false)?;
+/// assert_eq!(rf.read_port_limit(), Some(4));
+/// assert!(rf.capture_buffer_hit(7)); // just written: still captured
+/// assert_eq!(rf.read(7), 0xdead_beef);
+/// # Ok::<(), carf_core::LongFileFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortReducedRegFile {
+    params: PortReducedParams,
+    values: Vec<u64>,
+    written: Vec<bool>,
+    /// Ring of the most recently written tags, oldest evicted first.
+    capture: Vec<usize>,
+    capture_head: usize,
+    stats: AccessStats,
+}
+
+impl PortReducedRegFile {
+    /// Creates a file with `entries` physical registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PortReducedParams::validate`].
+    pub fn new(entries: usize, params: PortReducedParams) -> Self {
+        params.validate().expect("invalid port-reduced parameters");
+        Self {
+            params,
+            values: vec![0; entries],
+            written: vec![false; entries],
+            capture: Vec::with_capacity(params.capture_entries),
+            capture_head: 0,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn params(&self) -> &PortReducedParams {
+        &self.params
+    }
+
+    /// Tags currently resident in the capture buffer (inspection).
+    pub fn captured_tags(&self) -> &[usize] {
+        &self.capture
+    }
+
+    fn capture_push(&mut self, tag: usize) {
+        if self.params.capture_entries == 0 {
+            return;
+        }
+        // A rewrite of a resident tag refreshes in place.
+        if self.capture.contains(&tag) {
+            return;
+        }
+        if self.capture.len() < self.params.capture_entries {
+            self.capture.push(tag);
+        } else {
+            self.capture[self.capture_head] = tag;
+            self.capture_head = (self.capture_head + 1) % self.params.capture_entries;
+        }
+    }
+
+    fn capture_evict(&mut self, tag: usize) {
+        if let Some(pos) = self.capture.iter().position(|&t| t == tag) {
+            self.capture.swap_remove(pos);
+            if self.capture_head >= self.capture.len() && !self.capture.is_empty() {
+                self.capture_head = 0;
+            }
+        }
+    }
+}
+
+impl IntRegFile for PortReducedRegFile {
+    fn num_tags(&self) -> usize {
+        self.values.len()
+    }
+
+    fn on_alloc(&mut self, tag: usize) {
+        self.written[tag] = false;
+        // The tag is being renamed to a new instruction: a stale capture
+        // entry must not serve the *previous* value's reads port-free.
+        self.capture_evict(tag);
+    }
+
+    fn try_write(
+        &mut self,
+        tag: usize,
+        value: u64,
+        _from_address_op: bool,
+    ) -> Result<Option<ValueClass>, LongFileFull> {
+        self.values[tag] = value;
+        self.written[tag] = true;
+        self.capture_push(tag);
+        self.stats.total_writes += 1;
+        Ok(None)
+    }
+
+    fn read(&mut self, tag: usize) -> u64 {
+        assert!(self.written[tag], "register read before write (tag {tag})");
+        self.stats.total_reads += 1;
+        self.values[tag]
+    }
+
+    fn peek(&self, tag: usize) -> Option<u64> {
+        self.written[tag].then(|| self.values[tag])
+    }
+
+    fn class_of(&self, _tag: usize) -> Option<ValueClass> {
+        None
+    }
+
+    fn release(&mut self, tag: usize) {
+        self.written[tag] = false;
+        self.capture_evict(tag);
+    }
+
+    fn observe_address(&mut self, _addr: u64) {}
+
+    fn rob_interval_tick(&mut self) {}
+
+    fn should_stall_issue(&self) -> bool {
+        false
+    }
+
+    fn read_stages(&self) -> u32 {
+        1
+    }
+
+    fn writeback_stages(&self) -> u32 {
+        1
+    }
+
+    fn extra_bypass_level(&self) -> bool {
+        false
+    }
+
+    fn sample_occupancy(&mut self) {}
+
+    fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut AccessStats {
+        &mut self.stats
+    }
+
+    fn read_port_limit(&self) -> Option<u32> {
+        Some(self.params.read_ports)
+    }
+
+    fn capture_buffer_hit(&mut self, tag: usize) -> bool {
+        let hit = self.written[tag] && self.capture.contains(&tag);
+        if hit {
+            // Counts successful lookups: an instruction denied issue for an
+            // unrelated structural reason may probe the same operand again
+            // next cycle.
+            self.stats.capture_reuse_hits += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf() -> PortReducedRegFile {
+        PortReducedRegFile::new(16, PortReducedParams { read_ports: 2, capture_entries: 3 })
+    }
+
+    #[test]
+    fn write_read_release_matches_baseline_semantics() {
+        let mut rf = rf();
+        rf.on_alloc(2);
+        rf.try_write(2, 99, false).unwrap();
+        assert_eq!(rf.read(2), 99);
+        assert_eq!(rf.peek(2), Some(99));
+        rf.release(2);
+        assert_eq!(rf.peek(2), None);
+        assert_eq!(rf.stats().total_reads, 1);
+        assert_eq!(rf.stats().total_writes, 1);
+    }
+
+    #[test]
+    fn port_limit_reflects_the_budget() {
+        assert_eq!(rf().read_port_limit(), Some(2));
+    }
+
+    #[test]
+    fn capture_buffer_holds_the_last_writebacks() {
+        let mut rf = rf();
+        for tag in 0..4usize {
+            rf.on_alloc(tag);
+            rf.try_write(tag, tag as u64, false).unwrap();
+        }
+        // Depth 3: tag 0 was evicted by tag 3.
+        assert!(!rf.capture_buffer_hit(0));
+        assert!(rf.capture_buffer_hit(1));
+        assert!(rf.capture_buffer_hit(2));
+        assert!(rf.capture_buffer_hit(3));
+        assert_eq!(rf.stats().capture_reuse_hits, 3);
+    }
+
+    #[test]
+    fn rename_evicts_the_stale_tag() {
+        let mut rf = rf();
+        rf.on_alloc(5);
+        rf.try_write(5, 1, false).unwrap();
+        assert!(rf.capture_buffer_hit(5));
+        // The tag is recycled to a new instruction: the old capture entry
+        // must not serve the unwritten new value.
+        rf.on_alloc(5);
+        assert!(!rf.capture_buffer_hit(5));
+    }
+
+    #[test]
+    fn release_evicts_the_tag() {
+        let mut rf = rf();
+        rf.on_alloc(1);
+        rf.try_write(1, 7, false).unwrap();
+        rf.release(1);
+        assert!(!rf.capture_buffer_hit(1));
+    }
+
+    #[test]
+    fn rewrite_of_resident_tag_refreshes_in_place() {
+        let mut rf = rf();
+        rf.on_alloc(0);
+        rf.try_write(0, 1, false).unwrap();
+        rf.try_write(0, 2, false).unwrap();
+        assert_eq!(rf.captured_tags().iter().filter(|&&t| t == 0).count(), 1);
+        assert_eq!(rf.read(0), 2);
+    }
+
+    #[test]
+    fn zero_depth_buffer_never_hits() {
+        let mut rf =
+            PortReducedRegFile::new(8, PortReducedParams { read_ports: 1, capture_entries: 0 });
+        rf.on_alloc(0);
+        rf.try_write(0, 1, false).unwrap();
+        assert!(!rf.capture_buffer_hit(0));
+        assert_eq!(rf.stats().capture_reuse_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read port")]
+    fn zero_ports_are_rejected() {
+        let _ = PortReducedRegFile::new(8, PortReducedParams { read_ports: 0, capture_entries: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "read before write")]
+    fn unwritten_read_panics() {
+        let mut rf = rf();
+        rf.on_alloc(0);
+        let _ = rf.read(0);
+    }
+}

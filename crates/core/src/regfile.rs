@@ -7,8 +7,8 @@ use crate::short_file::ShortFile;
 use crate::simple_file::SimpleFile;
 use crate::stats::AccessStats;
 use crate::value::{
-    extend_simple, is_simple, reconstruct_long, reconstruct_short, split_long, split_short,
-    ValueClass,
+    classify, extend_simple, is_simple, reconstruct_long, reconstruct_short, split_long,
+    split_short, ValueClass,
 };
 
 /// When the Short file may be allocated (paper §3.1 ablation).
@@ -204,8 +204,33 @@ pub trait IntRegFile {
     /// right now, without performing the write or any allocation (a probe
     /// miss reports [`ValueClass::Long`] even where the actual write could
     /// still allocate a Short entry). `None` for untyped organizations.
+    ///
+    /// Contract (pinned by the shared boundary test in
+    /// `tests/classify_boundaries.rs`): for every typed organization this
+    /// must equal [`crate::classify`]`(params, value, probe_hit)` where
+    /// `probe_hit` is the organization's own non-mutating Short/dictionary
+    /// probe — in particular the Simple test wins over a probe hit, and the
+    /// `from_address_op` flag never changes the *probe* outcome (it only
+    /// governs allocation, which this hook must not perform).
     fn classify_value(&self, _value: u64, _from_address_op: bool) -> Option<ValueClass> {
         None
+    }
+
+    /// Physical read-port budget this organization imposes on the issue
+    /// stage, overriding the machine configuration's port count. `None`
+    /// (the default) leaves the configured `rf_read_ports` budget in
+    /// force.
+    fn read_port_limit(&self) -> Option<u32> {
+        None
+    }
+
+    /// `true` when a read of `tag` this cycle would be served by an
+    /// operand-reuse/last-writeback capture buffer instead of a physical
+    /// read port. Backends with such a buffer count the hit into
+    /// [`AccessStats::capture_reuse_hits`]; the default has no buffer and
+    /// never hits, so port accounting is unchanged.
+    fn capture_buffer_hit(&mut self, _tag: usize) -> bool {
+        false
     }
 }
 
@@ -557,13 +582,10 @@ impl IntRegFile for ContentAwareRegFile {
     }
 
     fn classify_value(&self, value: u64, _from_address_op: bool) -> Option<ValueClass> {
-        Some(if is_simple(&self.params, value) {
-            ValueClass::Simple
-        } else if self.probe_short(value).is_some() {
-            ValueClass::Short
-        } else {
-            ValueClass::Long
-        })
+        // Delegate precedence to the shared free function so the hook can
+        // never drift from the WR1 algebra (pinned by the cross-backend
+        // boundary test).
+        Some(classify(&self.params, value, self.probe_short(value).is_some()))
     }
 }
 

@@ -85,6 +85,9 @@ pub struct AccessStats {
     pub long_allocs: u64,
     /// Long-file entry releases (free-list pointer traffic).
     pub long_releases: u64,
+    /// Reads served by an operand-reuse/last-writeback capture buffer
+    /// instead of a physical read port (port-reduced organizations only).
+    pub capture_reuse_hits: u64,
 }
 
 impl AccessStats {
@@ -114,6 +117,7 @@ impl AccessStats {
         self.short_reclaims += other.short_reclaims;
         self.long_allocs += other.long_allocs;
         self.long_releases += other.long_releases;
+        self.capture_reuse_hits += other.capture_reuse_hits;
     }
 }
 

@@ -1,0 +1,188 @@
+//! Exhaustive edge-value audit of the classification algebra, shared
+//! across all four register-file backends.
+//!
+//! Pins the subfile-width boundary behavior: values exactly at the
+//! Short/Long width cut, sign-extension of negative values (`-1`,
+//! `i64::MIN`, `±2^(dn-1)`), and the `short_hit`/Simple precedence rule.
+//! Every typed backend's `classify_value` hook must agree with the free
+//! [`classify`] function under the backend's own probe, the hook must
+//! ignore `from_address_op` (allocation policy never changes a probe),
+//! and every backend — typed or not — must store and reconstruct each
+//! edge value bit-exactly.
+
+use carf_core::{
+    classify, is_simple, BaselineRegFile, CarfParams, CompressedRegFile, ContentAwareRegFile,
+    IntRegFile, Policies, PortReducedParams, PortReducedRegFile, ShortIndexPolicy, ValueClass,
+};
+
+/// The sweep axis the paper uses (with_dn keeps n = 3; dn < 6 is invalid
+/// because the 6-bit Long pointer no longer fits the Value field).
+const DN_SWEEP: [u32; 7] = [8, 12, 16, 20, 24, 28, 32];
+
+/// Edge values for a given `d+n` cut: zero, ±1, the extremes, and every
+/// value within one of the representability boundary `±2^(dn-1)`.
+fn edge_values(dn: u32) -> Vec<u64> {
+    let cut = 1i64 << (dn - 1);
+    let mut v = vec![
+        0u64,
+        1,
+        (-1i64) as u64,
+        i64::MIN as u64,
+        i64::MAX as u64,
+        u64::MAX,
+        (cut - 1) as u64,        // largest simple positive
+        cut as u64,              // first non-simple positive
+        (cut + 1) as u64,
+        (-cut) as u64,           // smallest simple negative
+        (-cut - 1) as u64,       // first non-simple negative
+        (-cut + 1) as u64,
+        1u64 << dn,              // one bit past the value field
+        (1u64 << dn) - 1,
+    ];
+    v.dedup();
+    v
+}
+
+/// Independent reference for the simple test: the value fits in a
+/// `dn`-bit two's-complement window. Computed in i128 so the boundary
+/// arithmetic itself cannot overflow.
+fn fits_signed_window(v: u64, dn: u32) -> bool {
+    let x = i128::from(v as i64);
+    let half = 1i128 << (dn - 1);
+    (-half..half).contains(&x)
+}
+
+#[test]
+fn is_simple_matches_the_signed_window_reference() {
+    for dn in DN_SWEEP {
+        let p = CarfParams::with_dn(dn);
+        for v in edge_values(dn) {
+            assert_eq!(
+                is_simple(&p, v),
+                fits_signed_window(v, dn),
+                "dn={dn} v={v:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_backend_round_trips_every_edge_value() {
+    for dn in DN_SWEEP {
+        let p = CarfParams::with_dn(dn);
+        let values = edge_values(dn);
+        let mut carf = ContentAwareRegFile::new(p);
+        let mut comp = CompressedRegFile::new(p);
+        let mut base = BaselineRegFile::new(p.simple_entries);
+        let mut ports = PortReducedRegFile::new(p.simple_entries, PortReducedParams::default());
+        let backends: [&mut dyn IntRegFile; 4] = [&mut carf, &mut comp, &mut base, &mut ports];
+        for rf in backends {
+            for (tag, &v) in values.iter().enumerate() {
+                rf.on_alloc(tag);
+                rf.try_write(tag, v, false).expect("edge value write");
+                assert_eq!(rf.read(tag), v, "dn={dn} v={v:#x}");
+                assert_eq!(rf.peek(tag), Some(v), "dn={dn} v={v:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn untyped_backends_never_classify() {
+    for dn in DN_SWEEP {
+        let p = CarfParams::with_dn(dn);
+        let base = BaselineRegFile::new(p.simple_entries);
+        let ports = PortReducedRegFile::new(p.simple_entries, PortReducedParams::default());
+        for v in edge_values(dn) {
+            assert_eq!(base.classify_value(v, false), None);
+            assert_eq!(base.classify_value(v, true), None);
+            assert_eq!(ports.classify_value(v, false), None);
+            assert_eq!(ports.classify_value(v, true), None);
+        }
+    }
+}
+
+#[test]
+fn typed_hooks_agree_with_the_free_function_on_a_cold_probe() {
+    for dn in DN_SWEEP {
+        let p = CarfParams::with_dn(dn);
+        let carf = ContentAwareRegFile::new(p);
+        let comp = CompressedRegFile::new(p);
+        for v in edge_values(dn) {
+            // An empty Short file / dictionary cannot hit, so both hooks
+            // must equal the free function with short_hit = false...
+            let expect = Some(classify(&p, v, false));
+            assert_eq!(carf.classify_value(v, false), expect, "carf dn={dn} v={v:#x}");
+            assert_eq!(comp.classify_value(v, false), expect, "compressed dn={dn} v={v:#x}");
+            // ...and the address flag must never change the probe outcome.
+            assert_eq!(carf.classify_value(v, true), expect, "carf dn={dn} v={v:#x}");
+            assert_eq!(comp.classify_value(v, true), expect, "compressed dn={dn} v={v:#x}");
+        }
+    }
+}
+
+#[test]
+fn written_class_matches_the_hook_or_reflects_a_write_time_allocation() {
+    for dn in DN_SWEEP {
+        let p = CarfParams::with_dn(dn);
+        let mut carf = ContentAwareRegFile::new(p);
+        let mut comp = CompressedRegFile::new(p);
+        for (tag, v) in edge_values(dn).into_iter().enumerate() {
+            for rf in [&mut carf as &mut dyn IntRegFile, &mut comp] {
+                let predicted = rf.classify_value(v, false).expect("typed backend");
+                rf.on_alloc(tag);
+                let written = rf.try_write(tag, v, false).expect("write").expect("class");
+                // The only allowed divergence is the documented one: the
+                // probe missed but the write claimed a free Short or
+                // dictionary slot.
+                if written != predicted {
+                    assert_eq!(predicted, ValueClass::Long, "dn={dn} v={v:#x}");
+                    assert_eq!(written, ValueClass::Short, "dn={dn} v={v:#x}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simple_wins_over_a_short_hit_in_every_typed_backend() {
+    for dn in DN_SWEEP {
+        let p = CarfParams::with_dn(dn);
+        // Train the Short file / dictionary with the all-ones-high,
+        // all-zeros-low pattern: not simple (the low window's sign bit is
+        // clear) but sharing its high bits with every small negative
+        // simple value, -1 included.
+        let trainer = !0u64 << dn;
+        assert!(!is_simple(&p, trainer));
+
+        // Under direct indexing a simple value's probe structurally cannot
+        // hit (the slot index contains the sign bit of the low window), so
+        // exercise a *real* hit through the associative ablation probe.
+        let mut carf = ContentAwareRegFile::with_policies(
+            p,
+            Policies { short_index: ShortIndexPolicy::Associative, ..Policies::default() },
+        );
+        carf.observe_address(trainer);
+        let mut direct = ContentAwareRegFile::new(p);
+        direct.observe_address(trainer);
+        let mut comp = CompressedRegFile::new(p);
+        comp.on_alloc(0);
+        comp.try_write(0, trainer, false).expect("trainer write");
+
+        // The trained entry is really resident: a non-simple member of the
+        // group now classifies Short.
+        let member = trainer | 1;
+        assert!(!is_simple(&p, member));
+        assert_eq!(carf.classify_value(member, false), Some(ValueClass::Short), "dn={dn}");
+        assert_eq!(direct.classify_value(member, false), Some(ValueClass::Short), "dn={dn}");
+        assert_eq!(comp.classify_value(member, false), Some(ValueClass::Short), "dn={dn}");
+
+        // -1 shares those high bits, so the associative probe hits — but
+        // it sign extends, and Simple must take precedence over the hit.
+        let neg1 = (-1i64) as u64;
+        assert_eq!(classify(&p, neg1, true), ValueClass::Simple);
+        assert_eq!(carf.classify_value(neg1, false), Some(ValueClass::Simple), "dn={dn}");
+        assert_eq!(direct.classify_value(neg1, false), Some(ValueClass::Simple), "dn={dn}");
+        assert_eq!(comp.classify_value(neg1, false), Some(ValueClass::Simple), "dn={dn}");
+    }
+}

@@ -37,6 +37,8 @@
 
 mod geometry;
 mod model;
+mod summary;
 
 pub use geometry::RegFileGeometry;
 pub use model::{TechModel, PAPER_BASELINE, PAPER_UNLIMITED};
+pub use summary::BankedOrganization;

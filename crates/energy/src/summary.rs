@@ -1,0 +1,124 @@
+//! Whole-organization accounting: a register-file backend as a set of
+//! named banks, with aggregate area and critical-path access time.
+//!
+//! The paper's Figures 8 and 9 report the content-aware file this way —
+//! total area is the sum of the sub-file arrays, access time is the
+//! slowest sub-file — and the backend zoo (compressed, port-reduced)
+//! reports through the same lens so one table can compare all of them.
+
+use crate::geometry::RegFileGeometry;
+use crate::model::TechModel;
+
+/// One register-file organization as a list of named banks.
+///
+/// # Example
+///
+/// ```
+/// use carf_energy::{BankedOrganization, RegFileGeometry, TechModel, PAPER_BASELINE};
+///
+/// let model = TechModel::default_model();
+/// let base = BankedOrganization::monolithic("baseline", PAPER_BASELINE);
+/// let banked = BankedOrganization::new(
+///     "split",
+///     vec![
+///         ("low".into(), RegFileGeometry::new(112, 22, 8, 6)),
+///         ("high".into(), RegFileGeometry::new(48, 50, 8, 6)),
+///     ],
+/// );
+/// assert!(banked.area(&model) < base.area(&model));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankedOrganization {
+    /// Display name ("baseline", "carf", "compressed", ...).
+    pub name: &'static str,
+    /// Named banks, in report order.
+    pub banks: Vec<(String, RegFileGeometry)>,
+}
+
+impl BankedOrganization {
+    /// An organization with the given banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `banks` is empty — an organization must store
+    /// something.
+    pub fn new(name: &'static str, banks: Vec<(String, RegFileGeometry)>) -> Self {
+        assert!(!banks.is_empty(), "an organization needs at least one bank");
+        Self { name, banks }
+    }
+
+    /// A single-array organization (baseline, unlimited).
+    pub fn monolithic(name: &'static str, geometry: RegFileGeometry) -> Self {
+        Self::new(name, vec![("main".into(), geometry)])
+    }
+
+    /// Total cell-array area: the sum over banks (they tile side by side).
+    pub fn area(&self, model: &TechModel) -> f64 {
+        self.banks.iter().map(|(_, g)| model.area(g)).sum()
+    }
+
+    /// Critical-path access time: the slowest bank bounds the cycle.
+    pub fn worst_access_time(&self, model: &TechModel) -> f64 {
+        self.banks
+            .iter()
+            .map(|(_, g)| model.access_time(g))
+            .fold(0.0, f64::max)
+    }
+
+    /// Raw storage capacity over all banks, in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.banks.iter().map(|(_, g)| g.storage_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PAPER_BASELINE, PAPER_UNLIMITED};
+
+    fn m() -> TechModel {
+        TechModel::default_model()
+    }
+
+    #[test]
+    fn monolithic_matches_the_raw_model() {
+        let org = BankedOrganization::monolithic("baseline", PAPER_BASELINE);
+        assert_eq!(org.area(&m()), m().area(&PAPER_BASELINE));
+        assert_eq!(org.worst_access_time(&m()), m().access_time(&PAPER_BASELINE));
+        assert_eq!(org.storage_bits(), PAPER_BASELINE.storage_bits());
+    }
+
+    #[test]
+    fn aggregates_sum_and_max_over_banks() {
+        let a = RegFileGeometry::new(112, 22, 8, 6);
+        let b = RegFileGeometry::new(48, 50, 8, 6);
+        let org =
+            BankedOrganization::new("split", vec![("a".into(), a), ("b".into(), b)]);
+        assert_eq!(org.area(&m()), m().area(&a) + m().area(&b));
+        assert_eq!(
+            org.worst_access_time(&m()),
+            m().access_time(&a).max(m().access_time(&b))
+        );
+        assert_eq!(org.storage_bits(), a.storage_bits() + b.storage_bits());
+    }
+
+    #[test]
+    fn a_banked_split_beats_the_unlimited_monolith() {
+        let org = BankedOrganization::new(
+            "split",
+            vec![
+                ("low".into(), RegFileGeometry::new(112, 22, 8, 6)),
+                ("high".into(), RegFileGeometry::new(48, 50, 8, 6)),
+            ],
+        );
+        let unlimited = BankedOrganization::monolithic("unlimited", PAPER_UNLIMITED);
+        assert!(org.area(&m()) < unlimited.area(&m()));
+        assert!(org.worst_access_time(&m()) < unlimited.worst_access_time(&m()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn empty_organizations_are_rejected() {
+        let _ = BankedOrganization::new("void", Vec::new());
+    }
+}

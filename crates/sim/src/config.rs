@@ -1,7 +1,7 @@
 //! Simulator configuration (the paper's Table 1).
 
 use crate::lsq::MemDepPolicy;
-use carf_core::{CarfParams, Policies};
+use carf_core::{CarfParams, Policies, PortReducedParams};
 use carf_mem::HierarchyConfig;
 
 /// Which integer register-file organization the pipeline uses.
@@ -12,6 +12,12 @@ pub enum RegFileKind {
     Baseline,
     /// The content-aware organization with the given geometry and policies.
     ContentAware(CarfParams, Policies),
+    /// Statically-compressed narrow banks with a dictionary and a
+    /// full-width overflow bank, sharing the content-aware geometry.
+    Compressed(CarfParams),
+    /// A monolithic file with a reduced read-port budget and an
+    /// operand-reuse capture buffer.
+    PortReduced(PortReducedParams),
 }
 
 /// Branch-predictor configuration.
@@ -167,6 +173,15 @@ impl SimConfig {
                 p.short_entries,
                 p.long_entries
             ),
+            RegFileKind::Compressed(p) => format!(
+                "compressed(d+n={},M={},K={})",
+                p.dn(),
+                p.short_entries,
+                p.long_entries
+            ),
+            RegFileKind::PortReduced(p) => {
+                format!("ports({}r,cap{})", p.read_ports, p.capture_entries)
+            }
         }
     }
 
@@ -176,6 +191,18 @@ impl SimConfig {
             regfile: RegFileKind::ContentAware(params, policies),
             ..Self::paper_baseline()
         }
+    }
+
+    /// The baseline machine with the statically-compressed register file
+    /// (narrow banks + dictionary + overflow exception bank).
+    pub fn paper_compressed(params: CarfParams) -> Self {
+        Self { regfile: RegFileKind::Compressed(params), ..Self::paper_baseline() }
+    }
+
+    /// The baseline machine with the port-reduced register file. The
+    /// backend's read-port budget overrides [`SimConfig::rf_read_ports`].
+    pub fn paper_port_reduced(params: PortReducedParams) -> Self {
+        Self { regfile: RegFileKind::PortReduced(params), ..Self::paper_baseline() }
     }
 
     /// A small, fast machine for unit tests: tiny caches and short
@@ -218,16 +245,23 @@ impl SimConfig {
         if self.checkpoints == 0 {
             return Err("need at least one branch checkpoint".into());
         }
-        if let RegFileKind::ContentAware(params, _) = &self.regfile {
-            params.validate().map_err(|e| e.to_string())?;
-            if params.long_entries < 32 + self.issue_width {
-                return Err(format!(
-                    "long file of {} entries cannot back 32 architectural wide values \
-                     plus an issue group; liveness requires at least {}",
-                    params.long_entries,
-                    32 + self.issue_width
-                ));
+        match &self.regfile {
+            RegFileKind::ContentAware(params, _) | RegFileKind::Compressed(params) => {
+                params.validate().map_err(|e| e.to_string())?;
+                // Both organizations back wide values in a K-entry bank
+                // (Long file / overflow bank) and share the same liveness
+                // requirement.
+                if params.long_entries < 32 + self.issue_width {
+                    return Err(format!(
+                        "long file of {} entries cannot back 32 architectural wide values \
+                         plus an issue group; liveness requires at least {}",
+                        params.long_entries,
+                        32 + self.issue_width
+                    ));
+                }
             }
+            RegFileKind::PortReduced(params) => params.validate()?,
+            RegFileKind::Baseline => {}
         }
         Ok(())
     }
@@ -275,6 +309,11 @@ mod tests {
         assert_eq!(SimConfig::paper_baseline().validate(), Ok(()));
         assert_eq!(SimConfig::paper_unlimited().validate(), Ok(()));
         assert_eq!(SimConfig::paper_carf(CarfParams::paper_default()).validate(), Ok(()));
+        assert_eq!(SimConfig::paper_compressed(CarfParams::paper_default()).validate(), Ok(()));
+        assert_eq!(
+            SimConfig::paper_port_reduced(PortReducedParams::default()).validate(),
+            Ok(())
+        );
     }
 
     #[test]
@@ -292,6 +331,19 @@ mod tests {
             p.long_entries = 16; // below the 32 + issue-width liveness bound
         }
         assert!(c.validate().unwrap_err().contains("liveness"));
+
+        // The compressed overflow bank shares the liveness requirement.
+        let mut c = SimConfig::paper_compressed(CarfParams::paper_default());
+        if let RegFileKind::Compressed(p) = &mut c.regfile {
+            p.long_entries = 16;
+        }
+        assert!(c.validate().unwrap_err().contains("liveness"));
+
+        let c = SimConfig::paper_port_reduced(PortReducedParams {
+            read_ports: 0,
+            capture_entries: 4,
+        });
+        assert!(c.validate().unwrap_err().contains("read port"));
     }
 
     #[test]
@@ -308,5 +360,13 @@ mod tests {
         assert!(SimConfig::paper_baseline().describe().starts_with("baseline("));
         let carf = SimConfig::paper_carf(CarfParams::paper_default()).describe();
         assert!(carf.contains("d+n=20"), "{carf}");
+    }
+
+    #[test]
+    fn describe_names_the_backend_zoo() {
+        let comp = SimConfig::paper_compressed(CarfParams::paper_default()).describe();
+        assert!(comp.starts_with("compressed(") && comp.contains("d+n=20"), "{comp}");
+        let ports = SimConfig::paper_port_reduced(PortReducedParams::default()).describe();
+        assert_eq!(ports, "ports(4r,cap8)");
     }
 }

@@ -44,6 +44,10 @@ pub enum AnySimulator<T: Tracer = NopTracer> {
     Baseline(Box<Simulator<BaselineRegFile, T>>),
     /// The paper's content-aware file.
     ContentAware(Box<Simulator<ContentAwareRegFile, T>>),
+    /// The dictionary-compressed file with a full-width overflow bank.
+    Compressed(Box<Simulator<CompressedRegFile, T>>),
+    /// The read-port-reduced file with an operand-reuse capture buffer.
+    PortReduced(Box<Simulator<PortReducedRegFile, T>>),
 }
 
 /// Runs `$body` with `$sim` bound to whichever arm is live.
@@ -52,6 +56,8 @@ macro_rules! dispatch {
         match $self {
             AnySimulator::Baseline($sim) => $body,
             AnySimulator::ContentAware($sim) => $body,
+            AnySimulator::Compressed($sim) => $body,
+            AnySimulator::PortReduced($sim) => $body,
         }
     };
 }
@@ -81,6 +87,12 @@ impl AnySimulator {
             RegFileKind::ContentAware(..) => AnySimulator::ContentAware(Box::new(
                 Simulator::from_checkpoint(config, program, ckpt)?,
             )),
+            RegFileKind::Compressed(..) => AnySimulator::Compressed(Box::new(
+                Simulator::from_checkpoint(config, program, ckpt)?,
+            )),
+            RegFileKind::PortReduced(..) => AnySimulator::PortReduced(Box::new(
+                Simulator::from_checkpoint(config, program, ckpt)?,
+            )),
         })
     }
 }
@@ -95,6 +107,14 @@ impl<T: Tracer> AnySimulator<T> {
             }
             RegFileKind::ContentAware(..) => {
                 AnySimulator::ContentAware(Box::new(Simulator::with_tracer(
+                    config, program, tracer,
+                )))
+            }
+            RegFileKind::Compressed(..) => {
+                AnySimulator::Compressed(Box::new(Simulator::with_tracer(config, program, tracer)))
+            }
+            RegFileKind::PortReduced(..) => {
+                AnySimulator::PortReduced(Box::new(Simulator::with_tracer(
                     config, program, tracer,
                 )))
             }

@@ -177,6 +177,11 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
                         from_rf[i] = needs_port;
                         if needs_port {
                             match src {
+                                // A capture-buffer hit (port-reduced file)
+                                // serves this operand without a physical
+                                // port; the value is still read from the
+                                // register file, so `from_rf` stays set.
+                                Src::Int(p) if self.int_rf.capture_buffer_hit(*p as usize) => {}
                                 Src::Int(_) => int_reads += 1,
                                 Src::Fp(_) => fp_reads += 1,
                                 _ => unreachable!(),
@@ -200,6 +205,7 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
             // the FU so a denial leaks nothing past this cycle). Denials
             // are structural: retry next cycle.
             if int_reads > 0 && !self.int_read_ports.try_acquire_n(int_reads) {
+                self.stats.rf_read_port_denials += 1;
                 self.wake_wheel.schedule(self.now, self.now + 1, seq);
                 continue;
             }

@@ -40,7 +40,9 @@ pub use any::AnySimulator;
 
 use std::collections::{BTreeMap, VecDeque};
 
-use carf_core::{BaselineRegFile, ContentAwareRegFile, IntRegFile};
+use carf_core::{
+    BaselineRegFile, CompressedRegFile, ContentAwareRegFile, IntRegFile, PortReducedRegFile,
+};
 use carf_isa::semantics::{
     eval_branch, eval_fp_alu, eval_fp_to_int, eval_int_alu, eval_int_to_fp, extend_load,
     load_width, store_bytes, store_width, LoadWidth,
@@ -444,9 +446,9 @@ impl RegFileBackend for BaselineRegFile {
     fn from_config(config: &SimConfig) -> Self {
         match &config.regfile {
             RegFileKind::Baseline => BaselineRegFile::new(config.int_pregs),
-            RegFileKind::ContentAware(..) => panic!(
-                "config names the content-aware register file; build \
-                 Simulator<ContentAwareRegFile> or use AnySimulator"
+            other => panic!(
+                "config names {other:?}, not the baseline register file; \
+                 build the matching Simulator<_> or use AnySimulator"
             ),
         }
     }
@@ -460,9 +462,39 @@ impl RegFileBackend for ContentAwareRegFile {
                 p.simple_entries = config.int_pregs;
                 ContentAwareRegFile::with_policies(p, *policies)
             }
-            RegFileKind::Baseline => panic!(
-                "config names the baseline register file; build \
-                 Simulator<BaselineRegFile> or use AnySimulator"
+            other => panic!(
+                "config names {other:?}, not the content-aware register file; \
+                 build the matching Simulator<_> or use AnySimulator"
+            ),
+        }
+    }
+}
+
+impl RegFileBackend for CompressedRegFile {
+    fn from_config(config: &SimConfig) -> Self {
+        match &config.regfile {
+            RegFileKind::Compressed(params) => {
+                let mut p = *params;
+                p.simple_entries = config.int_pregs;
+                CompressedRegFile::new(p)
+            }
+            other => panic!(
+                "config names {other:?}, not the compressed register file; \
+                 build the matching Simulator<_> or use AnySimulator"
+            ),
+        }
+    }
+}
+
+impl RegFileBackend for PortReducedRegFile {
+    fn from_config(config: &SimConfig) -> Self {
+        match &config.regfile {
+            RegFileKind::PortReduced(params) => {
+                PortReducedRegFile::new(config.int_pregs, *params)
+            }
+            other => panic!(
+                "config names {other:?}, not the port-reduced register file; \
+                 build the matching Simulator<_> or use AnySimulator"
             ),
         }
     }
@@ -632,6 +664,9 @@ impl<R: RegFileBackend, T: Tracer> Simulator<R, T> {
         let read_stages = u64::from(int_rf.read_stages());
         let wb_stages = u64::from(int_rf.writeback_stages());
         let full_bypass = int_rf.writeback_stages() == 1 || int_rf.extra_bypass_level();
+        // An organization with its own physical port budget (the
+        // port-reduced file) overrides the machine configuration.
+        let int_read_ports = int_rf.read_port_limit().unwrap_or(config.rf_read_ports);
 
         let mut rename = RenameTables::new(config.int_pregs, config.fp_pregs);
         rename.set_checkpoint_limit(config.checkpoints);
@@ -660,7 +695,7 @@ impl<R: RegFileBackend, T: Tracer> Simulator<R, T> {
             fp_pregs: vec![PregState::reset(); config.fp_pregs],
             int_fus: FuPool::new(config.int_units),
             fp_fus: FuPool::new(config.fp_units),
-            int_read_ports: PortMeter::new(config.rf_read_ports),
+            int_read_ports: PortMeter::new(int_read_ports),
             int_write_ports: PortMeter::new(config.rf_write_ports),
             fp_read_ports: PortMeter::new(config.rf_read_ports),
             fp_write_ports: PortMeter::new(config.rf_write_ports),

@@ -88,9 +88,7 @@ impl SharedLongSmt {
                         ));
                     }
                 }
-                RegFileKind::Baseline => {
-                    return Err("shared-Long SMT requires content-aware threads".into())
-                }
+                _ => return Err("shared-Long SMT requires content-aware threads".into()),
             }
             sims.push(Simulator::new(config, program));
         }

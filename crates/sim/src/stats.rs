@@ -208,6 +208,9 @@ pub struct SimStats {
     pub dest_class_total: u64,
     /// Store-to-load forwards.
     pub stl_forwards: u64,
+    /// Integer read-port arbitration denials at issue (the instruction
+    /// retries next cycle; port-reduced organizations make this visible).
+    pub rf_read_port_denials: u64,
     /// Integer functional-unit acquisition denials (structural pressure).
     pub int_fu_denials: u64,
     /// FP functional-unit acquisition denials.

@@ -4,7 +4,10 @@
 //! real introspection on the content-aware file), and the enum facade
 //! must agree bit-for-bit with direct monomorphized construction.
 
-use carf_core::{BaselineRegFile, CarfParams, ContentAwareRegFile, ValueClass};
+use carf_core::{
+    BaselineRegFile, CarfParams, CompressedRegFile, ContentAwareRegFile, PortReducedParams,
+    PortReducedRegFile, ValueClass,
+};
 use carf_sim::{AnySimulator, SharedLongSmt, SimConfig, SimStats, Simulator};
 use carf_workloads::{random_program, RandomProgramParams};
 use carf_isa::Program;
@@ -33,8 +36,12 @@ fn any_simulator_selects_the_configured_backend() {
     let program = pinned_program();
     let (base, _) = run_any(SimConfig::paper_baseline(), &program);
     let (carf, _) = run_any(SimConfig::paper_carf(CarfParams::paper_default()), &program);
+    let (comp, _) = run_any(SimConfig::paper_compressed(CarfParams::paper_default()), &program);
+    let (ports, _) = run_any(SimConfig::paper_port_reduced(PortReducedParams::default()), &program);
     assert!(matches!(base, AnySimulator::Baseline(_)));
     assert!(matches!(carf, AnySimulator::ContentAware(_)));
+    assert!(matches!(comp, AnySimulator::Compressed(_)));
+    assert!(matches!(ports, AnySimulator::PortReduced(_)));
 }
 
 #[test]
@@ -50,6 +57,74 @@ fn enum_facade_matches_direct_monomorphized_construction() {
     let mut direct = Simulator::<ContentAwareRegFile>::new(carf_cfg, &program);
     direct.run(1_000_000).expect("clean run");
     assert_eq!(format!("{via_enum:?}"), format!("{:?}", direct.stats()));
+
+    let comp_cfg = SimConfig::paper_compressed(CarfParams::paper_default());
+    let (_, via_enum) = run_any(comp_cfg.clone(), &program);
+    let mut direct = Simulator::<CompressedRegFile>::new(comp_cfg, &program);
+    direct.run(1_000_000).expect("clean run");
+    assert_eq!(format!("{via_enum:?}"), format!("{:?}", direct.stats()));
+
+    let port_cfg = SimConfig::paper_port_reduced(PortReducedParams::default());
+    let (_, via_enum) = run_any(port_cfg.clone(), &program);
+    let mut direct = Simulator::<PortReducedRegFile>::new(port_cfg, &program);
+    direct.run(1_000_000).expect("clean run");
+    assert_eq!(format!("{via_enum:?}"), format!("{:?}", direct.stats()));
+}
+
+/// The compressed organization must expose its structure through the same
+/// capability hooks the content-aware file uses, and the port-reduced
+/// organization must surface its port budget, capture reuse, and the
+/// arbitration denials it causes.
+#[test]
+fn backend_zoo_hooks_and_counters_behave() {
+    let program = pinned_program();
+
+    let (comp, comp_stats) =
+        run_any(SimConfig::paper_compressed(CarfParams::paper_default()), &program);
+    let rf = comp.int_regfile();
+    assert!(rf.carf_params().is_some(), "compressed file reuses the CARF geometry");
+    assert!(rf.carf_policies().is_none(), "but has no CARF policy knobs");
+    assert!(rf.read_port_limit().is_none(), "no private port budget");
+    let occ = rf.occupancy_report().expect("occupancy report");
+    assert!(occ.long_peak_live > 0, "pinned workload must exercise the overflow bank");
+    assert_eq!(rf.classify_value(5, false), Some(ValueClass::Simple));
+    assert!(comp_stats.int_rf.total_writes > 0);
+
+    // Two read ports on a 4-wide machine: arbitration must actually deny,
+    // and the capture buffer must serve some reads port-free.
+    let squeezed = SimConfig::paper_port_reduced(PortReducedParams {
+        read_ports: 2,
+        capture_entries: 8,
+    });
+    let (ports, port_stats) = run_any(squeezed, &program);
+    let rf = ports.int_regfile();
+    assert_eq!(rf.read_port_limit(), Some(2));
+    assert!(rf.carf_params().is_none());
+    assert!(rf.classify_value(5, false).is_none(), "untyped storage never classifies");
+    assert!(
+        port_stats.int_rf.capture_reuse_hits > 0,
+        "the capture buffer must serve some operands port-free"
+    );
+
+    // A budget equal to the machine default must deny exactly as often as
+    // the baseline's own metering; halving it must deny more and cost
+    // cycles.
+    let roomy = SimConfig::paper_port_reduced(PortReducedParams {
+        read_ports: 8,
+        capture_entries: 0,
+    });
+    let (_, roomy_stats) = run_any(roomy, &program);
+    let (_, base_stats) = run_any(SimConfig::paper_baseline(), &program);
+    assert_eq!(roomy_stats.rf_read_port_denials, base_stats.rf_read_port_denials);
+    assert_eq!(roomy_stats.int_rf.capture_reuse_hits, 0, "zero-depth buffer never hits");
+    assert!(
+        port_stats.rf_read_port_denials > roomy_stats.rf_read_port_denials,
+        "a 2-port budget must deny more than the 8-port machine \
+         ({} <= {})",
+        port_stats.rf_read_port_denials,
+        roomy_stats.rf_read_port_denials
+    );
+    assert!(port_stats.cycles > roomy_stats.cycles, "port starvation must cost cycles");
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Property-based co-simulation: arbitrary terminating programs through
 //! the timing pipeline must match the functional machine exactly.
 
-use carf_core::{CarfParams, Policies};
+use carf_core::{CarfParams, Policies, PortReducedParams};
 use carf_sim::{RegFileKind, SimConfig, AnySimulator};
 use carf_workloads::{random_program, RandomProgramParams};
 use proptest::prelude::*;
@@ -9,7 +9,7 @@ use proptest::prelude::*;
 fn cfg_for(kind: u8) -> SimConfig {
     let mut cfg = SimConfig::test_small();
     cfg.cosim = true;
-    match kind % 3 {
+    match kind % 5 {
         0 => {}
         1 => {
             cfg.regfile = RegFileKind::ContentAware(
@@ -17,11 +17,25 @@ fn cfg_for(kind: u8) -> SimConfig {
                 Policies::default(),
             );
         }
-        _ => {
+        2 => {
             cfg.regfile = RegFileKind::ContentAware(
                 CarfParams { simple_entries: 64, ..CarfParams::with_dn(12) },
                 Policies { extra_bypass: false, ..Policies::default() },
             );
+        }
+        3 => {
+            cfg.regfile = RegFileKind::Compressed(CarfParams {
+                simple_entries: 64,
+                ..CarfParams::paper_default()
+            });
+        }
+        _ => {
+            // A tight port budget with a shallow capture buffer, so both
+            // the arbitration and the reuse path are exercised.
+            cfg.regfile = RegFileKind::PortReduced(PortReducedParams {
+                read_ports: 2,
+                capture_entries: 4,
+            });
         }
     }
     cfg
@@ -49,6 +63,42 @@ proptest! {
             .unwrap_or_else(|e| panic!("seed {seed} kind {kind}: {e}"));
         prop_assert!(result.halted);
         prop_assert!(result.committed > iterations * body_len as u64 / 2);
+    }
+
+    /// The parallel engine runs one simulation per worker thread; results
+    /// must not depend on the worker count. Run each backend once on the
+    /// calling thread (jobs=1) and four times concurrently (jobs=4) and
+    /// demand bit-identical architectural state and retire counts.
+    #[test]
+    fn all_backends_are_bit_identical_across_job_counts(
+        seed in any::<u64>(),
+        body_len in 20usize..50,
+    ) {
+        let program = random_program(&RandomProgramParams {
+            seed,
+            body_len,
+            iterations: 8,
+            ..Default::default()
+        });
+        for kind in 0u8..5 {
+            let cfg = cfg_for(kind);
+            let run = |cfg: SimConfig| {
+                let mut sim = AnySimulator::new(cfg, &program);
+                sim.run(5_000_000)
+                    .unwrap_or_else(|e| panic!("seed {seed} kind {kind}: {e}"));
+                (sim.arch_checkpoint().fingerprint(), sim.retired())
+            };
+            let solo = run(cfg.clone());
+            let parallel: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..4).map(|_| s.spawn(|| run(cfg.clone()))).collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            });
+            for (fp, retired) in parallel {
+                prop_assert_eq!(fp, solo.0, "seed {} kind {}", seed, kind);
+                prop_assert_eq!(retired, solo.1, "seed {} kind {}", seed, kind);
+            }
+        }
     }
 
     #[test]

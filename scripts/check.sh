@@ -21,6 +21,15 @@ CARF_RESULTS_DIR="$(mktemp -d)" \
     cargo run --release -q -p carf-bench --bin carf-trace -- \
     --quick --jobs 2 --machine both sort_kernel >/dev/null
 
+echo "==> compare_backends smoke test (backend zoo)"
+# All four register-file backends (baseline, CARF, compressed,
+# port-reduced) through one quick int-suite matrix: exercises the enum
+# dispatch seam, the per-backend energy/area accounting, and the traced
+# stall attribution (the binary asserts the bucket-sum invariant).
+CARF_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release -q -p carf-bench --bin compare_backends -- \
+    --quick --jobs 2 --suite int | tail -n 10
+
 echo "==> scheduler hot-loop microbench (informational)"
 # Perf smoke: the Criterion microbench and a headline KIPS run. Both are
 # informational — they fail the gate only if the simulator crashes, never
