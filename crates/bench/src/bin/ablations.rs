@@ -7,7 +7,7 @@
 //! * the extra bypass level (§3.1: optional, small effect);
 //! * the pseudo-deadlock guard threshold (§3.1: stall at the issue width).
 
-use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json, SuiteResult};
+use carf_bench::{mean, pct, print_table, run_matrix_cached, write_timing_json, SuiteResult};
 use carf_core::{CarfParams, Policies, ShortAllocPolicy, ShortIndexPolicy};
 use carf_sim::{SimConfig, SimStats};
 use carf_workloads::Suite;
@@ -67,7 +67,7 @@ fn main() {
         points.push((cfg.clone(), Suite::Int));
         points.push((cfg.clone(), Suite::Fp));
     }
-    let results = run_matrix(&points, &budget);
+    let results = run_matrix_cached(&points, &budget).results;
     let by_config = |i: usize| collapse(&results[2 * i], &results[2 * i + 1]);
 
     let (ref_ipc, ref_stats) = by_config(0);

@@ -17,11 +17,10 @@
 
 use carf_bench::cli::{parse_suites, CliSpec, OptSpec};
 use carf_bench::parallel::{self, PointTiming};
-use carf_bench::{geomean_kips, peak_kips, print_table, run_suite, Budget};
+use carf_bench::{fsio, gate, geomean_kips, peak_kips, print_table, run_suite, Budget};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
-use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const SPEC: CliSpec = CliSpec {
     bin: "bench_kips",
@@ -36,6 +35,21 @@ const SPEC: CliSpec = CliSpec {
             value: Some("PATH"),
             help: "also write the timing record to PATH as a snapshot",
         },
+        OptSpec {
+            name: "--gate",
+            value: None,
+            help: "perf-regression gate: compare against the committed baseline and exit nonzero on drift",
+        },
+        OptSpec {
+            name: "--gate-baseline",
+            value: Some("PATH"),
+            help: "gate baseline snapshot (default <workspace>/BENCH_after.json)",
+        },
+        OptSpec {
+            name: "--gate-threshold",
+            value: Some("T"),
+            help: "allowed fractional geomean-KIPS drop, 0..1 (default 0.5)",
+        },
     ],
     operands: None,
 };
@@ -44,6 +58,9 @@ struct Args {
     budget: Budget,
     suites: Vec<Suite>,
     snapshot: Option<PathBuf>,
+    gate: bool,
+    gate_baseline: PathBuf,
+    gate_threshold: f64,
 }
 
 fn parse_args() -> Args {
@@ -53,10 +70,29 @@ fn parse_args() -> Args {
         None => vec![Suite::Int],
     };
     let snapshot = parsed.option("--snapshot").map(PathBuf::from);
-    Args { budget: parsed.budget, suites, snapshot }
+    let gate_baseline = parsed
+        .option("--gate-baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| parallel::workspace_root().join("BENCH_after.json"));
+    let gate_threshold = match parsed.option("--gate-threshold") {
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..1.0).contains(t))
+            .unwrap_or_else(|| SPEC.fail("`--gate-threshold` expects a number in [0, 1)")),
+        None => gate::DEFAULT_THRESHOLD,
+    };
+    Args {
+        budget: parsed.budget,
+        suites,
+        snapshot,
+        gate: parsed.option("--gate").is_some(),
+        gate_baseline,
+        gate_threshold,
+    }
 }
 
-fn write_snapshot(path: &PathBuf, label: &str, jobs: usize, total: f64, points: &[PointTiming]) {
+fn write_snapshot(path: &Path, label: &str, jobs: usize, total: f64, points: &[PointTiming]) {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!(
@@ -79,12 +115,7 @@ fn write_snapshot(path: &PathBuf, label: &str, jobs: usize, total: f64, points: 
         ));
     }
     s.push_str("  ]\n}\n");
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    let mut f = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("cannot create snapshot {}: {e}", path.display()));
-    f.write_all(s.as_bytes())
+    fsio::atomic_write(path, s.as_bytes())
         .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
     println!("snapshot -> {}", path.display());
 }
@@ -92,6 +123,14 @@ fn write_snapshot(path: &PathBuf, label: &str, jobs: usize, total: f64, points: 
 fn main() {
     let args = parse_args();
     let budget = args.budget;
+    if args.gate {
+        if let Err(e) = gate::run_gate(&args.gate_baseline, args.gate_threshold, budget.jobs) {
+            eprintln!("gate FAILED:\n{e}");
+            std::process::exit(1);
+        }
+        println!("gate PASSED");
+        return;
+    }
     let config = SimConfig::paper_baseline();
     println!(
         "== simulator throughput ({} budget, jobs={}, paper-baseline machine) ==",

@@ -1,0 +1,114 @@
+//! `carf-client`: submit/await/fetch against a running `carf-serve`.
+//!
+//! ```text
+//! carf-client [--addr HOST:PORT] <ping|submit|fetch|shutdown>
+//!             [--machine M] [--suite S] [--full] [--jobs N] [--max-insts K]
+//! ```
+//!
+//! Builds the JSON request, streams the daemon's events to stdout, and
+//! verifies the sequencing contract (strictly increasing `seq` from 0).
+//! Exits 0 on a clean `done`/`pong`/`bye`, 1 on a protocol or transport
+//! error.
+
+use carf_bench::serve::{check_sequence, request_events};
+use carf_bench::parallel::json_field;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: carf-client [--addr HOST:PORT] <ping|submit|fetch|shutdown> \
+         [--machine M] [--suite S] [--full] [--jobs N] [--max-insts K]"
+    );
+    eprintln!("  --addr HOST:PORT  daemon address (default {DEFAULT_ADDR})");
+    eprintln!("  --machine M       base, carf, both, compressed, ports, all (default both)");
+    eprintln!("  --suite S         int, fp, all (default int)");
+    eprintln!("  --full            full budget (default quick)");
+    eprintln!("  --jobs N          daemon-side worker threads for this request (default 1)");
+    eprintln!("  --max-insts K     override the per-point instruction cap");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cmd: Option<String> = None;
+    let mut machine: Option<String> = None;
+    let mut suite: Option<String> = None;
+    let mut full = false;
+    let mut jobs: Option<String> = None;
+    let mut max_insts: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| match args.next() {
+            Some(v) if !v.trim().is_empty() => v,
+            _ => {
+                eprintln!("error: `{name}` expects a value");
+                usage()
+            }
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--machine" => machine = Some(take("--machine")),
+            "--suite" => suite = Some(take("--suite")),
+            "--jobs" => jobs = Some(take("--jobs")),
+            "--max-insts" => max_insts = Some(take("--max-insts")),
+            "--full" => full = true,
+            "--quick" => full = false,
+            "ping" | "submit" | "fetch" | "shutdown" if cmd.is_none() => {
+                cmd = Some(arg);
+            }
+            _ => usage(),
+        }
+    }
+    let Some(cmd) = cmd else { usage() };
+
+    let mut request = format!("{{\"cmd\":\"{cmd}\"");
+    if cmd == "submit" || cmd == "fetch" {
+        if let Some(m) = &machine {
+            request.push_str(&format!(",\"machines\":\"{m}\""));
+        }
+        if let Some(s) = &suite {
+            request.push_str(&format!(",\"suite\":\"{s}\""));
+        }
+        request.push_str(&format!(",\"budget\":\"{}\"", if full { "full" } else { "quick" }));
+        if let Some(j) = &jobs {
+            request.push_str(&format!(",\"jobs\":{j}"));
+        }
+        if let Some(k) = &max_insts {
+            request.push_str(&format!(",\"max_insts\":{k}"));
+        }
+    }
+    request.push('}');
+
+    let sock_addr: SocketAddr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => {
+            eprintln!("error: cannot resolve `{addr}`");
+            std::process::exit(1);
+        }
+    };
+    let events = request_events(&sock_addr, &request).unwrap_or_else(|e| {
+        eprintln!("error: {addr}: {e}");
+        std::process::exit(1);
+    });
+    for line in &events {
+        println!("{line}");
+    }
+    if let Err(e) = check_sequence(&events) {
+        eprintln!("error: sequencing contract violated: {e}");
+        std::process::exit(1);
+    }
+    match events.last().and_then(|l| json_field(l, "event")).as_deref() {
+        Some("done" | "pong" | "bye") => {}
+        Some("error") => {
+            eprintln!("error: daemon rejected the request");
+            std::process::exit(1);
+        }
+        _ => {
+            eprintln!("error: stream ended without a terminator event");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! `carf-serve`: run the experiment job daemon.
+//!
+//! ```text
+//! carf-serve [--addr HOST:PORT] [--no-cache]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7117`; use port 0 for an
+//! ephemeral port — the bound address is printed either way), serves the
+//! JSON-lines protocol documented in `carf_bench::serve`, and runs until
+//! a client sends `{"cmd":"shutdown"}`. Results are served from and
+//! stored into the content-addressed cache under `<results>/cache/`
+//! unless `--no-cache` (or `CARF_CACHE=0`) bypasses it.
+
+use carf_bench::serve::Server;
+use carf_bench::ResultCache;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
+
+fn usage() -> ! {
+    eprintln!("usage: carf-serve [--addr HOST:PORT] [--no-cache]");
+    eprintln!("  --addr HOST:PORT  bind address (default {DEFAULT_ADDR}; port 0 = ephemeral)");
+    eprintln!("  --no-cache        bypass the content-addressed result cache");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut use_cache = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) if !v.trim().is_empty() => addr = v,
+                _ => usage(),
+            },
+            "--no-cache" => use_cache = false,
+            s => {
+                if let Some(v) = s.strip_prefix("--addr=") {
+                    if v.trim().is_empty() {
+                        usage();
+                    }
+                    addr = v.to_string();
+                } else {
+                    usage();
+                }
+            }
+        }
+    }
+
+    let cache = if use_cache { ResultCache::from_env() } else { None };
+    match &cache {
+        Some(c) => println!("carf-serve: cache at {}", c.dir().display()),
+        None => println!("carf-serve: cache disabled"),
+    }
+    let server = Server::spawn(&addr, cache).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("carf-serve: listening on {}", server.addr());
+    server.wait();
+    println!("carf-serve: shutdown requested, exiting");
+}

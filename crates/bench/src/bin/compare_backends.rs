@@ -8,10 +8,11 @@
 //! issue-structural cycles and read-port denials). A merged record lands
 //! in `results/backend_compare.json`.
 
+use carf_bench::cache::cached_derived_f64;
 use carf_bench::cli::{parse_suites, CliSpec, MachineSet, OptSpec};
 use carf_bench::{
-    organization_for, parallel, pct, print_table, rf_energy_for, run_matrix, Budget, ClassTotals,
-    SuiteResult,
+    organization_for, parallel, pct, print_table, rf_energy_for, run_matrix_cached, Budget,
+    ClassTotals, SuiteResult,
 };
 use carf_energy::TechModel;
 use carf_sim::{AnySimulator, SimConfig, TraceRecorder};
@@ -117,7 +118,7 @@ fn main() {
         .iter()
         .flat_map(|(_, c)| suites.iter().map(|s| (c.clone(), *s)))
         .collect();
-    let results = run_matrix(&points, &budget);
+    let results = run_matrix_cached(&points, &budget).results;
 
     let mut result_iter = results.into_iter();
     let rows: Vec<MachineRow> = machines
@@ -152,7 +153,14 @@ fn main() {
         let (reads, writes, capture_hits, port_denials) = row.totals();
         let energy = rf_energy_for(&model, &row.config.regfile, &reads, &writes, capture_hits);
         let area = organization_for(&row.config.regfile).area(&model);
-        let issue_share = traced_issue_structural_share(&row.config, &budget);
+        // The traced stall-attribution run is a simulation too: cache it
+        // as a derived scalar so a warm re-run does zero simulation.
+        let (issue_share, _) = cached_derived_f64(
+            "issue_structural_share/tridiag",
+            &row.config,
+            &budget,
+            || traced_issue_structural_share(&row.config, &budget),
+        );
         let rel_ipc = match (row.ipc(Suite::Int), base_int_ipc) {
             (Some(ipc), Some(base_ipc)) if base_ipc > 0.0 => ipc / base_ipc,
             _ => {

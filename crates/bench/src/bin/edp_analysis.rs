@@ -7,7 +7,7 @@
 //! (1/IPC from Figure 5's pipeline), both normalized to the baseline.
 
 use carf_bench::{
-    baseline_geometry, pct, print_table, rf_energy_carf, rf_energy_monolithic, run_matrix,
+    baseline_geometry, pct, print_table, rf_energy_carf, rf_energy_monolithic, run_matrix_cached,
     write_timing_json, ClassTotals, DN_SWEEP,
 };
 use carf_core::CarfParams;
@@ -49,7 +49,7 @@ fn main() {
         matrix.push((cfg.clone(), Suite::Int));
         matrix.push((cfg, Suite::Fp));
     }
-    let results = run_matrix(&matrix, &budget);
+    let results = run_matrix_cached(&matrix, &budget).results;
 
     let (base_int, base_fp) = (&results[0], &results[1]);
     let (base_r, base_w) = combined_totals(base_int, base_fp);

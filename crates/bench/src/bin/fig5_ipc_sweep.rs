@@ -5,7 +5,7 @@
 //! Configuration per the paper: 8 Short registers (n = 3), 48 Long, 112
 //! Simple; `d+n` swept from 8 to 32.
 
-use carf_bench::{pct, print_table, run_matrix, write_timing_json, DN_SWEEP};
+use carf_bench::{pct, print_table, run_matrix_cached, write_timing_json, DN_SWEEP};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -27,7 +27,7 @@ fn main() {
         points.push((cfg.clone(), Suite::Int));
         points.push((cfg, Suite::Fp));
     }
-    let results = run_matrix(&points, &budget);
+    let results = run_matrix_cached(&points, &budget).results;
     let (unlimited_int, unlimited_fp) = (&results[0], &results[1]);
     let (baseline_int, baseline_fp) = (&results[2], &results[3]);
 

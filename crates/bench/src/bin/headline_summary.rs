@@ -4,7 +4,7 @@
 
 use carf_bench::{
     baseline_geometry, carf_geometries, pct, print_table, rf_energy_carf, rf_energy_monolithic,
-    run_matrix, unlimited_geometry, write_timing_json, ClassTotals,
+    run_matrix_cached, unlimited_geometry, write_timing_json, ClassTotals,
 };
 use carf_core::CarfParams;
 use carf_energy::TechModel;
@@ -21,7 +21,7 @@ fn main() {
     let carf_cfg = SimConfig::paper_carf(params);
 
     // All four suite runs dispatch as one matrix over the worker pool.
-    let results = run_matrix(
+    let results = run_matrix_cached(
         &[
             (base_cfg.clone(), Suite::Int),
             (base_cfg, Suite::Fp),
@@ -29,7 +29,8 @@ fn main() {
             (carf_cfg, Suite::Fp),
         ],
         &budget,
-    );
+    )
+    .results;
     let (base_int, base_fp) = (&results[0], &results[1]);
     let (carf_int, carf_fp) = (&results[2], &results[3]);
 

@@ -2,7 +2,7 @@
 //! to 8 read / 6 write at a combined ~0.4% IPC cost, and we sweep the same
 //! axis.
 
-use carf_bench::{pct, print_table, run_matrix, write_timing_json};
+use carf_bench::{pct, print_table, run_matrix_cached, write_timing_json};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
@@ -28,7 +28,7 @@ fn main() {
         points.push((cfg.clone(), Suite::Int));
         points.push((cfg, Suite::Fp));
     }
-    let results = run_matrix(&points, &budget);
+    let results = run_matrix_cached(&points, &budget).results;
     let reference = (&results[0], &results[1]);
 
     let mut rows = Vec::new();

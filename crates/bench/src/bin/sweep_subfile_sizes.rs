@@ -6,7 +6,7 @@
 //! FP wants 56 to reach 99.75%. Mean live Long count is far below the
 //! peak (the paper reports ≈12.7), motivating the SMT direction.
 
-use carf_bench::{pct, print_table, run_matrix, write_timing_json};
+use carf_bench::{pct, print_table, run_matrix_cached, write_timing_json};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -37,7 +37,7 @@ fn main() {
         points.push((cfg.clone(), Suite::Int));
         points.push((cfg, Suite::Fp));
     }
-    let results = run_matrix(&points, &budget);
+    let results = run_matrix_cached(&points, &budget).results;
     let (unlimited_int, unlimited_fp) = (&results[0], &results[1]);
 
     // Short-file sweep (n changes with M; d adjusts to keep d+n = 20).

@@ -7,7 +7,7 @@
 //! ones more. This sweep quantifies that, supporting the paper's framing
 //! that the technique targets wide-issue 64-bit processors.
 
-use carf_bench::{mean, pct, print_table, run_matrix, write_timing_json};
+use carf_bench::{mean, pct, print_table, run_matrix_cached, write_timing_json};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
@@ -40,7 +40,7 @@ fn main() {
         points.push((carf.clone(), Suite::Int));
         points.push((carf, Suite::Fp));
     }
-    let results = run_matrix(&points, &budget);
+    let results = run_matrix_cached(&points, &budget).results;
 
     let mut rows = Vec::new();
     for (i, width) in WIDTHS.iter().enumerate() {

@@ -1,0 +1,159 @@
+//! Crash- and concurrency-safe result-file I/O.
+//!
+//! Every file under `results/` is written by [`atomic_write`]: the bytes
+//! land in a temporary file in the same directory and are renamed into
+//! place, so a killed run can never leave a truncated JSON file behind for
+//! a later merge to misparse. Read-merge-write cycles (the timing history,
+//! the cache index) additionally take an advisory [`FileLock`] so parallel
+//! experiment binaries cannot interleave lost updates.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `bytes` to `path` atomically: the data goes to a uniquely named
+/// temporary file in `path`'s directory, is flushed, and is renamed over
+/// `path`. Readers observe either the old contents or the new, never a
+/// prefix. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, or renaming the temporary file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir)?;
+    // Unique within the process (counter) and across processes (pid), so
+    // concurrent writers never clobber each other's temporary file.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nonce = SEQ.fetch_add(1, Ordering::Relaxed);
+    let stem = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = dir.join(format!(".{stem}.tmp.{}.{nonce}", std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// An advisory exclusive lock on `<path>.lock`, held for the guard's
+/// lifetime. Used around read-merge-write cycles on shared result files so
+/// concurrent experiment binaries serialize their updates instead of
+/// losing them. The lock file itself is left in place (unlinking a locked
+/// file would race fresh lockers on some platforms).
+pub struct FileLock {
+    file: File,
+}
+
+impl FileLock {
+    /// Acquires the lock guarding `target` (blocking until available).
+    /// The lock file is `<target>.lock` in the same directory.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or locking the lock file.
+    pub fn acquire(target: &Path) -> std::io::Result<Self> {
+        let lock_path = lock_path_for(target);
+        if let Some(dir) = lock_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = File::options().create(true).truncate(false).write(true).open(&lock_path)?;
+        file.lock()?;
+        Ok(Self { file })
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        let _ = self.file.unlock();
+    }
+}
+
+/// The lock-file path guarding `target`: `<target>.lock`.
+pub fn lock_path_for(target: &Path) -> PathBuf {
+    let mut name = target.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".lock");
+    target.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("carf-fsio-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_and_leaves_no_temp_files() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_creates_missing_directories() {
+        let dir = temp_dir("mkdirs").join("a").join("b");
+        let path = dir.join("deep.json");
+        atomic_write(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn file_lock_serializes_read_modify_write_cycles() {
+        let dir = temp_dir("lock");
+        let target = dir.join("counter.json");
+        atomic_write(&target, b"0").unwrap();
+        let threads = 4;
+        let rounds = 25;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..rounds {
+                        let _guard = FileLock::acquire(&target).unwrap();
+                        let n: u64 = std::fs::read_to_string(&target)
+                            .unwrap()
+                            .trim()
+                            .parse()
+                            .unwrap();
+                        atomic_write(&target, (n + 1).to_string().as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let total: u64 =
+            std::fs::read_to_string(&target).unwrap().trim().parse().unwrap();
+        assert_eq!(total, (threads * rounds) as u64, "no update may be lost");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_path_appends_suffix() {
+        assert_eq!(
+            lock_path_for(Path::new("/x/y/bench_timing.json")),
+            Path::new("/x/y/bench_timing.json.lock")
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! The perf-regression gate behind `bench_kips --gate`.
+//!
+//! Two checks, one exit code:
+//!
+//! 1. **Throughput**: the geomean KIPS of the Int suite under the
+//!    paper-baseline machine, measured now, must not fall more than
+//!    `threshold` below the committed `BENCH_after.json` snapshot's
+//!    geomean. The default threshold is deliberately loose — CI machines
+//!    vary widely — so only a real slowdown (an accidental `O(n²)` in the
+//!    scheduler, a debug assert left in a hot loop) trips it.
+//! 2. **Fingerprints**: the 42-point pinned sweep
+//!    ([`crate::fingerprint`]) must be bit-identical. This is exact:
+//!    machine speed cannot move it, only a semantic change can.
+//!
+//! The gate compares against a *snapshot file* rather than re-measuring a
+//! baseline build so it runs in one tree, one command, in CI.
+
+use crate::fingerprint;
+use crate::parallel::{self, json_field};
+use crate::Budget;
+use carf_sim::SimConfig;
+use carf_workloads::Suite;
+use std::path::Path;
+
+/// The default allowed fractional geomean-KIPS drop (0.5 = halving).
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// A parsed `BENCH_after.json`-shaped snapshot baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Budget label the snapshot was taken under (`quick`/`full`).
+    pub budget: String,
+    /// The snapshot's geomean KIPS.
+    pub geomean_kips: f64,
+}
+
+/// Parses the committed snapshot (multi-line JSON as written by
+/// `bench_kips --snapshot`).
+///
+/// # Errors
+///
+/// A message naming the missing or malformed field.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let budget =
+        json_field(text, "budget").ok_or_else(|| "baseline has no `budget` field".to_string())?;
+    let geomean_kips = json_field(text, "geomean_kips")
+        .ok_or_else(|| "baseline has no `geomean_kips` field".to_string())?
+        .parse::<f64>()
+        .map_err(|e| format!("baseline `geomean_kips`: {e}"))?;
+    if !(geomean_kips.is_finite() && geomean_kips > 0.0) {
+        return Err(format!("baseline geomean_kips must be positive, got {geomean_kips}"));
+    }
+    Ok(Baseline { budget, geomean_kips })
+}
+
+/// The throughput verdict: `Ok` describes the pass, `Err` the failure.
+/// Pure comparison logic, separated so the injected-regression tests can
+/// drive it without re-measuring.
+pub fn evaluate_throughput(
+    baseline_geomean: f64,
+    measured_geomean: f64,
+    threshold: f64,
+) -> Result<String, String> {
+    let floor = baseline_geomean * (1.0 - threshold);
+    let ratio = measured_geomean / baseline_geomean;
+    if measured_geomean >= floor {
+        Ok(format!(
+            "throughput OK: geomean {measured_geomean:.1} KIPS vs baseline \
+             {baseline_geomean:.1} ({:.0}% , floor {floor:.1})",
+            ratio * 100.0
+        ))
+    } else {
+        Err(format!(
+            "throughput REGRESSED: geomean {measured_geomean:.1} KIPS is below the \
+             floor {floor:.1} ({:.0}% of baseline {baseline_geomean:.1}, \
+             threshold {threshold})",
+            ratio * 100.0
+        ))
+    }
+}
+
+/// Measures the gate's throughput number: geomean KIPS of the Int suite
+/// under the paper-baseline machine at `budget`. Drains the global timing
+/// collector before and after so the measurement is isolated.
+pub fn measure_geomean_kips(budget: &Budget) -> f64 {
+    let _ = parallel::take_points();
+    crate::run_suite(&SimConfig::paper_baseline(), Suite::Int, budget);
+    parallel::geomean_kips(&parallel::take_points())
+}
+
+fn budget_for_label(label: &str) -> Result<Budget, String> {
+    match label {
+        "quick" => Ok(Budget::quick()),
+        "full" => Ok(Budget::full()),
+        other => Err(format!("baseline budget `{other}` is not quick/full")),
+    }
+}
+
+/// Runs the full gate: loads the baseline, re-measures throughput under
+/// the same budget, and runs the pinned fingerprint sweep. Prints a line
+/// per check; `Err` carries the combined failure text for the caller to
+/// print and exit nonzero on.
+pub fn run_gate(baseline_path: &Path, threshold: f64, jobs: usize) -> Result<(), String> {
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(format!("gate threshold must be in [0, 1), got {threshold}"));
+    }
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline = parse_baseline(&text)?;
+    let mut budget = budget_for_label(&baseline.budget)?;
+    budget.jobs = jobs;
+    println!(
+        "gate: baseline {} ({} budget, geomean {:.1} KIPS), threshold {threshold}",
+        baseline_path.display(),
+        baseline.budget,
+        baseline.geomean_kips
+    );
+
+    let mut failures = Vec::new();
+    let measured = measure_geomean_kips(&budget);
+    match evaluate_throughput(baseline.geomean_kips, measured, threshold) {
+        Ok(line) => println!("gate: {line}"),
+        Err(line) => {
+            println!("gate: {line}");
+            failures.push(line);
+        }
+    }
+
+    match fingerprint::check_pinned(&fingerprint::sweep(jobs, false)) {
+        Ok(()) => println!(
+            "gate: fingerprints OK: all {} pinned points bit-identical",
+            fingerprint::PINNED.len()
+        ),
+        Err(e) => {
+            let line = format!("fingerprints DRIFTED: {e}");
+            println!("gate: {line}");
+            failures.push(line);
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parses_the_snapshot_shape() {
+        // The exact multi-line shape bench_kips --snapshot writes.
+        let text = "{\n  \"bin\": \"bench_kips\",\n  \"budget\": \"quick\",\n  \
+                    \"jobs\": 1,\n  \"total_secs\": 0.362,\n  \
+                    \"geomean_kips\": 4527.417,\n  \"peak_kips\": 5917.139,\n  \
+                    \"points\": [\n    {\"name\": \"Int/a\", \"secs\": 0.040, \
+                    \"committed\": 200003, \"kips\": 5051.541}\n  ]\n}\n";
+        let b = parse_baseline(text).unwrap();
+        assert_eq!(b.budget, "quick");
+        assert!((b.geomean_kips - 4527.417).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"budget\":\"quick\"}").is_err());
+        assert!(parse_baseline("{\"budget\":\"quick\",\"geomean_kips\":0}").is_err());
+        assert!(parse_baseline("{\"budget\":\"quick\",\"geomean_kips\":-3}").is_err());
+    }
+
+    #[test]
+    fn throughput_gate_passes_at_and_above_the_floor() {
+        assert!(evaluate_throughput(1000.0, 1000.0, 0.5).is_ok());
+        assert!(evaluate_throughput(1000.0, 500.0, 0.5).is_ok(), "floor is inclusive");
+        assert!(evaluate_throughput(1000.0, 2000.0, 0.5).is_ok(), "faster never fails");
+    }
+
+    #[test]
+    fn throughput_gate_fails_on_injected_regression() {
+        // The committed baseline claims 1000 KIPS; the tree now measures
+        // 400 — below the 50% floor. The gate must refuse.
+        let err = evaluate_throughput(1000.0, 400.0, 0.5).unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("40%"), "{err}");
+    }
+
+    #[test]
+    fn tight_threshold_catches_small_drift() {
+        assert!(evaluate_throughput(1000.0, 989.0, 0.01).is_err());
+        assert!(evaluate_throughput(1000.0, 991.0, 0.01).is_ok());
+    }
+
+    #[test]
+    fn gate_rejects_bad_threshold_and_missing_baseline() {
+        assert!(run_gate(Path::new("/nonexistent"), 1.5, 1).unwrap_err().contains("threshold"));
+        let err = run_gate(Path::new("/nonexistent/BENCH.json"), 0.5, 1).unwrap_err();
+        assert!(err.contains("cannot read baseline"), "{err}");
+    }
+}

@@ -23,10 +23,17 @@ use carf_energy::{BankedOrganization, RegFileGeometry, TechModel, PAPER_BASELINE
 use carf_sim::{RegFileKind, SimConfig, SimStats, AnySimulator};
 use carf_workloads::{SizeClass, Suite, Workload};
 
+pub mod cache;
 pub mod cli;
+pub mod fingerprint;
+pub mod fsio;
+pub mod gate;
 pub mod parallel;
 pub mod sample;
+pub mod serve;
+pub mod statsio;
 
+pub use cache::{run_matrix_cached, CacheStatus, MatrixOutcome, ResultCache};
 pub use parallel::{
     geomean_kips, peak_kips, results_dir, run_ordered, timing_record, write_merged_record,
     write_timing_json, PointTiming,

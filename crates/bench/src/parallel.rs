@@ -12,8 +12,8 @@
 //! the total run time, written as machine-readable JSON by
 //! [`write_timing_json`] (see `results/bench_timing.json`).
 
+use crate::fsio::{atomic_write, FileLock};
 use crate::Budget;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -158,12 +158,18 @@ pub fn results_dir() -> PathBuf {
             return PathBuf::from(dir);
         }
     }
+    workspace_root().join("results")
+}
+
+/// The workspace root, anchored from this crate's manifest directory at
+/// compile time (committed artifacts like `BENCH_after.json` live here).
+pub fn workspace_root() -> PathBuf {
     // crates/bench -> crates -> workspace root
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("crate manifest dir has a workspace root two levels up")
-        .join("results")
+        .to_path_buf()
 }
 
 /// Scans the JSON string literal whose opening quote is at `record[start]`
@@ -347,24 +353,30 @@ fn read_record_lines(path: &Path) -> Vec<String> {
 }
 
 fn write_record_lines(dir: &Path, path: &Path, records: &[String]) {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(r);
+        out.push_str(sep);
+        out.push('\n');
+    }
+    out.push_str("]\n");
     if std::fs::create_dir_all(dir).is_ok() {
-        if let Ok(mut f) = std::fs::File::create(path) {
-            let _ = writeln!(f, "[");
-            for (i, r) in records.iter().enumerate() {
-                let sep = if i + 1 < records.len() { "," } else { "" };
-                let _ = writeln!(f, "{r}{sep}");
-            }
-            let _ = writeln!(f, "]");
-        }
+        let _ = atomic_write(path, out.as_bytes());
     }
 }
 
 /// Reads `file_name` from [`results_dir`], merges `record` by `key_fields`
 /// (see [`merge_json_records`]), rewrites the file as a JSON array with one
-/// record per line, and returns the path.
+/// record per line, and returns the path. The read-merge-write cycle runs
+/// under an advisory file lock and the rewrite is atomic (temp file +
+/// rename), so concurrent experiment binaries cannot lose each other's
+/// rows or leave a truncated file behind.
 pub fn write_merged_record(file_name: &str, record: &str, key_fields: &[&str]) -> PathBuf {
     let dir = results_dir();
     let path = dir.join(file_name);
+    let _ = std::fs::create_dir_all(&dir);
+    let _guard = FileLock::acquire(&path);
     let existing = read_record_lines(&path);
     let records = merge_json_records(&existing, record, key_fields);
     write_record_lines(&dir, &path, &records);
@@ -381,6 +393,8 @@ pub fn write_rotated_record(
 ) -> PathBuf {
     let dir = results_dir();
     let path = dir.join(file_name);
+    let _ = std::fs::create_dir_all(&dir);
+    let _guard = FileLock::acquire(&path);
     let existing = read_record_lines(&path);
     let records = merge_json_records_rotating(&existing, record, key_fields, keep);
     write_record_lines(&dir, &path, &records);

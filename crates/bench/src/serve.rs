@@ -1,0 +1,468 @@
+//! `carf-serve`: the experiment job daemon.
+//!
+//! A std-only TCP + JSON-lines service (no external dependencies):
+//! clients submit experiment requests, the daemon shards the matrix
+//! points across a worker pool (reusing [`crate::run_ordered`], so the
+//! results are bit-identical to a direct [`crate::run_matrix`] run at any
+//! worker count) and streams one event per point as it completes. Points
+//! already in the content-addressed cache ([`crate::cache`]) are answered
+//! instantly without simulating; fresh points are stored on completion,
+//! so the daemon *is* the compute-once/serve-many tier.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in each direction. Requests:
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"submit","machines":"all","suite":"int","budget":"quick","jobs":4}
+//! {"cmd":"fetch","machines":"base","suite":"int","budget":"quick"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! `machines`/`suite` take the same values as the `--machine`/`--suite`
+//! CLI flags; `budget` is `quick`/`full`; optional `max_insts` overrides
+//! the instruction cap and `jobs` the worker count (default 1). `submit`
+//! simulates what the cache is missing; `fetch` never simulates — misses
+//! are reported as `miss` events.
+//!
+//! Every response event carries a strictly increasing per-connection
+//! `seq`, assigned under the connection's single writer lock — a client
+//! observing `seq` gaps or reordering has found a bug. With `jobs` = 1,
+//! `point` events additionally arrive in matrix order; with more workers
+//! completion order is scheduling-dependent (each event's `index` says
+//! where it belongs). `point` events embed the full exact
+//! [`crate::statsio`] stats record, so a client can reconstruct results
+//! bit-for-bit.
+
+use crate::cache::{point_key, ResultCache};
+use crate::cli::{parse_suites, MachineSet};
+use crate::parallel::json_field;
+use crate::statsio::stats_to_json;
+use crate::Budget;
+use carf_sim::SimConfig;
+use carf_workloads::{Suite, Workload};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Protocol version, echoed in `pong` so clients can detect skew.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A parsed experiment request (the matrix spec shared by `submit` and
+/// `fetch`).
+#[derive(Debug, Clone)]
+pub struct ExperimentRequest {
+    /// Machine configurations to run.
+    pub machines: MachineSet,
+    /// Suites to run.
+    pub suites: Vec<Suite>,
+    /// Budget (size/cap/sampling + worker count).
+    pub budget: Budget,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Liveness check.
+    Ping,
+    /// Run the matrix: serve cached points, simulate the rest.
+    Submit(ExperimentRequest),
+    /// Cache-only: serve hits, report misses, never simulate.
+    Fetch(ExperimentRequest),
+    /// Stop accepting connections.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A message describing the missing or malformed field.
+pub fn parse_request(line: &str) -> Result<Command, String> {
+    let cmd = json_field(line, "cmd").ok_or_else(|| "request has no `cmd` field".to_string())?;
+    match cmd.as_str() {
+        "ping" => Ok(Command::Ping),
+        "shutdown" => Ok(Command::Shutdown),
+        "submit" | "fetch" => {
+            let machines = match json_field(line, "machines") {
+                Some(v) => MachineSet::parse(&v)?,
+                None => MachineSet::Both,
+            };
+            let suites = match json_field(line, "suite") {
+                Some(v) => parse_suites(&v)?,
+                None => vec![Suite::Int],
+            };
+            let mut budget = match json_field(line, "budget").as_deref() {
+                None | Some("quick") => Budget::quick(),
+                Some("full") => Budget::full(),
+                Some(other) => return Err(format!("budget `{other}` is not quick/full")),
+            };
+            budget.jobs = match json_field(line, "jobs") {
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("`jobs` expects a positive integer, got `{v}`"))?,
+                None => 1,
+            };
+            if let Some(v) = json_field(line, "max_insts") {
+                budget.max_insts = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("`max_insts` expects a positive integer, got `{v}`"))?;
+            }
+            let req = ExperimentRequest { machines, suites, budget };
+            Ok(if cmd == "submit" { Command::Submit(req) } else { Command::Fetch(req) })
+        }
+        other => Err(format!("unknown cmd `{other}` (ping/submit/fetch/shutdown)")),
+    }
+}
+
+/// One matrix point in daemon flat order (machine-major, then suite,
+/// then workload-registry order — the same order [`crate::run_matrix`]
+/// flattens to for the equivalent point list).
+pub struct FlatPoint {
+    /// Machine label (`base`, `carf`, ...).
+    pub machine: &'static str,
+    /// The machine configuration.
+    pub config: SimConfig,
+    /// The suite this workload belongs to.
+    pub suite: Suite,
+    /// The workload.
+    pub workload: Workload,
+}
+
+/// Expands a request into its flat point list.
+pub fn flatten_request(req: &ExperimentRequest) -> Vec<FlatPoint> {
+    let mut out = Vec::new();
+    for (machine, config) in req.machines.configs() {
+        for suite in &req.suites {
+            for workload in crate::suite_workloads(*suite) {
+                out.push(FlatPoint { machine, config: config.clone(), suite: *suite, workload });
+            }
+        }
+    }
+    out
+}
+
+/// The per-connection event writer: one lock serializes formatting,
+/// `seq` assignment, and the socket write, so events can never interleave
+/// or go out backwards.
+struct EventWriter {
+    inner: Mutex<(BufWriter<TcpStream>, u64)>,
+}
+
+impl EventWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self { inner: Mutex::new((BufWriter::new(stream), 0)) }
+    }
+
+    /// Emits `{"seq":N,"event":"<event>"<extra>}`; `extra` is either
+    /// empty or starts with a comma.
+    fn emit(&self, event: &str, extra: &str) -> std::io::Result<()> {
+        let mut guard = self.inner.lock().expect("event writer poisoned");
+        let (writer, seq) = &mut *guard;
+        let line = format!("{{\"seq\":{seq},\"event\":\"{event}\"{extra}}}\n");
+        *seq += 1;
+        writer.write_all(line.as_bytes())?;
+        writer.flush()
+    }
+}
+
+fn handle_matrix(
+    writer: &EventWriter,
+    req: &ExperimentRequest,
+    cache: Option<&ResultCache>,
+    simulate: bool,
+) -> std::io::Result<()> {
+    let flat = flatten_request(req);
+    writer.emit("accepted", &format!(",\"points\":{}", flat.len()))?;
+    let served = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+
+    let indexed: Vec<usize> = (0..flat.len()).collect();
+    let jobs = if simulate { req.budget.jobs } else { 1 };
+    let errors = crate::run_ordered(&indexed, jobs, |i| -> std::io::Result<()> {
+        let p = &flat[*i];
+        let key = point_key(&p.config, p.suite, p.workload.name, &req.budget);
+        let head = format!(
+            ",\"index\":{i},\"machine\":\"{}\",\"point\":\"{:?}/{}\",\"key\":\"{key:032x}\"",
+            p.machine, p.suite, p.workload.name
+        );
+        if let Some(stats) = cache.and_then(|c| c.load_point(key)) {
+            served.fetch_add(1, Ordering::Relaxed);
+            return writer
+                .emit("point", &format!("{head},\"source\":\"cache\",\"stats\":{}", stats_to_json(&stats)));
+        }
+        if !simulate {
+            misses.fetch_add(1, Ordering::Relaxed);
+            return writer.emit("miss", &head);
+        }
+        let stats = crate::run_workload(&p.config, &p.workload, &req.budget);
+        if let Some(c) = cache {
+            c.store_point(
+                key,
+                &format!("{:?}/{}", p.suite, p.workload.name),
+                &p.config,
+                &req.budget,
+                &stats,
+            );
+        }
+        simulated.fetch_add(1, Ordering::Relaxed);
+        writer.emit("point", &format!("{head},\"source\":\"sim\",\"stats\":{}", stats_to_json(&stats)))
+    });
+    for e in errors {
+        e?;
+    }
+    writer.emit(
+        "done",
+        &format!(
+            ",\"points\":{},\"served\":{},\"simulated\":{},\"missing\":{}",
+            flat.len(),
+            served.load(Ordering::Relaxed),
+            simulated.load(Ordering::Relaxed),
+            misses.load(Ordering::Relaxed),
+        ),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn handle_connection(stream: TcpStream, cache: Option<Arc<ResultCache>>, stop: Arc<AtomicBool>) {
+    let peer = stream.peer_addr().ok();
+    // An accepted socket's local address IS the listening address — kept
+    // so a wire `shutdown` can poke the accept loop awake (it only checks
+    // the stop flag after accepting a connection).
+    let listen_addr = stream.local_addr().ok();
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = EventWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let result = match parse_request(&line) {
+            Ok(Command::Ping) => {
+                writer.emit("pong", &format!(",\"protocol\":{PROTOCOL_VERSION}"))
+            }
+            Ok(Command::Shutdown) => {
+                let _ = writer.emit("bye", "");
+                stop.store(true, Ordering::SeqCst);
+                if let Some(addr) = listen_addr {
+                    let _ = TcpStream::connect(addr); // unblock accept()
+                }
+                return;
+            }
+            Ok(Command::Submit(req)) => {
+                handle_matrix(&writer, &req, cache.as_deref(), true)
+            }
+            Ok(Command::Fetch(req)) => {
+                handle_matrix(&writer, &req, cache.as_deref(), false)
+            }
+            Err(msg) => writer.emit("error", &format!(",\"message\":\"{}\"", json_escape(&msg))),
+        };
+        if result.is_err() {
+            break; // client went away mid-stream
+        }
+    }
+    let _ = peer;
+}
+
+/// A running daemon, bound and accepting.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting in a background thread, one handler thread per
+    /// connection. `cache` is the content-addressed store to serve from
+    /// and fill (`None` = simulate everything, store nothing).
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind error.
+    pub fn spawn(addr: &str, cache: Option<ResultCache>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let cache = cache.map(Arc::new);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let cache = cache.clone();
+                let stop = Arc::clone(&accept_stop);
+                std::thread::spawn(move || handle_connection(stream, cache, stop));
+            }
+        });
+        Ok(Self { addr, stop, accept_thread })
+    }
+
+    /// The bound address (port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends `shutdown`.
+    pub fn wait(self) {
+        let _ = self.accept_thread.join();
+    }
+
+    /// Stops the daemon from the hosting process: sets the stop flag and
+    /// pokes the accept loop awake, then joins it.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock accept()
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Client side: sends one request line and collects response events until
+/// the stream's `done`/`bye`/`pong`/`error` terminator (or EOF). Returns
+/// the raw event lines in arrival order.
+///
+/// # Errors
+///
+/// Any socket error.
+pub fn request_events(addr: &SocketAddr, request_line: &str) -> std::io::Result<Vec<String>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request_line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let reader = BufReader::new(stream);
+    let mut events = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = json_field(&line, "event");
+        events.push(line);
+        if matches!(event.as_deref(), Some("done" | "bye" | "pong" | "error")) {
+            break;
+        }
+    }
+    Ok(events)
+}
+
+/// Asserts the per-connection ordering contract on a collected event
+/// stream: `seq` fields strictly increase from 0. Returns the parsed
+/// sequence numbers.
+///
+/// # Errors
+///
+/// A message naming the first out-of-order event.
+pub fn check_sequence(events: &[String]) -> Result<Vec<u64>, String> {
+    let mut seqs = Vec::with_capacity(events.len());
+    for (i, line) in events.iter().enumerate() {
+        let seq = json_field(line, "seq")
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("event {i} has no numeric seq: {line}"))?;
+        if seq != i as u64 {
+            return Err(format!("event {i} carries seq {seq} (expected {i}): {line}"));
+        }
+        seqs.push(seq);
+    }
+    Ok(seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing_covers_the_grammar() {
+        assert!(matches!(parse_request(r#"{"cmd":"ping"}"#), Ok(Command::Ping)));
+        assert!(matches!(parse_request(r#"{"cmd":"shutdown"}"#), Ok(Command::Shutdown)));
+        let submit = parse_request(
+            r#"{"cmd":"submit","machines":"all","suite":"fp","budget":"full","jobs":3,"max_insts":777}"#,
+        );
+        match submit {
+            Ok(Command::Submit(req)) => {
+                assert_eq!(req.machines, MachineSet::All);
+                assert_eq!(req.suites, vec![Suite::Fp]);
+                assert_eq!(req.budget.label(), "full");
+                assert_eq!(req.budget.jobs, 3);
+                assert_eq!(req.budget.max_insts, 777);
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        // Defaults: both machines, Int suite, quick budget, one worker.
+        match parse_request(r#"{"cmd":"fetch"}"#) {
+            Ok(Command::Fetch(req)) => {
+                assert_eq!(req.machines, MachineSet::Both);
+                assert_eq!(req.suites, vec![Suite::Int]);
+                assert_eq!(req.budget.label(), "quick");
+                assert_eq!(req.budget.jobs, 1);
+            }
+            other => panic!("expected fetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_parsing_rejects_garbage() {
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"cmd":"dance"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","machines":"warp"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","budget":"leisurely"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","jobs":"0"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"submit","max_insts":"none"}"#).is_err());
+    }
+
+    #[test]
+    fn flatten_is_machine_major_then_suite() {
+        let req = ExperimentRequest {
+            machines: MachineSet::Both,
+            suites: vec![Suite::Int, Suite::Fp],
+            budget: Budget::quick(),
+        };
+        let flat = flatten_request(&req);
+        let per_suite: usize = [Suite::Int, Suite::Fp]
+            .iter()
+            .map(|s| crate::suite_workloads(*s).len())
+            .sum();
+        assert_eq!(flat.len(), 2 * per_suite);
+        assert_eq!(flat[0].machine, "base");
+        assert_eq!(flat[0].suite, Suite::Int);
+        assert_eq!(flat.last().unwrap().machine, "carf");
+        assert_eq!(flat.last().unwrap().suite, Suite::Fp);
+    }
+
+    #[test]
+    fn sequence_checker_spots_gaps() {
+        let good = vec![
+            r#"{"seq":0,"event":"accepted"}"#.to_string(),
+            r#"{"seq":1,"event":"done"}"#.to_string(),
+        ];
+        assert_eq!(check_sequence(&good).unwrap(), vec![0, 1]);
+        let gap = vec![
+            r#"{"seq":0,"event":"accepted"}"#.to_string(),
+            r#"{"seq":2,"event":"done"}"#.to_string(),
+        ];
+        assert!(check_sequence(&gap).is_err());
+        let missing = vec![r#"{"event":"accepted"}"#.to_string()];
+        assert!(check_sequence(&missing).is_err());
+    }
+}

@@ -102,6 +102,18 @@ impl GroupAccumulator {
         self.snapshots
     }
 
+    /// The raw accumulator state `(bucket totals, live registers counted,
+    /// snapshots)`, for exact serialization (the result cache stores and
+    /// restores accumulators losslessly).
+    pub fn raw_parts(&self) -> ([u64; NUM_GROUPS], u64, u64) {
+        (self.totals, self.live_total, self.snapshots)
+    }
+
+    /// Rebuilds an accumulator from [`GroupAccumulator::raw_parts`] output.
+    pub fn from_raw_parts(totals: [u64; NUM_GROUPS], live_total: u64, snapshots: u64) -> Self {
+        Self { totals, live_total, snapshots }
+    }
+
     /// Fraction of live registers in each bucket (sums to 1 when any
     /// snapshot was recorded).
     pub fn fractions(&self) -> [f64; NUM_GROUPS] {
@@ -210,6 +222,15 @@ mod tests {
         for label in GROUP_LABELS {
             assert!(r.contains(label), "{r}");
         }
+    }
+
+    #[test]
+    fn raw_parts_round_trip_exactly() {
+        let mut acc = GroupAccumulator::new();
+        acc.record_values(&[7, 7, 9, 12]);
+        acc.record_similarity(&[1 << 40, (1 << 40) + 4], 16);
+        let (totals, live, snaps) = acc.raw_parts();
+        assert_eq!(GroupAccumulator::from_raw_parts(totals, live, snaps), acc);
     }
 
     #[test]

@@ -21,14 +21,25 @@ CARF_RESULTS_DIR="$(mktemp -d)" \
     cargo run --release -q -p carf-bench --bin carf-trace -- \
     --quick --jobs 2 --machine both sort_kernel >/dev/null
 
-echo "==> compare_backends smoke test (backend zoo)"
+echo "==> compare_backends smoke test (backend zoo, cold then warm cache)"
 # All four register-file backends (baseline, CARF, compressed,
 # port-reduced) through one quick int-suite matrix: exercises the enum
 # dispatch seam, the per-backend energy/area accounting, and the traced
 # stall attribution (the binary asserts the bucket-sum invariant).
-CARF_RESULTS_DIR="$(mktemp -d)" \
+CMP_DIR="$(mktemp -d)"
+CARF_RESULTS_DIR="$CMP_DIR" \
     cargo run --release -q -p carf-bench --bin compare_backends -- \
     --quick --jobs 2 --suite int | tail -n 10
+cp "$CMP_DIR/backend_compare.json" "$CMP_DIR/backend_compare.cold.json"
+# Warm re-run against the cache the cold run just filled: every point
+# (including the traced stall-share scalars) must be served from disk —
+# CARF_CACHE_REQUIRE_WARM makes any simulation exit 3 — and the merged
+# result record must come out byte-identical.
+CARF_RESULTS_DIR="$CMP_DIR" CARF_CACHE_REQUIRE_WARM=1 \
+    cargo run --release -q -p carf-bench --bin compare_backends -- \
+    --quick --jobs 2 --suite int | grep "cache: served"
+cmp "$CMP_DIR/backend_compare.json" "$CMP_DIR/backend_compare.cold.json"
+echo "warm re-run: zero simulation, byte-identical record"
 
 echo "==> scheduler hot-loop microbench (informational)"
 # Perf smoke: the Criterion microbench and a headline KIPS run. Both are
@@ -41,6 +52,39 @@ echo "==> headline throughput (quick budget, jobs=1)"
 CARF_RESULTS_DIR="$(mktemp -d)" \
     cargo run --release -q -p carf-bench --bin bench_kips -- \
     --quick --jobs 1 --suite int
+
+echo "==> perf-regression gate (bench_kips --gate)"
+# Geomean KIPS vs the committed BENCH_after.json snapshot (loose
+# threshold — CI machines vary) plus the exact 42-point pinned
+# fingerprint sweep. Exits nonzero on either drift. jobs=1 because the
+# snapshot's per-point KIPS are interference-free numbers: on a 1-CPU
+# CI container extra workers interleave points and halve per-point KIPS
+# without any real regression.
+CARF_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release -q -p carf-bench --bin bench_kips -- --gate --jobs 1
+
+echo "==> carf-serve loopback smoke (ping, submit, warm fetch, shutdown)"
+SRV_DIR="$(mktemp -d)"
+CARF_RESULTS_DIR="$SRV_DIR" \
+    cargo run --release -q -p carf-bench --bin carf-serve -- \
+    --addr 127.0.0.1:0 > "$SRV_DIR/serve.log" &
+SRV_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^carf-serve: listening on //p' "$SRV_DIR/serve.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "carf-serve never reported its address"; exit 1; }
+run_client() {
+    cargo run --release -q -p carf-bench --bin carf-client -- --addr "$ADDR" "$@"
+}
+run_client ping
+run_client submit --machine base --max-insts 2000 | tail -n 1
+# The same matrix again must be fully warm: zero simulated points.
+run_client fetch --machine base --max-insts 2000 | tail -n 1 | grep '"missing":0'
+run_client shutdown
+wait "$SRV_PID"
 
 echo "==> carf-sample smoke test (sampled vs full IPC)"
 # Sampled-simulation gate on a tiny budget: the int suite under the CARF

@@ -1,0 +1,236 @@
+//! Cache-key stability: the content-addressed result cache is only sound
+//! if keys are (a) stable across builds for identical semantics, (b)
+//! different whenever any result-affecting input differs, and (c)
+//! *insensitive* to cosmetic code churn like struct-field reordering.
+//!
+//! (a) is pinned by golden fingerprints of representative configurations
+//! across all four register-file backends; regenerate via the ignored
+//! `print_golden_keys` test ONLY alongside a `CACHE_SALT` bump (a golden
+//! drift without a salt bump means previously cached results silently
+//! changed address). (b) is the perturbation battery. (c) holds by
+//! construction — `canonical_config` writes every field explicitly in a
+//! code-defined order — and the pinned canonical text locks that order
+//! independent of the struct declaration.
+
+use carf_bench::cache::{canonical_config, point_key, point_key_text};
+use carf_bench::sample::SampleSpec;
+use carf_bench::Budget;
+use carf_core::{CarfParams, Policies, PortReducedParams};
+use carf_sim::SimConfig;
+use carf_workloads::Suite;
+
+fn quick_jobs1() -> Budget {
+    let mut b = Budget::quick();
+    b.jobs = 1;
+    b
+}
+
+/// The four representative backends, with their pinned golden keys.
+fn golden_backends() -> Vec<(&'static str, SimConfig, u128)> {
+    vec![
+        ("baseline", SimConfig::paper_baseline(), GOLDEN_BASELINE),
+        ("carf", SimConfig::paper_carf(CarfParams::paper_default()), GOLDEN_CARF),
+        ("compressed", SimConfig::paper_compressed(CarfParams::paper_default()), GOLDEN_COMPRESSED),
+        (
+            "ports",
+            SimConfig::paper_port_reduced(PortReducedParams::default()),
+            GOLDEN_PORTS,
+        ),
+    ]
+}
+
+const GOLDEN_BASELINE: u128 = 0x6b6e80e407aa8a8e7919b38b79d16893;
+const GOLDEN_CARF: u128 = 0xb7678aa0419d240238cce9d364c4ac12;
+const GOLDEN_COMPRESSED: u128 = 0x3ecb5203ca045158911bd20096a8e919;
+const GOLDEN_PORTS: u128 = 0x0886566c28132e32527fd8c649ac11d8;
+
+#[test]
+fn golden_keys_across_all_four_backends() {
+    let budget = quick_jobs1();
+    for (name, cfg, golden) in golden_backends() {
+        let key = point_key(&cfg, Suite::Int, "tridiag", &budget);
+        assert_eq!(
+            key, golden,
+            "{name}: cache key drifted (got {key:032x}, pinned {golden:032x}); \
+             a semantic drift must come with a CACHE_SALT bump, \
+             then re-pin via print_golden_keys"
+        );
+    }
+}
+
+#[test]
+fn canonical_text_is_pinned_for_the_baseline() {
+    // Locks the canonical field order independent of SimConfig's struct
+    // declaration: reordering fields in the struct cannot move this text,
+    // and any *semantic* edit to the canonicalizer shows up here.
+    assert_eq!(canonical_config(&SimConfig::paper_baseline()), GOLDEN_BASELINE_TEXT);
+}
+
+const GOLDEN_BASELINE_TEXT: &str = "fetch=8;issue=8;commit=8;frontend=3;rob=128;lsq=64;\
+    iq_int=32;iq_fp=32;int_pregs=112;fp_pregs=128;rf_r=8;rf_w=6;ckpt=32;int_units=8;\
+    fp_units=8;mul=3;div=20;fp=2;fpdiv=12;il1=32768/4/64/1;dl1=32768/4/64/1;dl1_ports=2;\
+    l2=1048576/4/64/10;mem_lat=100;gshare=14;btb=2048;ras=16;regfile=baseline;\
+    mem_dep=optimistic;rob_interval=128;oracle=none;cosim=false;watchdog=100000;";
+
+#[test]
+fn identical_configs_built_differently_share_a_key() {
+    let budget = quick_jobs1();
+    // Field-by-field construction vs. constructor + struct-update: the
+    // *values* are equal, so the keys must be too, regardless of the
+    // textual order the fields were assigned in.
+    let a = SimConfig::paper_carf(CarfParams::paper_default());
+    let mut b = SimConfig::paper_baseline();
+    b.regfile = carf_sim::RegFileKind::ContentAware(
+        CarfParams::paper_default(),
+        Policies::default(),
+    );
+    assert_eq!(a, b);
+    assert_eq!(
+        point_key(&a, Suite::Int, "tridiag", &budget),
+        point_key(&b, Suite::Int, "tridiag", &budget),
+    );
+}
+
+#[test]
+fn every_config_perturbation_changes_the_key() {
+    let budget = quick_jobs1();
+    let base = SimConfig::paper_baseline();
+    let base_key = point_key(&base, Suite::Int, "tridiag", &budget);
+
+    let perturbations: Vec<(&str, SimConfig)> = vec![
+        ("rob_size", {
+            let mut c = base.clone();
+            c.rob_size += 1;
+            c
+        }),
+        ("rf_read_ports", {
+            let mut c = base.clone();
+            c.rf_read_ports += 1;
+            c
+        }),
+        ("dl1 latency", {
+            let mut c = base.clone();
+            c.hierarchy.dl1.latency += 1;
+            c
+        }),
+        ("bpred gshare", {
+            let mut c = base.clone();
+            c.bpred.gshare_bits += 1;
+            c
+        }),
+        ("mem_dep", {
+            let mut c = base.clone();
+            c.mem_dep = carf_sim::MemDepPolicy::Conservative;
+            c
+        }),
+        ("oracle_period", {
+            let mut c = base.clone();
+            c.oracle_period = Some(16);
+            c
+        }),
+        ("regfile", SimConfig::paper_carf(CarfParams::paper_default())),
+        ("carf policies", {
+            let mut pol = Policies::default();
+            pol.extra_bypass = !pol.extra_bypass;
+            SimConfig::paper_carf_with(CarfParams::paper_default(), pol)
+        }),
+        ("carf geometry", {
+            let mut p = CarfParams::paper_default();
+            p.short_entries *= 2;
+            SimConfig::paper_carf(p)
+        }),
+        ("port-reduced params", {
+            let mut p = PortReducedParams::default();
+            p.capture_entries += 1;
+            SimConfig::paper_port_reduced(p)
+        }),
+    ];
+    let mut keys = vec![base_key];
+    for (what, cfg) in perturbations {
+        let key = point_key(&cfg, Suite::Int, "tridiag", &budget);
+        assert!(!keys.contains(&key), "{what}: perturbation did not change the key");
+        keys.push(key);
+    }
+}
+
+#[test]
+fn workload_and_budget_perturbations_change_the_key() {
+    let budget = quick_jobs1();
+    let cfg = SimConfig::paper_baseline();
+    let base_key = point_key(&cfg, Suite::Int, "tridiag", &budget);
+
+    assert_ne!(base_key, point_key(&cfg, Suite::Int, "hash_table", &budget), "workload");
+    assert_ne!(base_key, point_key(&cfg, Suite::Fp, "tridiag", &budget), "suite");
+
+    let mut full = Budget::full();
+    full.jobs = 1;
+    assert_ne!(base_key, point_key(&cfg, Suite::Int, "tridiag", &full), "size class");
+
+    let mut capped = quick_jobs1();
+    capped.max_insts = 50_000;
+    assert_ne!(base_key, point_key(&cfg, Suite::Int, "tridiag", &capped), "max_insts");
+
+    let mut sampled = quick_jobs1();
+    sampled.sample = Some(SampleSpec::default());
+    assert_ne!(base_key, point_key(&cfg, Suite::Int, "tridiag", &sampled), "sampling on");
+
+    let mut sampled2 = sampled;
+    sampled2.sample = Some(SampleSpec { interval: 4_000, period: 8, warmup: 2_000 });
+    assert_ne!(
+        point_key(&cfg, Suite::Int, "tridiag", &sampled),
+        point_key(&cfg, Suite::Int, "tridiag", &sampled2),
+        "sampling spec"
+    );
+}
+
+#[test]
+fn cosmetic_execution_details_do_not_change_the_key() {
+    let cfg = SimConfig::paper_baseline();
+    let mut a = Budget::quick();
+    a.jobs = 1;
+    let mut b = Budget::quick();
+    b.jobs = 32;
+    // Worker count never changes results (run_ordered is order-preserving
+    // and bit-identical), so it must not split the cache.
+    assert_eq!(
+        point_key(&cfg, Suite::Int, "tridiag", &a),
+        point_key(&cfg, Suite::Int, "tridiag", &b),
+    );
+    // The budget's oracle_period only matters through the config (bins
+    // copy it into SimConfig::oracle_period when an experiment needs the
+    // oracle); by itself it must not split the cache either.
+    let mut c = Budget::quick();
+    c.jobs = 1;
+    c.oracle_period = 999;
+    assert_eq!(
+        point_key(&cfg, Suite::Int, "tridiag", &a),
+        point_key(&cfg, Suite::Int, "tridiag", &c),
+    );
+}
+
+#[test]
+fn key_text_names_its_parts() {
+    // The pre-image is self-describing, so a future key-drift
+    // investigation can diff texts instead of guessing.
+    let text = point_key_text(
+        &SimConfig::paper_baseline(),
+        Suite::Int,
+        "tridiag",
+        &quick_jobs1(),
+    );
+    for needle in ["salt=carf-cache-v1", "codec=1", "point=Int/tridiag", "size=quick", "regfile=baseline"]
+    {
+        assert!(text.contains(needle), "key text missing `{needle}`: {text}");
+    }
+}
+
+#[test]
+#[ignore = "prints the golden keys and canonical text for re-pinning"]
+fn print_golden_keys() {
+    let budget = quick_jobs1();
+    for (name, cfg, _) in golden_backends() {
+        let key = point_key(&cfg, Suite::Int, "tridiag", &budget);
+        println!("const GOLDEN_{}: u128 = 0x{key:032x};", name.to_uppercase());
+    }
+    println!("const GOLDEN_BASELINE_TEXT: &str = \"{}\";", canonical_config(&SimConfig::paper_baseline()));
+}

@@ -1,0 +1,148 @@
+//! `carf-serve` loopback integration: spawn the daemon on an ephemeral
+//! port, drive the whole protocol over 127.0.0.1, and prove the streamed
+//! results are **bit-for-bit** the same numbers a direct in-process
+//! matrix run produces — cold (simulated) and warm (served from the
+//! content-addressed cache).
+
+use carf_bench::cache::{run_matrix_with_cache, ResultCache};
+use carf_bench::parallel::json_field;
+use carf_bench::serve::{check_sequence, request_events, Server};
+use carf_bench::statsio::{stats_from_json, stats_to_json};
+use carf_bench::Budget;
+use carf_sim::{SimConfig, SimStats};
+use carf_workloads::Suite;
+
+/// Small enough that the whole matrix simulates in seconds even in debug
+/// builds, large enough that every workload commits real work.
+const MAX_INSTS: u64 = 2_500;
+
+fn request(cmd: &str, machine: &str) -> String {
+    format!(
+        "{{\"cmd\":\"{cmd}\",\"machines\":\"{machine}\",\"suite\":\"int\",\
+         \"budget\":\"quick\",\"jobs\":1,\"max_insts\":{MAX_INSTS}}}"
+    )
+}
+
+/// The budget `serve::parse_request` builds for [`request`].
+fn request_budget() -> Budget {
+    let mut b = Budget::quick();
+    b.jobs = 1;
+    b.max_insts = MAX_INSTS;
+    b
+}
+
+fn event_of(line: &str) -> String {
+    json_field(line, "event").unwrap_or_else(|| panic!("no event field: {line}"))
+}
+
+/// Extracts (index, source, stats) from the `point` events, asserting
+/// every one reconstructs through the exact stats codec.
+fn decode_points(events: &[String]) -> Vec<(usize, String, SimStats)> {
+    events
+        .iter()
+        .filter(|l| event_of(l) == "point")
+        .map(|l| {
+            let index = json_field(l, "index").unwrap().parse::<usize>().unwrap();
+            let source = json_field(l, "source").unwrap();
+            let stats =
+                stats_from_json(&json_field(l, "stats").unwrap()).expect("stats decode");
+            (index, source, stats)
+        })
+        .collect()
+}
+
+fn field_u64(line: &str, name: &str) -> u64 {
+    json_field(line, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no numeric `{name}` in: {line}"))
+}
+
+#[test]
+fn loopback_submit_streams_exact_results_then_serves_warm() {
+    let cache_dir = std::env::temp_dir()
+        .join(format!("carf-serve-loopback-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::spawn("127.0.0.1:0", Some(ResultCache::at(cache_dir.clone())))
+        .expect("bind ephemeral loopback port");
+    let addr = server.addr();
+
+    // Liveness: ping → pong with the protocol version.
+    let pong = request_events(&addr, "{\"cmd\":\"ping\"}").unwrap();
+    assert_eq!(pong.len(), 1);
+    assert_eq!(event_of(&pong[0]), "pong");
+    check_sequence(&pong).unwrap();
+
+    // Garbage is answered with an `error` event, not a dropped connection.
+    let err = request_events(&addr, "{\"cmd\":\"dance\"}").unwrap();
+    assert_eq!(err.len(), 1);
+    assert_eq!(event_of(&err[0]), "error");
+
+    // Cold submit: every point simulates, events arrive in matrix order
+    // (jobs=1), and the stream is accepted → point... → done.
+    let cold = request_events(&addr, &request("submit", "base")).unwrap();
+    check_sequence(&cold).unwrap();
+    assert_eq!(event_of(&cold[0]), "accepted");
+    let done = cold.last().unwrap();
+    assert_eq!(event_of(done), "done");
+    let n_points = field_u64(&cold[0], "points") as usize;
+    assert!(n_points > 0, "int suite is not empty");
+    assert_eq!(cold.len(), n_points + 2, "accepted + one event per point + done");
+    assert_eq!(field_u64(done, "simulated") as usize, n_points);
+    assert_eq!(field_u64(done, "served"), 0);
+    assert_eq!(field_u64(done, "missing"), 0);
+
+    let cold_points = decode_points(&cold);
+    assert_eq!(cold_points.len(), n_points);
+    for (slot, (index, source, _)) in cold_points.iter().enumerate() {
+        assert_eq!(*index, slot, "jobs=1 streams in matrix order");
+        assert_eq!(source, "sim");
+    }
+
+    // The streamed stats must be bit-for-bit what a direct, cache-less
+    // in-process run of the same matrix produces.
+    let points = vec![(SimConfig::paper_baseline(), Suite::Int)];
+    let direct = run_matrix_with_cache(&points, &request_budget(), None);
+    assert_eq!(direct.served, 0);
+    let direct_runs = &direct.results[0].runs;
+    assert_eq!(direct_runs.len(), n_points);
+    for ((_, _, streamed), (name, expected)) in cold_points.iter().zip(direct_runs) {
+        assert_eq!(streamed, expected, "daemon result differs for `{name}`");
+        assert_eq!(stats_to_json(streamed), stats_to_json(expected));
+    }
+
+    // Warm submit: zero simulation, every point served from the cache,
+    // with identical stats.
+    let warm = request_events(&addr, &request("submit", "base")).unwrap();
+    check_sequence(&warm).unwrap();
+    let done = warm.last().unwrap();
+    assert_eq!(field_u64(done, "served") as usize, n_points);
+    assert_eq!(field_u64(done, "simulated"), 0);
+    let warm_points = decode_points(&warm);
+    for ((_, source, warm_stats), (_, _, cold_stats)) in warm_points.iter().zip(&cold_points) {
+        assert_eq!(source, "cache");
+        assert_eq!(warm_stats, cold_stats);
+    }
+
+    // Fetch never simulates: a machine the cache has not seen comes back
+    // all `miss`, and the warm machine comes back all `cache`.
+    let miss = request_events(&addr, &request("fetch", "carf")).unwrap();
+    check_sequence(&miss).unwrap();
+    let done = miss.last().unwrap();
+    assert_eq!(field_u64(done, "missing") as usize, n_points);
+    assert_eq!(field_u64(done, "simulated"), 0);
+    assert!(miss.iter().all(|l| event_of(l) != "point"), "fetch must never simulate");
+    assert_eq!(miss.iter().filter(|l| event_of(l) == "miss").count(), n_points);
+
+    let hit = request_events(&addr, &request("fetch", "base")).unwrap();
+    let done = hit.last().unwrap();
+    assert_eq!(field_u64(done, "served") as usize, n_points);
+    assert_eq!(field_u64(done, "missing"), 0);
+
+    // Clean shutdown over the wire: the daemon must actually exit —
+    // wait() joins the accept loop, so a shutdown that left it blocked
+    // in accept() would hang this test.
+    let bye = request_events(&addr, "{\"cmd\":\"shutdown\"}").unwrap();
+    assert_eq!(event_of(bye.last().unwrap()), "bye");
+    server.wait();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

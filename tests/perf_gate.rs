@@ -1,0 +1,53 @@
+//! End-to-end perf-regression gate: `bench_kips --gate` must pass against
+//! an honest baseline and fail against an injected regression, and the
+//! committed `BENCH_after.json` it defaults to must stay parseable.
+
+use carf_bench::gate::{parse_baseline, run_gate};
+use carf_bench::parallel::workspace_root;
+use std::path::PathBuf;
+
+fn write_baseline(tag: &str, geomean_kips: f64) -> PathBuf {
+    let path = std::env::temp_dir()
+        .join(format!("carf-gate-{tag}-{}.json", std::process::id()));
+    // The same multi-line shape `bench_kips --snapshot` writes.
+    let text = format!(
+        "{{\n  \"bin\": \"bench_kips\",\n  \"budget\": \"quick\",\n  \"jobs\": 1,\n  \
+         \"total_secs\": 1.000,\n  \"geomean_kips\": {geomean_kips:.3},\n  \
+         \"peak_kips\": {geomean_kips:.3},\n  \"points\": [\n  ]\n}}\n"
+    );
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn committed_baseline_snapshot_is_a_valid_gate_input() {
+    let path = workspace_root().join("BENCH_after.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let baseline = parse_baseline(&text).expect("committed snapshot parses");
+    assert!(baseline.geomean_kips > 0.0);
+    assert!(matches!(baseline.budget.as_str(), "quick" | "full"));
+}
+
+/// Both gate directions in one sequential test: the measurement drains a
+/// process-global timing collector, so two concurrent `run_gate` calls in
+/// the same binary would contaminate each other's geomean.
+#[test]
+fn gate_passes_on_baseline_and_fails_on_injected_regression() {
+    // An honest (very conservative) baseline: any working build clears
+    // 0.001 KIPS, and the pinned fingerprints match by construction on an
+    // unmodified tree — so the full gate passes end to end.
+    let honest = write_baseline("honest", 0.001);
+    run_gate(&honest, 0.5, 4).expect("gate passes against an honest baseline");
+    let _ = std::fs::remove_file(&honest);
+
+    // Injected regression: the baseline claims an absurd 1e12 KIPS, so
+    // the measured geomean lands far below the floor and the gate must
+    // refuse with a REGRESSED verdict (fingerprints still pass — the
+    // failure is isolated to throughput).
+    let absurd = write_baseline("absurd", 1.0e12);
+    let err = run_gate(&absurd, 0.5, 4).expect_err("gate fails on an injected regression");
+    assert!(err.contains("REGRESSED"), "{err}");
+    assert!(!err.contains("DRIFTED"), "fingerprints must not be implicated: {err}");
+    let _ = std::fs::remove_file(&absurd);
+}
