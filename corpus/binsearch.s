@@ -1,0 +1,57 @@
+; Binary search: build a 1024-entry strictly increasing table
+; (tab[i] = i*i + 3i), then probe it with 400 pseudo-random 21-bit keys,
+; accumulating each key's insertion point into a rotating checksum.
+.data
+tab:    .zero 8192
+result: .words 0
+.text
+_start:
+        li   x1, tab
+        li   x4, 0
+        li   x5, 1024
+build:
+        mul  x6, x4, x4
+        slli x7, x4, 1
+        add  x6, x6, x7
+        add  x6, x6, x4     ; i*i + 3i
+        slli x7, x4, 3
+        add  x7, x7, x1
+        st   x6, 0(x7)
+        addi x4, x4, 1
+        bne  x4, x5, build
+
+        li   x3, 0x2545f4914f6cdd1d     ; LCG state
+        li   x8, 6364136223846793005
+        li   x9, 1442695040888963407
+        li   x10, 0
+        li   x11, 400       ; probes
+probe:
+        mul  x3, x3, x8
+        add  x3, x3, x9
+        srli x13, x3, 43    ; 21-bit key, same order as max table entry
+        li   x14, 0         ; lo
+        li   x15, 1024      ; hi: find first tab[m] >= key
+bs:
+        bgeu x14, x15, bs_done
+        add  x16, x14, x15
+        srli x16, x16, 1    ; mid
+        slli x17, x16, 3
+        add  x17, x17, x1
+        ld   x18, 0(x17)
+        bltu x18, x13, bs_right
+        mv   x15, x16
+        j    bs
+bs_right:
+        addi x14, x16, 1
+        j    bs
+bs_done:
+        add  x10, x10, x14
+        slli x6, x10, 1     ; rotl1 keeps probe order significant
+        srli x7, x10, 63
+        or   x10, x6, x7
+        addi x11, x11, -1
+        bne  x11, x0, probe
+
+        li   x11, result
+        st   x10, 0(x11)
+        halt

@@ -1,0 +1,47 @@
+; CRC-32 (reflected, polynomial 0xEDB88320) over 1024 pseudo-random
+; bytes, computed bitwise — a long chain of narrow shift/xor values.
+.data
+buf:    .zero 1024
+result: .words 0
+.text
+_start:
+        li   x1, buf
+        li   x3, 0x1234567890abcdef     ; LCG state
+        li   x6, 6364136223846793005
+        li   x7, 1442695040888963407
+        li   x4, 1024
+        mv   x5, x1
+fill:
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        srli x8, x3, 56
+        sb   x8, 0(x5)
+        addi x5, x5, 1
+        addi x4, x4, -1
+        bne  x4, x0, fill
+
+        li   x10, 0xffffffff
+        li   x9, 0xedb88320
+        mv   x5, x1
+        li   x4, 1024
+byte_loop:
+        lbu  x6, 0(x5)
+        xor  x10, x10, x6
+        li   x7, 8
+bit_loop:
+        andi x8, x10, 1
+        srli x10, x10, 1
+        beq  x8, x0, bit_next
+        xor  x10, x10, x9
+bit_next:
+        addi x7, x7, -1
+        bne  x7, x0, bit_loop
+        addi x5, x5, 1
+        addi x4, x4, -1
+        bne  x4, x0, byte_loop
+
+        li   x6, 0xffffffff
+        xor  x10, x10, x6
+        li   x11, result
+        st   x10, 0(x11)
+        halt

@@ -1,0 +1,21 @@
+; Iterative Fibonacci (mod 2^64): x10 = fib(10000), stored to the result
+; slot. Promoted from examples/asm — the smallest corpus kernel, and the
+; smoke program the docs use throughout.
+.data
+result: .words 0
+.text
+_start:
+        li   x1, 0          ; fib(i)
+        li   x2, 1          ; fib(i+1)
+        li   x4, 10000      ; iterations
+loop:
+        add  x3, x1, x2
+        mv   x1, x2
+        mv   x2, x3
+        addi x4, x4, -1
+        bne  x4, x0, loop
+
+        mv   x10, x3
+        li   x11, result
+        st   x10, 0(x11)
+        halt

@@ -1,0 +1,33 @@
+; List primitives for the listops kernel. The dominant access pattern is
+; the pointer chase: every `ld x4, 8(x4)` depends on the previous load.
+
+; list_reverse: x4 = head -> x4 = new head. Clobbers x5, x6.
+.globl list_reverse
+list_reverse:
+        li   x5, 0          ; prev
+rev_loop:
+        beq  x4, x0, rev_done
+        ld   x6, 8(x4)      ; next
+        st   x5, 8(x4)      ; node.next = prev
+        mv   x5, x4
+        mv   x4, x6
+        j    rev_loop
+rev_done:
+        mv   x4, x5
+        ret  x31
+
+; list_sum: x4 = head -> x10 = sum(value * position). Clobbers x5, x6.
+.globl list_sum
+list_sum:
+        li   x10, 0
+        li   x5, 1          ; position, 1-based
+sum_loop:
+        beq  x4, x0, sum_done
+        ld   x6, 0(x4)
+        mul  x6, x6, x5
+        add  x10, x10, x6
+        addi x5, x5, 1
+        ld   x4, 8(x4)
+        j    sum_loop
+sum_done:
+        ret  x31

@@ -1,0 +1,30 @@
+; Linked-list workout: build 2000 nodes in the pool (prepending, so the
+; list comes out in reverse build order), reverse the list in place, then
+; take a position-weighted sum. Node layout: [value u64][next u64].
+.globl _start
+.data
+pool:   .zero 32000         ; 2000 nodes of 16 bytes
+result: .words 0
+.text
+_start:
+        li   x1, pool
+        li   x3, 0x9e3779b97f4a7c15     ; LCG state
+        li   x6, 6364136223846793005
+        li   x7, 1442695040888963407
+        li   x5, 2000
+        li   x4, 0          ; head = null
+build:
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        st   x3, 0(x1)      ; node.value
+        st   x4, 8(x1)      ; node.next = head
+        mv   x4, x1
+        addi x1, x1, 16
+        addi x5, x5, -1
+        bne  x5, x0, build
+
+        jal  x31, list_reverse      ; x4 = reversed head
+        jal  x31, list_sum          ; x10 = weighted sum
+        li   x11, result
+        st   x10, 0(x11)
+        halt

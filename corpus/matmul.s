@@ -1,0 +1,75 @@
+; 16x16 integer matrix multiply (row-major u64): C = A * B over
+; pseudo-random inputs, then a rotate-xor checksum of C.
+.data
+mat_a:  .zero 2048
+mat_b:  .zero 2048
+mat_c:  .zero 2048
+result: .words 0
+.text
+_start:
+        li   x3, 0x0feedface0ddba11     ; LCG state
+        li   x6, 6364136223846793005
+        li   x7, 1442695040888963407
+        li   x1, mat_a
+        li   x2, mat_b
+        li   x4, 256
+fill:
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        st   x3, 0(x1)
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        st   x3, 0(x2)
+        addi x1, x1, 8
+        addi x2, x2, 8
+        addi x4, x4, -1
+        bne  x4, x0, fill
+
+        li   x1, mat_a
+        li   x2, mat_b
+        li   x5, mat_c
+        li   x11, 0         ; i
+mm_i:
+        li   x12, 0         ; j
+mm_j:
+        li   x13, 0         ; k
+        li   x14, 0         ; acc
+        slli x15, x11, 7
+        add  x15, x15, x1   ; &A[i][0]
+        slli x16, x12, 3
+        add  x16, x16, x2   ; &B[0][j]
+mm_k:
+        ld   x7, 0(x15)
+        ld   x8, 0(x16)
+        mul  x7, x7, x8
+        add  x14, x14, x7
+        addi x15, x15, 8
+        addi x16, x16, 128
+        addi x13, x13, 1
+        slti x9, x13, 16
+        bne  x9, x0, mm_k
+        st   x14, 0(x5)
+        addi x5, x5, 8
+        addi x12, x12, 1
+        slti x9, x12, 16
+        bne  x9, x0, mm_j
+        addi x11, x11, 1
+        slti x9, x11, 16
+        bne  x9, x0, mm_i
+
+        li   x10, 0         ; checksum = rotl1(checksum) ^ c
+        li   x5, mat_c
+        li   x4, 256
+sum:
+        ld   x6, 0(x5)
+        slli x7, x10, 1
+        srli x8, x10, 63
+        or   x10, x7, x8
+        xor  x10, x10, x6
+        addi x5, x5, 8
+        addi x4, x4, -1
+        bne  x4, x0, sum
+
+        li   x11, result
+        st   x10, 0(x11)
+        halt

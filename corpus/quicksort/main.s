@@ -1,0 +1,50 @@
+; Quicksort driver: fill 512 pseudo-random u64s, sort them with the
+; recursive qsort from the sibling unit, then checksum the sorted array
+; (and fold in the inversion count, which must be zero).
+.globl _start
+.data
+arr:    .zero 4096          ; 512 u64
+result: .words 0
+.text
+_start:
+        li   x2, 0x7f0000   ; call stack, grows down
+        li   x1, arr
+        li   x3, 0x243f6a8885a308d3     ; LCG state
+        li   x6, 6364136223846793005
+        li   x7, 1442695040888963407
+        li   x4, 512
+        mv   x5, x1
+fill:
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        st   x3, 0(x5)
+        addi x5, x5, 8
+        addi x4, x4, -1
+        bne  x4, x0, fill
+
+        mv   x4, x1         ; lo = &arr[0]
+        addi x5, x1, 4088   ; hi = &arr[511]
+        jal  x31, qsort
+
+        li   x10, 0         ; checksum
+        li   x11, 0         ; inversions
+        mv   x5, x1
+        li   x4, 0
+        li   x7, 512
+        li   x8, 0          ; previous value
+check:
+        ld   x6, 0(x5)
+        bgeu x6, x8, ordered
+        addi x11, x11, 1
+ordered:
+        mv   x8, x6
+        xor  x6, x6, x4
+        add  x10, x10, x6
+        addi x5, x5, 8
+        addi x4, x4, 1
+        bne  x4, x7, check
+
+        add  x10, x10, x11  ; zero when sorted
+        li   x12, result
+        st   x10, 0(x12)
+        halt

@@ -1,0 +1,49 @@
+; Recursive quicksort over u64 elements, Lomuto partition.
+;
+;   qsort(x4 = lo addr, x5 = hi addr)   ; inclusive bounds, 8-byte elems
+;
+; x2 is the call stack pointer; x31 the link register. Clobbers x6..x9
+; and x11.
+.globl qsort
+qsort:
+        bltu x4, x5, qs_go
+        ret  x31
+qs_go:
+        addi x2, x2, -32
+        st   x31, 0(x2)
+        st   x4, 8(x2)
+        st   x5, 16(x2)
+
+        ld   x6, 0(x5)      ; pivot = *hi
+        addi x7, x4, -8     ; i = lo - 8
+        mv   x8, x4         ; j = lo
+qs_loop:
+        bgeu x8, x5, qs_after
+        ld   x9, 0(x8)
+        bltu x6, x9, qs_next        ; skip when pivot < *j
+        addi x7, x7, 8
+        ld   x11, 0(x7)
+        st   x9, 0(x7)
+        st   x11, 0(x8)
+qs_next:
+        addi x8, x8, 8
+        j    qs_loop
+qs_after:
+        addi x7, x7, 8      ; pivot slot
+        ld   x9, 0(x7)
+        ld   x11, 0(x5)
+        st   x11, 0(x7)
+        st   x9, 0(x5)
+        st   x7, 24(x2)
+
+        ld   x4, 8(x2)      ; left half: (lo, pivot - 8)
+        addi x5, x7, -8
+        jal  x31, qsort
+        ld   x4, 24(x2)     ; right half: (pivot + 8, hi)
+        addi x4, x4, 8
+        ld   x5, 16(x2)
+        jal  x31, qsort
+
+        ld   x31, 0(x2)
+        addi x2, x2, 32
+        ret  x31

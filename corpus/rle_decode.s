@@ -1,0 +1,62 @@
+; Run-length decoder: generate 1024 (count, value) byte pairs with
+; counts 1..8, expand them into the output buffer, then checksum the
+; decoded bytes and fold in the decoded length.
+.data
+enc:    .zero 2048          ; 1024 pairs
+dec:    .zero 8192          ; worst case 1024 * 8
+result: .words 0
+.text
+_start:
+        li   x3, 0xdeadbeefcafebabe     ; LCG state
+        li   x6, 6364136223846793005
+        li   x7, 1442695040888963407
+        li   x1, enc
+        li   x4, 1024
+        mv   x5, x1
+gen:
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        srli x8, x3, 58
+        andi x9, x8, 7
+        addi x9, x9, 1      ; count in 1..8
+        sb   x9, 0(x5)
+        srli x8, x3, 48
+        andi x8, x8, 255
+        sb   x8, 1(x5)
+        addi x5, x5, 2
+        addi x4, x4, -1
+        bne  x4, x0, gen
+
+        mv   x5, x1         ; decode
+        li   x11, dec
+        mv   x12, x11       ; out ptr
+        li   x4, 1024
+pair:
+        lbu  x9, 0(x5)      ; count
+        lbu  x8, 1(x5)      ; value
+run:
+        sb   x8, 0(x12)
+        addi x12, x12, 1
+        addi x9, x9, -1
+        bne  x9, x0, run
+        addi x5, x5, 2
+        addi x4, x4, -1
+        bne  x4, x0, pair
+
+        li   x10, 0         ; checksum over [dec, out)
+        mv   x5, x11
+cksum:
+        bgeu x5, x12, done
+        lbu  x6, 0(x5)
+        slli x7, x10, 1
+        srli x8, x10, 63
+        or   x10, x7, x8
+        xor  x10, x10, x6
+        addi x5, x5, 1
+        j    cksum
+done:
+        sub  x6, x12, x11   ; decoded length
+        add  x10, x10, x6
+        li   x11, result
+        st   x10, 0(x11)
+        halt

@@ -1,0 +1,49 @@
+; Naive substring search: count occurrences of a 4-byte needle in 2 KiB
+; of two-letter text ("a"/"b"), so matches actually happen (~128
+; expected) and the inner loop runs a couple of iterations on average.
+.data
+text:   .zero 2048
+needle: .bytes 97 98 98 97          ; "abba"
+result: .words 0
+.text
+_start:
+        li   x3, 0x0123456789abcdef     ; LCG state
+        li   x6, 6364136223846793005
+        li   x7, 1442695040888963407
+        li   x1, text
+        li   x4, 2048
+        mv   x5, x1
+fill:
+        mul  x3, x3, x6
+        add  x3, x3, x7
+        srli x8, x3, 61
+        andi x8, x8, 1
+        addi x8, x8, 97     ; 'a' or 'b'
+        sb   x8, 0(x5)
+        addi x5, x5, 1
+        addi x4, x4, -1
+        bne  x4, x0, fill
+
+        li   x10, 0         ; match count
+        li   x11, needle
+        mv   x5, x1         ; window start
+        addi x12, x1, 2045  ; one past the last window start
+outer:
+        li   x13, 0         ; k
+inner:
+        add  x14, x5, x13
+        lbu  x6, 0(x14)
+        add  x15, x11, x13
+        lbu  x7, 0(x15)
+        bne  x6, x7, miss
+        addi x13, x13, 1
+        slti x9, x13, 4
+        bne  x9, x0, inner
+        addi x10, x10, 1    ; full match
+miss:
+        addi x5, x5, 1
+        bltu x5, x12, outer
+
+        li   x11, result
+        st   x10, 0(x11)
+        halt

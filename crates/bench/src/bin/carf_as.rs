@@ -1,0 +1,162 @@
+//! Assemble, link, and run real programs from the corpus.
+//!
+//! ```text
+//! carf-as [paths...] [--machine M] [--entry SYM] [--functional]
+//!         [--disasm] [--max N] [--quick|--full] [--jobs N] [--sample]
+//! ```
+//!
+//! Each path is a `.s` file or a directory following the corpus layout
+//! (see `carf_bench::corpus`): subdirectories link as multi-unit
+//! programs, loose files as single-unit programs; with no paths the
+//! workspace `corpus/` is run. Timing runs go through the shared result
+//! cache keyed on program *content*, so re-runs of unchanged sources do
+//! zero simulation; per-program stats land in `results/corpus_runs.json`.
+
+use carf_bench::cli::{CliSpec, MachineSet, OptSpec};
+use carf_bench::{cache, corpus, parallel};
+use carf_isa::Machine;
+use carf_workloads::Suite;
+use std::path::PathBuf;
+
+const SPEC: CliSpec = CliSpec {
+    bin: "carf-as",
+    options: &[
+        OptSpec {
+            name: "--machine",
+            value: Some("M"),
+            help: "base, carf, both, compressed, ports, or all (default: base)",
+        },
+        OptSpec {
+            name: "--entry",
+            value: Some("SYM"),
+            help: "entry symbol for linking (default: exported _start)",
+        },
+        OptSpec {
+            name: "--functional",
+            value: None,
+            help: "run the functional executor instead of the timing simulator",
+        },
+        OptSpec { name: "--disasm", value: None, help: "print each linked program's disassembly" },
+        OptSpec { name: "--max", value: Some("N"), help: "per-program instruction budget override" },
+    ],
+    operands: Some(("path", ".s files or program/corpus directories (default: corpus/)")),
+};
+
+fn main() {
+    let parsed = SPEC.parse();
+    let mut budget = parsed.budget;
+    if let Some(v) = parsed.option("--max") {
+        match v.parse::<u64>() {
+            Ok(n) if n > 0 => budget.max_insts = n,
+            _ => SPEC.fail("`--max` expects a positive integer"),
+        }
+    }
+    let entry = parsed.option("--entry");
+    let machines = match MachineSet::parse(parsed.option("--machine").unwrap_or("base")) {
+        Ok(m) => m,
+        Err(e) => SPEC.fail(&e),
+    };
+
+    let paths: Vec<PathBuf> = if parsed.operands.is_empty() {
+        vec![corpus::default_corpus_dir()]
+    } else {
+        parsed.operands.iter().map(PathBuf::from).collect()
+    };
+
+    let mut programs: Vec<corpus::CorpusProgram> = Vec::new();
+    for path in &paths {
+        match corpus::discover(path, entry) {
+            Ok(mut ps) => programs.append(&mut ps),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let units: usize = programs.iter().map(|p| p.files.len()).sum();
+    println!("carf-as: linked {} program(s) from {units} translation unit(s)", programs.len());
+
+    if parsed.option("--disasm").is_some() {
+        for p in &programs {
+            println!("; {} ({} insts)", p.name, p.program.len());
+            print!("{}", p.program.disassemble());
+        }
+    }
+
+    if parsed.option("--functional").is_some() {
+        for p in &programs {
+            let mut m = Machine::load(&p.program);
+            match m.run(&p.program, budget.max_insts) {
+                Ok(retired) => println!(
+                    "{:<12} functional: {retired} retired{}",
+                    p.name,
+                    if m.is_halted() { "" } else { " (budget reached)" }
+                ),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", p.name);
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    // One experiment point per machine, carrying every program; the cache
+    // addresses each (machine, program-content, budget) triple.
+    let configs = machines.configs();
+    let points: Vec<_> = configs
+        .iter()
+        .map(|(_, config)| {
+            (config.clone(), Suite::Int, programs.iter().map(|p| p.to_workload(Suite::Int)).collect())
+        })
+        .collect();
+    let outcome = cache::run_custom_cached(&points, &budget);
+
+    for ((label, _), result) in configs.iter().zip(&outcome.results) {
+        println!("\n[{label}] corpus, budget {}", budget.label());
+        println!(
+            "{:<12} {:>10} {:>10} {:>6}  {:>6} {:>6} {:>6}",
+            "program", "committed", "cycles", "ipc", "simple", "short", "long"
+        );
+        for (name, stats) in &result.runs {
+            let writes = &stats.int_rf.writes;
+            // Per-class write counters are populated by content-aware
+            // organizations only; the monolithic baseline shows dashes.
+            let classes = if writes.total() > 0 {
+                let total = writes.total() as f64;
+                format!(
+                    "{:>5.1}% {:>5.1}% {:>5.1}%",
+                    writes.simple as f64 / total * 100.0,
+                    writes.short as f64 / total * 100.0,
+                    writes.long as f64 / total * 100.0,
+                )
+            } else {
+                format!("{:>6} {:>6} {:>6}", "-", "-", "-")
+            };
+            println!(
+                "{:<12} {:>10} {:>10} {:>6.3}  {classes}",
+                name,
+                stats.committed,
+                stats.cycles,
+                stats.ipc(),
+            );
+            let record = format!(
+                "{{\"program\": \"{name}\", \"machine\": \"{label}\", \
+                 \"budget\": \"{}\", \"committed\": {}, \"cycles\": {}, \
+                 \"ipc\": {:.6}, \"simple\": {}, \"short\": {}, \"long\": {}}}",
+                budget.label(),
+                stats.committed,
+                stats.cycles,
+                stats.ipc(),
+                writes.simple,
+                writes.short,
+                writes.long,
+            );
+            parallel::write_merged_record(
+                "corpus_runs.json",
+                &record,
+                &["program", "machine", "budget"],
+            );
+        }
+    }
+}

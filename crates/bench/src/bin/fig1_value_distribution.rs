@@ -5,16 +5,42 @@
 //! physical-register values are grouped by exact value, groups are ranked
 //! by population, and each live register is attributed to its group's rank
 //! bucket.
+//!
+//! With `--corpus` the real-program corpus (see `carf_bench::corpus`) runs
+//! through the same oracle, and the synthetic-vs-real delta lands in
+//! `results/corpus_demographics.json`.
 
-use carf_bench::{pct, print_table, run_suite, Budget};
+use carf_bench::cli::{CliSpec, OptSpec};
+use carf_bench::{corpus, parallel, pct, print_table, run_suite, run_workloads, Budget};
 use carf_core::analysis::{GroupAccumulator, GROUP_LABELS};
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
-fn merged(suite: Suite, budget: &Budget) -> GroupAccumulator {
+const SPEC: CliSpec = CliSpec {
+    bin: "fig1_value_distribution",
+    options: &[
+        OptSpec {
+            name: "--corpus",
+            value: None,
+            help: "also run the real-program corpus; report the synthetic-vs-real delta",
+        },
+        OptSpec {
+            name: "--corpus-dir",
+            value: Some("DIR"),
+            help: "corpus root (default: corpus/; implies --corpus)",
+        },
+    ],
+    operands: None,
+};
+
+fn oracle_config(budget: &Budget) -> SimConfig {
     let mut cfg = SimConfig::paper_baseline();
     cfg.oracle_period = Some(budget.oracle_period);
-    let result = run_suite(&cfg, suite, budget);
+    cfg
+}
+
+fn merged(suite: Suite, budget: &Budget) -> GroupAccumulator {
+    let result = run_suite(&oracle_config(budget), suite, budget);
     let mut acc = GroupAccumulator::new();
     for (_, stats) in &result.runs {
         acc.merge(&stats.oracle.values);
@@ -22,8 +48,14 @@ fn merged(suite: Suite, budget: &Budget) -> GroupAccumulator {
     acc
 }
 
+fn json_fractions(f: &[f64]) -> String {
+    let items: Vec<String> = f.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
 fn main() {
-    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
+    let parsed = SPEC.parse();
+    let budget = parsed.budget;
     println!("Figure 1: distribution of live integer data values ({} run)", budget.label());
     let int = merged(Suite::Int, &budget);
     let fp = merged(Suite::Fp, &budget);
@@ -57,4 +89,53 @@ fn main() {
         fp.snapshots(),
         budget.oracle_period
     );
+
+    let Some(root) = corpus::corpus_root(&parsed) else { return };
+    let workloads = match corpus::workloads(&root, Suite::Int) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = run_workloads(&oracle_config(&budget), Suite::Int, &workloads, &budget);
+    let mut real = GroupAccumulator::new();
+    for (_, stats) in &result.runs {
+        real.merge(&stats.oracle.values);
+    }
+
+    let (sf, cf) = (int.fractions(), real.fractions());
+    let rows: Vec<Vec<String>> = GROUP_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            vec![
+                label.to_string(),
+                pct(sf[i]),
+                pct(cf[i]),
+                format!("{:+.1} pp", (cf[i] - sf[i]) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Synthetic INT vs corpus ({} programs)", workloads.len()),
+        &["group", "synthetic", "corpus", "delta"],
+        &rows,
+    );
+
+    let delta: Vec<f64> = (0..sf.len()).map(|i| (cf[i] - sf[i]) * 100.0).collect();
+    let record = format!(
+        "{{\"figure\": \"fig1\", \"budget\": \"{}\", \"programs\": {}, \
+         \"snapshots\": {}, \"synthetic_int\": {}, \"corpus\": {}, \
+         \"delta_pp\": {}}}",
+        budget.label(),
+        workloads.len(),
+        real.snapshots(),
+        json_fractions(&sf),
+        json_fractions(&cf),
+        json_fractions(&delta),
+    );
+    let path =
+        parallel::write_merged_record("corpus_demographics.json", &record, &["figure", "budget"]);
+    println!("\ncorpus demographics -> {}", path.display());
 }

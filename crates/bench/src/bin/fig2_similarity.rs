@@ -4,32 +4,66 @@
 //! Same oracle as Figure 1, but live registers are grouped by their high
 //! `64-d` bits, exposing *partial* value locality: the population collapses
 //! into far fewer groups as `d` grows.
+//!
+//! With `--corpus` the real-program corpus runs through the same oracle
+//! and the synthetic-vs-real delta (per `d`) lands in
+//! `results/corpus_demographics.json`.
 
-use carf_bench::{pct, print_table, run_suite};
+use carf_bench::cli::{CliSpec, OptSpec};
+use carf_bench::{corpus, parallel, pct, print_table, run_suite, run_workloads, Budget};
 use carf_core::analysis::{GroupAccumulator, GROUP_LABELS};
 use carf_sim::{SimConfig, SimStats};
 use carf_workloads::Suite;
 
-fn main() {
-    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
-    println!("Figure 2: (64-d)-similar live value distribution ({} run)", budget.label());
+const SPEC: CliSpec = CliSpec {
+    bin: "fig2_similarity",
+    options: &[
+        OptSpec {
+            name: "--corpus",
+            value: None,
+            help: "also run the real-program corpus; report the synthetic-vs-real delta",
+        },
+        OptSpec {
+            name: "--corpus-dir",
+            value: Some("DIR"),
+            help: "corpus root (default: corpus/; implies --corpus)",
+        },
+    ],
+    operands: None,
+};
+
+fn oracle_config(budget: &Budget) -> SimConfig {
     let mut cfg = SimConfig::paper_baseline();
     cfg.oracle_period = Some(budget.oracle_period);
+    cfg
+}
+
+fn merge(runs: &[SimStats], pick: fn(&SimStats) -> &GroupAccumulator) -> GroupAccumulator {
+    let mut acc = GroupAccumulator::new();
+    for s in runs {
+        acc.merge(pick(s));
+    }
+    acc
+}
+
+fn json_fractions(f: &[f64]) -> String {
+    let items: Vec<String> = f.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let parsed = SPEC.parse();
+    let budget = parsed.budget;
+    println!("Figure 2: (64-d)-similar live value distribution ({} run)", budget.label());
+    let cfg = oracle_config(&budget);
 
     let mut runs: Vec<SimStats> = Vec::new();
     for suite in [Suite::Int, Suite::Fp] {
         runs.extend(run_suite(&cfg, suite, &budget).runs.into_iter().map(|(_, s)| s));
     }
-    let merge = |pick: fn(&SimStats) -> &GroupAccumulator| {
-        let mut acc = GroupAccumulator::new();
-        for s in &runs {
-            acc.merge(pick(s));
-        }
-        acc
-    };
-    let d8 = merge(|s| &s.oracle.sim_d8);
-    let d12 = merge(|s| &s.oracle.sim_d12);
-    let d16 = merge(|s| &s.oracle.sim_d16);
+    let d8 = merge(&runs, |s| &s.oracle.sim_d8);
+    let d12 = merge(&runs, |s| &s.oracle.sim_d12);
+    let d16 = merge(&runs, |s| &s.oracle.sim_d16);
 
     // Attested paper anchors (Figure 2a prose): ~35% in group 1, ~9% in
     // group 2, ~10% in groups 3-4, ~35% in REST; REST shrinks as d grows
@@ -61,4 +95,56 @@ fn main() {
         println!("d={d:2}: top four groups capture {} (paper: ~70% at d=16); REST {}",
             pct(top4), pct(f[5]));
     }
+
+    let Some(root) = corpus::corpus_root(&parsed) else { return };
+    let workloads = match corpus::workloads(&root, Suite::Int) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = run_workloads(&cfg, Suite::Int, &workloads, &budget);
+    let corpus_runs: Vec<SimStats> = result.runs.into_iter().map(|(_, s)| s).collect();
+    let c8 = merge(&corpus_runs, |s| &s.oracle.sim_d8);
+    let c12 = merge(&corpus_runs, |s| &s.oracle.sim_d12);
+    let c16 = merge(&corpus_runs, |s| &s.oracle.sim_d16);
+
+    println!();
+    let rows: Vec<Vec<String>> = GROUP_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            vec![
+                label.to_string(),
+                pct(d8.fractions()[i]),
+                pct(c8.fractions()[i]),
+                format!("{:+.1} pp", (c8.fractions()[i] - d8.fractions()[i]) * 100.0),
+                pct(c16.fractions()[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Synthetic vs corpus, d=8 ({} programs)", workloads.len()),
+        &["group", "synthetic d=8", "corpus d=8", "delta", "corpus d=16"],
+        &rows,
+    );
+
+    let mut fields = vec![
+        format!("\"figure\": \"fig2\""),
+        format!("\"budget\": \"{}\"", budget.label()),
+        format!("\"programs\": {}", workloads.len()),
+        format!("\"snapshots\": {}", c8.snapshots()),
+    ];
+    for (tag, synth, real) in [("d8", &d8, &c8), ("d12", &d12, &c12), ("d16", &d16, &c16)] {
+        let (sf, cf) = (synth.fractions(), real.fractions());
+        let delta: Vec<f64> = (0..sf.len()).map(|i| (cf[i] - sf[i]) * 100.0).collect();
+        fields.push(format!("\"synthetic_{tag}\": {}", json_fractions(&sf)));
+        fields.push(format!("\"corpus_{tag}\": {}", json_fractions(&cf)));
+        fields.push(format!("\"delta_pp_{tag}\": {}", json_fractions(&delta)));
+    }
+    let record = format!("{{{}}}", fields.join(", "));
+    let path =
+        parallel::write_merged_record("corpus_demographics.json", &record, &["figure", "budget"]);
+    println!("\ncorpus demographics -> {}", path.display());
 }

@@ -1,93 +1,120 @@
-//! Run an assembly file on the simulated machine.
+//! Run one assembly program on the simulated machine.
+//!
+//! A thin, single-program front end over the `carf-as` pipeline: the
+//! operand goes through [`carf_bench::corpus::discover`], so it may be a
+//! lone `.s` file or a directory of translation units that link into one
+//! program. For whole-corpus runs (and cached, multi-machine tables) use
+//! `carf-as` instead.
 //!
 //! ```text
 //! cargo run -p carf-bench --release --bin run_asm -- program.s [options]
-//!
-//! options:
-//!   --carf           use the content-aware register file (default: baseline)
-//!   --unlimited      use the unlimited-resource machine
-//!   --dn <N>         content-aware d+n (default 20; implies --carf)
-//!   --max <N>        instruction budget (default 10_000_000)
-//!   --cosim          check every commit against the functional model
-//!   --functional     skip the timing simulator; run the functional machine
-//!   --disasm         print the disassembly before running
-//!   --timeline <N>   print the pipeline timeline of the first N commits
 //! ```
 
+use carf_bench::cli::{CliSpec, OptSpec};
+use carf_bench::corpus;
 use carf_core::CarfParams;
-use carf_isa::{parse_asm, Machine};
-use carf_sim::{SimConfig, AnySimulator};
+use carf_isa::Machine;
+use carf_sim::{AnySimulator, SimConfig};
+use std::path::Path;
 
-fn main() {
-    if let Err(e) = run() {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+const SPEC: CliSpec = CliSpec {
+    bin: "run_asm",
+    options: &[
+        OptSpec {
+            name: "--carf",
+            value: None,
+            help: "use the content-aware register file (default: baseline)",
+        },
+        OptSpec { name: "--unlimited", value: None, help: "use the unlimited-resource machine" },
+        OptSpec { name: "--dn", value: Some("N"), help: "content-aware d+n (implies --carf)" },
+        OptSpec { name: "--max", value: Some("N"), help: "instruction budget (default 10_000_000)" },
+        OptSpec { name: "--cosim", value: None, help: "check every commit against the functional model" },
+        OptSpec {
+            name: "--functional",
+            value: None,
+            help: "skip the timing simulator; run the functional machine",
+        },
+        OptSpec { name: "--disasm", value: None, help: "print the disassembly before running" },
+        OptSpec {
+            name: "--timeline",
+            value: Some("N"),
+            help: "print the pipeline timeline of the first N commits",
+        },
+    ],
+    operands: Some(("file.s", "assembly file (or directory of translation units) to run")),
+};
+
+fn parsed_u64(parsed: &carf_bench::cli::ParsedCli, name: &str, default: u64) -> u64 {
+    match parsed.option(name) {
+        None => default,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => SPEC.fail(&format!("`{name}` expects a positive integer")),
+        },
     }
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut path = None;
-    let mut carf = false;
-    let mut unlimited = false;
-    let mut dn: Option<u32> = None;
-    let mut max_insts: u64 = 10_000_000;
-    let mut cosim = false;
-    let mut functional = false;
-    let mut disasm = false;
-    let mut timeline: usize = 0;
+fn main() {
+    let parsed = SPEC.parse();
+    let path = match parsed.operands.as_slice() {
+        [one] => one.clone(),
+        _ => SPEC.fail("expected exactly one .s file or program directory"),
+    };
+    let max_insts = parsed_u64(&parsed, "--max", 10_000_000);
+    let timeline = parsed_u64(&parsed, "--timeline", 0) as usize;
 
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--carf" => carf = true,
-            "--unlimited" => unlimited = true,
-            "--dn" => {
-                dn = Some(it.next().ok_or("--dn needs a value")?.parse()?);
-            }
-            "--max" => {
-                max_insts = it.next().ok_or("--max needs a value")?.parse()?;
-            }
-            "--cosim" => cosim = true,
-            "--functional" => functional = true,
-            "--disasm" => disasm = true,
-            "--timeline" => {
-                timeline = it.next().ok_or("--timeline needs a value")?.parse()?;
-            }
-            other if !other.starts_with('-') => path = Some(other.to_string()),
-            other => return Err(format!("unknown option `{other}`").into()),
+    let program = match corpus::discover(Path::new(&path), None) {
+        Ok(ps) if ps.len() == 1 => ps.into_iter().next().unwrap().program,
+        Ok(ps) => SPEC.fail(&format!(
+            "`{path}` holds {} programs; run_asm runs one (use carf-as for a corpus)",
+            ps.len()
+        )),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
-    }
-    let path = path.ok_or("usage: run_asm <file.s> [--carf|--unlimited] [--max N]")?;
-    let source = std::fs::read_to_string(&path)?;
-    let program = parse_asm(&source)?;
-    if disasm {
+    };
+    if parsed.option("--disasm").is_some() {
         print!("{}", program.disassemble());
     }
 
-    if functional {
+    if parsed.option("--functional").is_some() {
         let mut m = Machine::load(&program);
-        let retired = m.run(&program, max_insts)?;
-        println!("functional: {retired} instructions retired");
-        return Ok(());
+        match m.run(&program, max_insts) {
+            Ok(retired) => println!("functional: {retired} instructions retired"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
-    let mut config = if let Some(dn) = dn {
-        SimConfig::paper_carf(CarfParams::with_dn(dn))
-    } else if carf {
+    let mut config = if let Some(v) = parsed.option("--dn") {
+        match v.parse::<u32>() {
+            Ok(dn) if dn > 0 => SimConfig::paper_carf(CarfParams::with_dn(dn)),
+            _ => SPEC.fail("`--dn` expects a positive integer"),
+        }
+    } else if parsed.option("--carf").is_some() {
         SimConfig::paper_carf(CarfParams::paper_default())
-    } else if unlimited {
+    } else if parsed.option("--unlimited").is_some() {
         SimConfig::paper_unlimited()
     } else {
         SimConfig::paper_baseline()
     };
-    config.cosim = cosim;
+    config.cosim = parsed.option("--cosim").is_some();
 
     let mut sim = AnySimulator::new(config, &program);
     if timeline > 0 {
         sim.record_timeline(timeline);
     }
-    let result = sim.run(max_insts)?;
+    let result = match sim.run(max_insts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     if timeline > 0 {
         println!("   seq  pc         Dispatch Issue  Exec   Commit");
         for t in sim.timeline() {
@@ -115,5 +142,4 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             stats.int_rf.writes.simple, stats.int_rf.writes.short, stats.int_rf.writes.long
         );
     }
-    Ok(())
 }

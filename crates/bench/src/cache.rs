@@ -183,6 +183,21 @@ fn fnv128(text: &str) -> u128 {
     h
 }
 
+/// The cache identity of a workload. Synthetic kernels are pure
+/// `fn(size)` builders, so their name (plus the budget's size class,
+/// which is already in the key) pins the program exactly. Fixed-program
+/// workloads (assembled corpus kernels) are identified by **content**: the
+/// [`carf_isa::program_fingerprint`] over the linked instruction text,
+/// entry point, and data image rides along as a `#fingerprint` suffix, so
+/// editing one instruction in a `.s` source — or linking with a different
+/// entry symbol — changes the key even though the name is unchanged.
+pub fn workload_identity(workload: &Workload) -> String {
+    match workload.content_fingerprint() {
+        Some(fp) => format!("{}#{fp:016x}", workload.name),
+        None => workload.name.to_string(),
+    }
+}
+
 /// The full canonical key text of one simulation point (hash pre-image;
 /// exposed so tests can assert *why* two keys differ).
 pub fn point_key_text(config: &SimConfig, suite: Suite, workload: &str, budget: &Budget) -> String {
@@ -434,10 +449,43 @@ pub fn run_matrix_with_cache(
     budget: &Budget,
     cache: Option<&ResultCache>,
 ) -> MatrixOutcome {
+    let custom: Vec<(SimConfig, Suite, Vec<Workload>)> = points
+        .iter()
+        .map(|(config, suite)| (config.clone(), *suite, crate::suite_workloads(*suite)))
+        .collect();
+    run_custom_with_cache(&custom, budget, cache)
+}
+
+/// [`run_matrix_cached`] over explicit workload lists instead of the
+/// registry suites — the corpus path, where each point carries its own
+/// set of assembled programs. Prints the cache summary line and enforces
+/// `CARF_CACHE_REQUIRE_WARM` like [`run_matrix_cached`].
+pub fn run_custom_cached(
+    points: &[(SimConfig, Suite, Vec<Workload>)],
+    budget: &Budget,
+) -> MatrixOutcome {
+    let cache = ResultCache::from_env();
+    let outcome = run_custom_with_cache(points, budget, cache.as_ref());
+    println!("{}", outcome.summary());
+    if outcome.simulated > 0 && require_warm() {
+        fail_cold(outcome.simulated);
+    }
+    outcome
+}
+
+/// [`run_custom_cached`] against an explicit cache (`None` = bypass),
+/// without printing or warm enforcement. Workloads are addressed by
+/// [`workload_identity`], so fixed-program (corpus) points key on program
+/// content, not just name.
+pub fn run_custom_with_cache(
+    points: &[(SimConfig, Suite, Vec<Workload>)],
+    budget: &Budget,
+    cache: Option<&ResultCache>,
+) -> MatrixOutcome {
     parallel::note_run_start();
-    let mut flat: Vec<(usize, Suite, Workload)> = Vec::new();
-    for (pi, (_, suite)) in points.iter().enumerate() {
-        for w in crate::suite_workloads(*suite) {
+    let mut flat: Vec<(usize, Suite, &Workload)> = Vec::new();
+    for (pi, (_, suite, workloads)) in points.iter().enumerate() {
+        for w in workloads {
             flat.push((pi, *suite, w));
         }
     }
@@ -447,7 +495,7 @@ pub fn run_matrix_with_cache(
     let mut cold: Vec<usize> = Vec::new();
     for (fi, (pi, suite, w)) in flat.iter().enumerate() {
         let hit = cache.and_then(|c| {
-            c.load_point(point_key(&points[*pi].0, *suite, w.name, budget))
+            c.load_point(point_key(&points[*pi].0, *suite, &workload_identity(w), budget))
         });
         match hit {
             Some(stats) => runs.push(Some((w.name.to_string(), stats))),
@@ -468,8 +516,8 @@ pub fn run_matrix_with_cache(
         let (pi, suite, w) = &flat[*fi];
         if let Some(c) = cache {
             c.store_point(
-                point_key(&points[*pi].0, *suite, w.name, budget),
-                &format!("{suite:?}/{}", w.name),
+                point_key(&points[*pi].0, *suite, &workload_identity(w), budget),
+                &format!("{suite:?}/{}", workload_identity(w)),
                 &points[*pi].0,
                 budget,
                 &run.1,
@@ -478,8 +526,10 @@ pub fn run_matrix_with_cache(
         runs[*fi] = Some(run);
     }
 
-    let mut results: Vec<SuiteResult> =
-        points.iter().map(|(_, suite)| SuiteResult { suite: *suite, runs: Vec::new() }).collect();
+    let mut results: Vec<SuiteResult> = points
+        .iter()
+        .map(|(_, suite, _)| SuiteResult { suite: *suite, runs: Vec::new() })
+        .collect();
     for ((pi, _, _), run) in flat.iter().zip(runs) {
         results[*pi].runs.push(run.expect("every flat slot is filled"));
     }
@@ -627,6 +677,37 @@ mod tests {
         // Point keys and derived keys never collide on the same config.
         assert!(cache.load_point(key).is_none(), "derived entry is not a point");
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn workload_identity_keys_fixed_programs_by_content() {
+        // Synthetic kernels: identity is the bare name (golden keys in
+        // tests/cache_keys.rs depend on this staying stable).
+        let synthetic = &carf_workloads::int_suite()[0];
+        assert_eq!(workload_identity(synthetic), synthetic.name);
+
+        let a = Workload::from_program(
+            "kernel",
+            Suite::Int,
+            "",
+            carf_isa::parse_asm("li x1, 1\nhalt\n").unwrap(),
+        );
+        let b = Workload::from_program(
+            "kernel",
+            Suite::Int,
+            "",
+            carf_isa::parse_asm("li x1, 2\nhalt\n").unwrap(),
+        );
+        let (ia, ib) = (workload_identity(&a), workload_identity(&b));
+        assert!(ia.starts_with("kernel#"), "{ia}");
+        // Same name, one-immediate edit → different identity → different key.
+        assert_ne!(ia, ib);
+        let budget = Budget::quick();
+        let cfg = SimConfig::paper_baseline();
+        assert_ne!(
+            point_key(&cfg, Suite::Int, &ia, &budget),
+            point_key(&cfg, Suite::Int, &ib, &budget)
+        );
     }
 
     #[test]

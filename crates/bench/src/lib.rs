@@ -25,6 +25,7 @@ use carf_workloads::{SizeClass, Suite, Workload};
 
 pub mod cache;
 pub mod cli;
+pub mod corpus;
 pub mod fingerprint;
 pub mod fsio;
 pub mod gate;
@@ -33,7 +34,10 @@ pub mod sample;
 pub mod serve;
 pub mod statsio;
 
-pub use cache::{run_matrix_cached, CacheStatus, MatrixOutcome, ResultCache};
+pub use cache::{
+    run_custom_cached, run_matrix_cached, workload_identity, CacheStatus, MatrixOutcome,
+    ResultCache,
+};
 pub use parallel::{
     geomean_kips, peak_kips, results_dir, run_ordered, timing_record, write_merged_record,
     write_timing_json, PointTiming,
@@ -315,6 +319,21 @@ pub fn run_suite(config: &SimConfig, suite: Suite, budget: &Budget) -> SuiteResu
     parallel::note_run_start();
     let workloads = suite_workloads(suite);
     let runs = parallel::run_ordered(&workloads, budget.jobs, |w| {
+        run_workload_timed(config, suite, w, budget)
+    });
+    SuiteResult { suite, runs }
+}
+
+/// [`run_suite`] over an explicit workload list (e.g. corpus programs)
+/// instead of a registry suite, with the same worker-pool dispatch.
+pub fn run_workloads(
+    config: &SimConfig,
+    suite: Suite,
+    workloads: &[Workload],
+    budget: &Budget,
+) -> SuiteResult {
+    parallel::note_run_start();
+    let runs = parallel::run_ordered(workloads, budget.jobs, |w| {
         run_workload_timed(config, suite, w, budget)
     });
     SuiteResult { suite, runs }

@@ -50,17 +50,22 @@ mod decoded;
 mod encode;
 mod exec;
 mod inst;
+pub mod object;
 pub mod parse;
 mod program;
 mod reg;
 pub mod semantics;
 
-pub use asm::{Asm, AsmError};
+pub use asm::{Asm, AsmError, DEFAULT_DATA_BASE};
 pub use checkpoint::{program_fingerprint, Checkpoint, CheckpointMismatch};
 pub use decoded::{DecodedOp, DecodedProgram};
 pub use encode::{decode, encode, DecodeInstError};
 pub use exec::{ExecError, ExecObserver, Machine, NullObserver, Retired, StepOutcome};
 pub use inst::{Inst, InstKind, Opcode, RegRef};
-pub use parse::{parse_asm, ParseAsmError};
-pub use program::{DataSegment, Program, INST_BYTES};
+pub use object::{
+    link, link_with_entry, DataPlace, LinkError, ObjData, ObjectUnit, Reloc, RelocKind,
+    SourceDiag, ENTRY_SYMBOL, UNIT_DATA_ALIGN,
+};
+pub use parse::{parse_asm, parse_object, ParseAsmError};
+pub use program::{DataSegment, Program, DEFAULT_CODE_BASE, INST_BYTES};
 pub use reg::{f, x, FpReg, IntReg};

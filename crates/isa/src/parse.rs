@@ -1,41 +1,55 @@
-//! A text assembler: parse assembly source into a [`Program`].
+//! A text assembler: parse assembly source into object units / programs.
 //!
-//! The builder API ([`crate::Asm`]) is the primary interface; this parser
-//! makes standalone `.s` files and quick experiments possible. Grammar, by
-//! example:
+//! Two entry points share one grammar:
+//!
+//! * [`parse_asm`] — one source string straight to an executable
+//!   [`Program`] (quick experiments, single-file `.s` programs);
+//! * [`parse_object`] — one source file to a relocatable
+//!   [`ObjectUnit`], several of which [`crate::link`] merges into a
+//!   program (multi-file corpora; see [`crate::object`] for layout and
+//!   symbol-resolution rules).
+//!
+//! Grammar, by example:
 //!
 //! ```text
 //! ; comments run to end of line (also // and #)
-//! .data 0x7f3a80000000      ; set the data allocator base
+//! .globl _start             ; export a symbol to other units
+//! .data 0x7f3a80000000      ; pin the data cursor to an absolute base
 //! table:  .words 1 2 0xff   ; 64-bit words; label = base address
-//! buf:    .zero 64          ; zeroed bytes
+//! buf:                      ; a label on its own line binds to the
+//!         .zero 64          ;   next data directive or instruction
 //! vals:   .doubles 1.5 -2.5 ; f64 constants
 //!
 //! .text
-//!         li   x10, table   ; data symbols usable as immediates
+//! _start: li   x10, table   ; data symbols usable as immediates
 //!         li   x2, 3
 //! loop:   ld   x1, 0(x10)
 //!         add  x3, x3, x1
 //!         addi x10, x10, 8
 //!         addi x2, x2, -1
 //!         bne  x2, x0, loop
-//!         fld  f1, 0(x10)
+//!         jal  x31, helper  ; `helper` may live in another unit
 //!         halt
 //! ```
 //!
 //! Registers are `x0`–`x31` and `f0`–`f31`. Branch/jump targets are code
-//! labels; loads/stores use `offset(base)` addressing. Immediates are
-//! decimal or `0x` hex, optionally negative.
+//! labels (or absolute byte addresses, so disassembly output re-parses);
+//! loads/stores use `offset(base)` addressing. Immediates are decimal or
+//! `0x` hex, optionally negative, covering the full 64-bit range. Labels
+//! are identifiers (`[A-Za-z_][A-Za-z0-9_]*`). Data placed before any
+//! `.data <base>` directive is *relocatable*: the linker assigns each
+//! unit its own region (a single-unit program keeps the traditional
+//! [`crate::DEFAULT_DATA_BASE`] addresses).
 
-use crate::asm::Asm;
+use crate::inst::{Inst, Opcode};
+use crate::object::{link, DataPlace, LinkError, ObjData, ObjectUnit, Reloc, RelocKind, SourceDiag};
 use crate::program::Program;
 use crate::reg::{FpReg, IntReg};
-use std::collections::HashMap;
 
 /// A parse failure, with the 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseAsmError {
-    /// 1-based line number.
+    /// 1-based line number (0 when the failure is not line-specific).
     pub line: usize,
     /// What went wrong.
     pub message: String,
@@ -54,6 +68,11 @@ fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
 }
 
 /// Parses assembly text into a linked [`Program`].
+///
+/// The source forms a single translation unit; undefined symbols,
+/// duplicate labels, and entry resolution follow [`crate::link`] for a
+/// one-unit link (the entry is the first instruction unless the unit
+/// exports `_start`).
 ///
 /// # Errors
 ///
@@ -81,36 +100,223 @@ fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn parse_asm(source: &str) -> Result<Program, ParseAsmError> {
-    // Pass 1: compute data-symbol addresses by replaying the directives.
-    let data_symbols = collect_data_symbols(source)?;
+    let unit = parse_unit(source)?;
+    link(&[unit]).map_err(|e| match e {
+        LinkError::UndefinedSymbol { symbol, line, .. } => {
+            err(line, format!("undefined symbol `{symbol}`"))
+        }
+        LinkError::BranchToData { symbol, line, .. } => {
+            err(line, format!("branch target `{symbol}` is a data symbol"))
+        }
+        other => err(0, other.to_string()),
+    })
+}
 
-    // Pass 2: emit code and data through the builder.
-    let mut asm = Asm::new();
-    for (lineno, raw) in source.lines().enumerate() {
-        let lineno = lineno + 1;
+/// Parses one source file into a relocatable [`ObjectUnit`] for
+/// [`crate::link`]. `file` is recorded for diagnostics only.
+///
+/// # Errors
+///
+/// Returns a [`SourceDiag`] (`file:line: message`) for syntax errors,
+/// unknown mnemonics/registers, malformed numbers, and duplicate labels.
+/// Undefined symbols are *not* errors here — they become relocations the
+/// linker resolves (or reports).
+pub fn parse_object(source: &str, file: &str) -> Result<ObjectUnit, SourceDiag> {
+    match parse_unit(source) {
+        Ok(mut unit) => {
+            unit.file = file.to_string();
+            Ok(unit)
+        }
+        Err(e) => Err(SourceDiag { file: file.to_string(), line: e.line, message: e.message }),
+    }
+}
+
+fn parse_unit(source: &str) -> Result<ObjectUnit, ParseAsmError> {
+    let mut p = UnitParser::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
         let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
         let (label, rest) = split_label(line);
-        let rest = rest.trim();
         if let Some(label) = label {
-            // Data labels were resolved in pass 1; only code labels are
-            // declared to the builder.
-            if !is_data_line(rest) {
-                asm.label(label);
-            }
+            p.define_label(label, lineno)?;
         }
+        let rest = rest.trim();
         if rest.is_empty() {
             continue;
         }
         if let Some(directive) = rest.strip_prefix('.') {
-            emit_directive(&mut asm, directive, lineno)?;
+            p.directive(directive, lineno)?;
         } else {
-            emit_instruction(&mut asm, rest, lineno, &data_symbols)?;
+            p.instruction(rest, lineno)?;
         }
     }
-    asm.finish().map_err(|e| err(0, e.to_string()))
+    Ok(p.finish())
+}
+
+/// Where the next data directive lands.
+enum Cursor {
+    /// Offset into the unit's relocatable region (linker places it).
+    Rel(u64),
+    /// Absolute address (a `.data <base>` directive is in effect).
+    Abs(u64),
+}
+
+struct UnitParser {
+    unit: ObjectUnit,
+    /// Labels seen but not yet bound to an instruction or data directive.
+    pending: Vec<String>,
+    cursor: Cursor,
+}
+
+impl UnitParser {
+    fn new() -> Self {
+        Self {
+            unit: ObjectUnit {
+                file: String::new(),
+                insts: Vec::new(),
+                code_defs: std::collections::HashMap::new(),
+                data_defs: std::collections::HashMap::new(),
+                globals: Vec::new(),
+                data: Vec::new(),
+                relocs: Vec::new(),
+                rel_size: 0,
+            },
+            pending: Vec::new(),
+            cursor: Cursor::Rel(0),
+        }
+    }
+
+    fn define_label(&mut self, name: &str, line: usize) -> Result<(), ParseAsmError> {
+        if self.unit.code_defs.contains_key(name)
+            || self.unit.data_defs.contains_key(name)
+            || self.pending.iter().any(|p| p == name)
+        {
+            return Err(err(line, format!("duplicate label `{name}`")));
+        }
+        self.pending.push(name.to_string());
+        Ok(())
+    }
+
+    /// Binds pending labels to the next instruction slot.
+    fn bind_code(&mut self) {
+        let at = self.unit.insts.len();
+        for name in self.pending.drain(..) {
+            self.unit.code_defs.insert(name, at);
+        }
+    }
+
+    /// Binds pending labels to a data placement.
+    fn bind_data(&mut self, place: DataPlace) {
+        for name in self.pending.drain(..) {
+            self.unit.data_defs.insert(name, place);
+        }
+    }
+
+    fn instruction(&mut self, text: &str, line: usize) -> Result<(), ParseAsmError> {
+        let (inst, reloc) = encode_instruction(text, line)?;
+        self.bind_code();
+        if let Some((symbol, kind)) = reloc {
+            self.unit.relocs.push(Reloc { inst: self.unit.insts.len(), symbol, kind, line });
+        }
+        self.unit.insts.push(inst);
+        Ok(())
+    }
+
+    fn emit_data(&mut self, bytes: Vec<u8>) {
+        let place = match self.cursor {
+            Cursor::Rel(off) => DataPlace::Relative(off),
+            Cursor::Abs(addr) => DataPlace::Absolute(addr),
+        };
+        self.bind_data(place);
+        // The cursor keeps 8-byte alignment, like the builder's allocator.
+        let advance = (bytes.len() as u64 + 7) & !7;
+        match &mut self.cursor {
+            Cursor::Rel(off) => {
+                *off += advance;
+                self.unit.rel_size = self.unit.rel_size.max(*off);
+            }
+            Cursor::Abs(addr) => *addr += advance,
+        }
+        self.unit.data.push(ObjData { place, bytes });
+    }
+
+    fn directive(&mut self, directive: &str, line: usize) -> Result<(), ParseAsmError> {
+        let mut parts = directive.split_whitespace();
+        let name = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        match name {
+            "data" => {
+                if let Some(base) = args.first() {
+                    self.cursor = Cursor::Abs(parse_u64(base, line)?);
+                }
+                Ok(())
+            }
+            "text" => Ok(()), // sections are implicit; accepted for familiarity
+            "globl" | "global" => {
+                if args.is_empty() {
+                    return Err(err(line, ".globl needs at least one symbol"));
+                }
+                for a in &args {
+                    let sym = a.trim_end_matches(',');
+                    match symbol_token(sym) {
+                        Some(sym) => self.unit.globals.push((sym, line)),
+                        None => return Err(err(line, format!("invalid symbol name `{sym}`"))),
+                    }
+                }
+                Ok(())
+            }
+            "words" => {
+                let words = args
+                    .iter()
+                    .map(|a| parse_u64(a, line))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                let mut bytes = Vec::with_capacity(words.len() * 8);
+                for w in words {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                self.emit_data(bytes);
+                Ok(())
+            }
+            "doubles" => {
+                let vals = args
+                    .iter()
+                    .map(|a| parse_f64(a, line))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                let mut bytes = Vec::with_capacity(vals.len() * 8);
+                for v in vals {
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                self.emit_data(bytes);
+                Ok(())
+            }
+            "bytes" => {
+                let bytes = args
+                    .iter()
+                    .map(|a| parse_u64(a, line).map(|v| v as u8))
+                    .collect::<Result<Vec<u8>, _>>()?;
+                self.emit_data(bytes);
+                Ok(())
+            }
+            "zero" => {
+                let n = parse_u64(
+                    args.first().ok_or_else(|| err(line, ".zero needs a byte count"))?,
+                    line,
+                )?;
+                self.emit_data(vec![0u8; n as usize]);
+                Ok(())
+            }
+            other => Err(err(line, format!("unknown directive `.{other}`"))),
+        }
+    }
+
+    fn finish(mut self) -> ObjectUnit {
+        // Trailing labels bind past the last instruction (like the builder).
+        self.bind_code();
+        self.unit
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -125,17 +331,29 @@ fn strip_comment(line: &str) -> &str {
 
 fn split_label(line: &str) -> (Option<&str>, &str) {
     match line.find(':') {
-        Some(pos) if line[..pos].chars().all(|c| c.is_alphanumeric() || c == '_') => {
-            (Some(&line[..pos]), &line[pos + 1..])
-        }
+        Some(pos) if is_ident(&line[..pos]) => (Some(&line[..pos]), &line[pos + 1..]),
         _ => (None, line),
     }
 }
 
-fn is_data_line(rest: &str) -> bool {
-    let rest = rest.trim();
-    rest.starts_with(".words") || rest.starts_with(".zero") || rest.starts_with(".doubles")
-        || rest.starts_with(".bytes")
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Returns `Some(name)` when `token` (after comma-trimming) is a valid
+/// symbol reference.
+fn symbol_token(token: &str) -> Option<String> {
+    let t = token.trim().trim_end_matches(',');
+    if is_ident(t) {
+        Some(t.to_string())
+    } else {
+        None
+    }
 }
 
 fn parse_u64(token: &str, line: usize) -> Result<u64, ParseAsmError> {
@@ -159,102 +377,6 @@ fn parse_f64(token: &str, line: usize) -> Result<f64, ParseAsmError> {
         .trim_end_matches(',')
         .parse::<f64>()
         .map_err(|_| err(line, format!("malformed float `{token}`")))
-}
-
-fn collect_data_symbols(source: &str) -> Result<HashMap<String, u64>, ParseAsmError> {
-    let mut symbols = HashMap::new();
-    let mut cursor = crate::asm::DEFAULT_DATA_BASE;
-    for (lineno, raw) in source.lines().enumerate() {
-        let lineno = lineno + 1;
-        let line = strip_comment(raw).trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (label, rest) = split_label(line);
-        let rest = rest.trim();
-        if let Some(base) = rest.strip_prefix(".data") {
-            let base = base.trim();
-            if !base.is_empty() {
-                cursor = parse_u64(base, lineno)?;
-            }
-            continue;
-        }
-        if !is_data_line(rest) {
-            continue;
-        }
-        if let Some(label) = label {
-            if symbols.insert(label.to_string(), cursor).is_some() {
-                return Err(err(lineno, format!("duplicate data label `{label}`")));
-            }
-        }
-        let size = data_size(rest, lineno)?;
-        cursor += (size + 7) & !7; // the builder keeps 8-byte alignment
-    }
-    Ok(symbols)
-}
-
-fn data_size(rest: &str, line: usize) -> Result<u64, ParseAsmError> {
-    let mut parts = rest.split_whitespace();
-    let directive = parts.next().unwrap_or_default();
-    let args: Vec<&str> = parts.collect();
-    match directive {
-        ".words" => Ok(args.len() as u64 * 8),
-        ".doubles" => Ok(args.len() as u64 * 8),
-        ".bytes" => Ok(args.len() as u64),
-        ".zero" => parse_u64(
-            args.first().ok_or_else(|| err(line, ".zero needs a byte count"))?,
-            line,
-        ),
-        other => Err(err(line, format!("unknown data directive `{other}`"))),
-    }
-}
-
-fn emit_directive(asm: &mut Asm, directive: &str, line: usize) -> Result<(), ParseAsmError> {
-    let mut parts = directive.split_whitespace();
-    let name = parts.next().unwrap_or_default();
-    let args: Vec<&str> = parts.collect();
-    match name {
-        "data" => {
-            if let Some(base) = args.first() {
-                asm.set_data_base(parse_u64(base, line)?);
-            }
-            Ok(())
-        }
-        "text" => Ok(()), // sections are implicit; accepted for familiarity
-        "words" => {
-            let words = args
-                .iter()
-                .map(|a| parse_u64(a, line))
-                .collect::<Result<Vec<u64>, _>>()?;
-            asm.alloc_u64s(&words);
-            Ok(())
-        }
-        "doubles" => {
-            let vals = args
-                .iter()
-                .map(|a| parse_f64(a, line))
-                .collect::<Result<Vec<f64>, _>>()?;
-            asm.alloc_f64s(&vals);
-            Ok(())
-        }
-        "bytes" => {
-            let bytes = args
-                .iter()
-                .map(|a| parse_u64(a, line).map(|v| v as u8))
-                .collect::<Result<Vec<u8>, _>>()?;
-            asm.alloc_data(&bytes);
-            Ok(())
-        }
-        "zero" => {
-            let n = parse_u64(
-                args.first().ok_or_else(|| err(line, ".zero needs a byte count"))?,
-                line,
-            )?;
-            asm.alloc_bytes_zeroed(n as usize);
-            Ok(())
-        }
-        other => Err(err(line, format!("unknown directive `.{other}`"))),
-    }
 }
 
 fn parse_int_reg(token: &str, line: usize) -> Result<IntReg, ParseAsmError> {
@@ -293,17 +415,30 @@ fn parse_mem_operand(token: &str, line: usize) -> Result<(i64, IntReg), ParseAsm
     Ok((offset, base))
 }
 
-fn emit_instruction(
-    asm: &mut Asm,
+/// A branch/jump target: either an absolute byte address (so disassembly
+/// output re-parses) or a symbol for the linker.
+enum Target {
+    Addr(i64),
+    Sym(String),
+}
+
+fn parse_target(token: &str, line: usize) -> Result<Target, ParseAsmError> {
+    match symbol_token(token) {
+        Some(sym) => Ok(Target::Sym(sym)),
+        None => parse_u64(token, line).map(|a| Target::Addr(a as i64)),
+    }
+}
+
+/// Encodes one instruction line. Symbol-referencing immediates come back
+/// as a pending relocation with `imm` left at 0.
+fn encode_instruction(
     text: &str,
     line: usize,
-    data_symbols: &HashMap<String, u64>,
-) -> Result<(), ParseAsmError> {
+) -> Result<(Inst, Option<(String, RelocKind)>), ParseAsmError> {
     let mut parts = text.split_whitespace();
     let mnemonic = parts.next().unwrap_or_default().to_lowercase();
     let rest: String = parts.collect::<Vec<&str>>().join(" ");
-    let ops: Vec<&str> =
-        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
 
     let want = |n: usize| -> Result<(), ParseAsmError> {
         if ops.len() == n {
@@ -315,213 +450,195 @@ fn emit_instruction(
     let ireg = |i: usize| parse_int_reg(ops[i], line);
     let freg = |i: usize| parse_fp_reg(ops[i], line);
     let imm = |i: usize| parse_u64(ops[i], line).map(|v| v as i64);
+    let plain = |inst: Inst| Ok((inst, None));
 
     match mnemonic.as_str() {
         // Three-register ALU.
-        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu"
-        | "mul" | "div" => {
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu" | "mul"
+        | "div" => {
             want(3)?;
             let (rd, rs1, rs2) = (ireg(0)?, ireg(1)?, ireg(2)?);
-            match mnemonic.as_str() {
-                "add" => asm.add(rd, rs1, rs2),
-                "sub" => asm.sub(rd, rs1, rs2),
-                "and" => asm.and(rd, rs1, rs2),
-                "or" => asm.or(rd, rs1, rs2),
-                "xor" => asm.xor(rd, rs1, rs2),
-                "sll" => asm.sll(rd, rs1, rs2),
-                "srl" => asm.srl(rd, rs1, rs2),
-                "sra" => asm.sra(rd, rs1, rs2),
-                "slt" => asm.slt(rd, rs1, rs2),
-                "sltu" => asm.sltu(rd, rs1, rs2),
-                "mul" => asm.mul(rd, rs1, rs2),
-                _ => asm.div(rd, rs1, rs2),
+            let op = match mnemonic.as_str() {
+                "add" => Opcode::Add,
+                "sub" => Opcode::Sub,
+                "and" => Opcode::And,
+                "or" => Opcode::Or,
+                "xor" => Opcode::Xor,
+                "sll" => Opcode::Sll,
+                "srl" => Opcode::Srl,
+                "sra" => Opcode::Sra,
+                "slt" => Opcode::Slt,
+                "sltu" => Opcode::Sltu,
+                "mul" => Opcode::Mul,
+                _ => Opcode::Div,
             };
+            plain(Inst::rrr(op, rd.number(), rs1.number(), rs2.number()))
         }
         // Register-immediate ALU.
         "addi" | "andi" | "ori" | "xori" | "slli" | "srli" | "srai" | "slti" => {
             want(3)?;
             let (rd, rs1, v) = (ireg(0)?, ireg(1)?, imm(2)?);
-            match mnemonic.as_str() {
-                "addi" => asm.addi(rd, rs1, v),
-                "andi" => asm.andi(rd, rs1, v),
-                "ori" => asm.ori(rd, rs1, v),
-                "xori" => asm.xori(rd, rs1, v),
-                "slli" => asm.slli(rd, rs1, v),
-                "srli" => asm.srli(rd, rs1, v),
-                "srai" => asm.srai(rd, rs1, v),
-                _ => asm.slti(rd, rs1, v),
+            let op = match mnemonic.as_str() {
+                "addi" => Opcode::Addi,
+                "andi" => Opcode::Andi,
+                "ori" => Opcode::Ori,
+                "xori" => Opcode::Xori,
+                "slli" => Opcode::Slli,
+                "srli" => Opcode::Srli,
+                "srai" => Opcode::Srai,
+                _ => Opcode::Slti,
             };
+            plain(Inst::rri(op, rd.number(), rs1.number(), v))
         }
         "li" => {
             want(2)?;
             let rd = ireg(0)?;
-            let value = match data_symbols.get(ops[1]) {
-                Some(addr) => *addr,
-                None => parse_u64(ops[1], line)?,
-            };
-            asm.li(rd, value);
+            // A symbol materializes an address (data or code) at link time.
+            match symbol_token(ops[1]) {
+                Some(sym) => Ok((
+                    Inst::rri(Opcode::Li, rd.number(), 0, 0),
+                    Some((sym, RelocKind::Abs)),
+                )),
+                None => {
+                    let v = parse_u64(ops[1], line)? as i64;
+                    plain(Inst::rri(Opcode::Li, rd.number(), 0, v))
+                }
+            }
         }
         "mv" => {
             want(2)?;
             let (rd, rs1) = (ireg(0)?, ireg(1)?);
-            asm.mv(rd, rs1);
+            plain(Inst::rri(Opcode::Addi, rd.number(), rs1.number(), 0))
         }
         // Memory.
         "ld" | "lw" | "lbu" => {
             want(2)?;
             let rd = ireg(0)?;
             let (off, base) = parse_mem_operand(ops[1], line)?;
-            match mnemonic.as_str() {
-                "ld" => asm.ld(rd, base, off),
-                "lw" => asm.lw(rd, base, off),
-                _ => asm.lbu(rd, base, off),
+            let op = match mnemonic.as_str() {
+                "ld" => Opcode::Ld,
+                "lw" => Opcode::Lw,
+                _ => Opcode::Lbu,
             };
+            plain(Inst::rri(op, rd.number(), base.number(), off))
         }
         "st" | "sw" | "sb" => {
             want(2)?;
             let src = ireg(0)?;
             let (off, base) = parse_mem_operand(ops[1], line)?;
-            match mnemonic.as_str() {
-                "st" => asm.st(src, base, off),
-                "sw" => asm.sw(src, base, off),
-                _ => asm.sb(src, base, off),
+            let op = match mnemonic.as_str() {
+                "st" => Opcode::St,
+                "sw" => Opcode::Sw,
+                _ => Opcode::Sb,
             };
+            plain(Inst { op, rd: 0, rs1: base.number(), rs2: src.number(), imm: off })
         }
         "fld" => {
             want(2)?;
             let fd = freg(0)?;
             let (off, base) = parse_mem_operand(ops[1], line)?;
-            asm.fld(fd, base, off);
+            plain(Inst { op: Opcode::Fld, rd: fd.number(), rs1: base.number(), rs2: 0, imm: off })
         }
         "fst" => {
             want(2)?;
             let fs = freg(0)?;
             let (off, base) = parse_mem_operand(ops[1], line)?;
-            asm.fst(fs, base, off);
+            plain(Inst { op: Opcode::Fst, rd: 0, rs1: base.number(), rs2: fs.number(), imm: off })
         }
-        // Control flow. Targets are labels, or absolute byte addresses
-        // (so disassembly output re-parses).
+        // Control flow.
         "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
             want(3)?;
-            let (rs1, rs2, target) = (ireg(0)?, ireg(1)?, ops[2]);
-            if let Ok(addr) = parse_u64(target, line) {
-                let op = match mnemonic.as_str() {
-                    "beq" => crate::Opcode::Beq,
-                    "bne" => crate::Opcode::Bne,
-                    "blt" => crate::Opcode::Blt,
-                    "bge" => crate::Opcode::Bge,
-                    "bltu" => crate::Opcode::Bltu,
-                    _ => crate::Opcode::Bgeu,
-                };
-                asm.emit(crate::Inst {
-                    op,
-                    rd: 0,
-                    rs1: rs1.number(),
-                    rs2: rs2.number(),
-                    imm: addr as i64,
-                });
-            } else {
-                match mnemonic.as_str() {
-                    "beq" => asm.beq(rs1, rs2, target),
-                    "bne" => asm.bne(rs1, rs2, target),
-                    "blt" => asm.blt(rs1, rs2, target),
-                    "bge" => asm.bge(rs1, rs2, target),
-                    "bltu" => asm.bltu(rs1, rs2, target),
-                    _ => asm.bgeu(rs1, rs2, target),
-                };
+            let (rs1, rs2) = (ireg(0)?, ireg(1)?);
+            let op = match mnemonic.as_str() {
+                "beq" => Opcode::Beq,
+                "bne" => Opcode::Bne,
+                "blt" => Opcode::Blt,
+                "bge" => Opcode::Bge,
+                "bltu" => Opcode::Bltu,
+                _ => Opcode::Bgeu,
+            };
+            let base = Inst { op, rd: 0, rs1: rs1.number(), rs2: rs2.number(), imm: 0 };
+            match parse_target(ops[2], line)? {
+                Target::Addr(a) => plain(Inst { imm: a, ..base }),
+                Target::Sym(s) => Ok((base, Some((s, RelocKind::Branch)))),
             }
         }
         "jal" => {
             want(2)?;
             let rd = ireg(0)?;
-            if let Ok(addr) = parse_u64(ops[1], line) {
-                asm.emit(crate::Inst {
-                    op: crate::Opcode::Jal,
-                    rd: rd.number(),
-                    rs1: 0,
-                    rs2: 0,
-                    imm: addr as i64,
-                });
-            } else {
-                asm.jal(rd, ops[1]);
+            let base = Inst { op: Opcode::Jal, rd: rd.number(), rs1: 0, rs2: 0, imm: 0 };
+            match parse_target(ops[1], line)? {
+                Target::Addr(a) => plain(Inst { imm: a, ..base }),
+                Target::Sym(s) => Ok((base, Some((s, RelocKind::Branch)))),
             }
         }
         "j" => {
             want(1)?;
-            if let Ok(addr) = parse_u64(ops[0], line) {
-                asm.emit(crate::Inst {
-                    op: crate::Opcode::Jal,
-                    rd: 0,
-                    rs1: 0,
-                    rs2: 0,
-                    imm: addr as i64,
-                });
-            } else {
-                asm.j(ops[0]);
+            let base = Inst { op: Opcode::Jal, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+            match parse_target(ops[0], line)? {
+                Target::Addr(a) => plain(Inst { imm: a, ..base }),
+                Target::Sym(s) => Ok((base, Some((s, RelocKind::Branch)))),
             }
         }
         "jalr" => {
             want(3)?;
             let (rd, rs1, v) = (ireg(0)?, ireg(1)?, imm(2)?);
-            asm.jalr(rd, rs1, v);
+            plain(Inst::rri(Opcode::Jalr, rd.number(), rs1.number(), v))
         }
         "ret" => {
             want(1)?;
             let rs1 = ireg(0)?;
-            asm.ret(rs1);
+            plain(Inst::rri(Opcode::Jalr, 0, rs1.number(), 0))
         }
         // Floating point.
         "fadd" | "fsub" | "fmul" | "fdiv" => {
             want(3)?;
             let (fd, f1, f2) = (freg(0)?, freg(1)?, freg(2)?);
-            match mnemonic.as_str() {
-                "fadd" => asm.fadd(fd, f1, f2),
-                "fsub" => asm.fsub(fd, f1, f2),
-                "fmul" => asm.fmul(fd, f1, f2),
-                _ => asm.fdiv(fd, f1, f2),
+            let op = match mnemonic.as_str() {
+                "fadd" => Opcode::Fadd,
+                "fsub" => Opcode::Fsub,
+                "fmul" => Opcode::Fmul,
+                _ => Opcode::Fdiv,
             };
+            plain(Inst::rrr(op, fd.number(), f1.number(), f2.number()))
         }
         "fmov" => {
             want(2)?;
             let (fd, f1) = (freg(0)?, freg(1)?);
-            asm.fmov(fd, f1);
+            plain(Inst::rrr(Opcode::Fmov, fd.number(), f1.number(), 0))
         }
         "fcvt.d.l" => {
             want(2)?;
             let (fd, rs1) = (freg(0)?, ireg(1)?);
-            asm.fcvt_fi(fd, rs1);
+            plain(Inst::rrr(Opcode::FcvtFI, fd.number(), rs1.number(), 0))
         }
         "fcvt.l.d" => {
             want(2)?;
             let (rd, f1) = (ireg(0)?, freg(1)?);
-            asm.fcvt_if(rd, f1);
+            plain(Inst::rrr(Opcode::FcvtIF, rd.number(), f1.number(), 0))
         }
-        "fcmplt" => {
+        "fcmplt" | "fcmpeq" => {
             want(3)?;
             let (rd, f1, f2) = (ireg(0)?, freg(1)?, freg(2)?);
-            asm.fcmplt(rd, f1, f2);
-        }
-        "fcmpeq" => {
-            want(3)?;
-            let (rd, f1, f2) = (ireg(0)?, freg(1)?, freg(2)?);
-            asm.fcmpeq(rd, f1, f2);
+            let op = if mnemonic == "fcmplt" { Opcode::Fcmplt } else { Opcode::Fcmpeq };
+            plain(Inst::rrr(op, rd.number(), f1.number(), f2.number()))
         }
         "nop" => {
             want(0)?;
-            asm.nop();
+            plain(Inst::nop())
         }
         "halt" => {
             want(0)?;
-            asm.halt();
+            plain(Inst::halt())
         }
-        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
     }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::asm::Asm;
     use crate::exec::Machine;
     use crate::reg::{f, x};
 
@@ -562,6 +679,20 @@ mod tests {
         assert_eq!(m.int_reg(x(1)), 22);
         assert_eq!(m.int_reg(x(2)), 22);
         assert_eq!(m.int_reg(x(11)), 0x7f3a_8000_0000 + 24);
+    }
+
+    #[test]
+    fn relocatable_data_defaults_to_the_builder_base() {
+        // Without `.data <base>`, single-unit data lands where the
+        // builder's allocator would put it.
+        let m = run(r"
+        table: .words 7
+            li x1, table
+            ld x2, 0(x1)
+            halt
+        ");
+        assert_eq!(m.int_reg(x(1)), crate::asm::DEFAULT_DATA_BASE);
+        assert_eq!(m.int_reg(x(2)), 7);
     }
 
     #[test]
@@ -615,6 +746,21 @@ mod tests {
     }
 
     #[test]
+    fn immediates_cover_the_i64_boundaries() {
+        let m = run(r"
+            li x1, -9223372036854775808
+            li x2, 9223372036854775807
+            li x3, 0xffffffffffffffff
+            li x4, -1
+            halt
+        ");
+        assert_eq!(m.int_reg(x(1)), i64::MIN as u64);
+        assert_eq!(m.int_reg(x(2)), i64::MAX as u64);
+        assert_eq!(m.int_reg(x(3)), u64::MAX);
+        assert_eq!(m.int_reg(x(4)), u64::MAX);
+    }
+
+    #[test]
     fn byte_data_and_byte_loads() {
         let m = run(r"
         msg: .bytes 7 8 9
@@ -623,6 +769,20 @@ mod tests {
             halt
         ");
         assert_eq!(m.int_reg(x(2)), 9);
+    }
+
+    #[test]
+    fn label_on_its_own_line_binds_to_following_data() {
+        // Regression: labels used to bind as *code* labels unless the data
+        // directive shared their line, breaking `li` of the symbol.
+        let m = run(r"
+        table:
+            .words 42
+            li x1, table
+            ld x2, 0(x1)
+            halt
+        ");
+        assert_eq!(m.int_reg(x(2)), 42);
     }
 
     #[test]
@@ -647,12 +807,21 @@ mod tests {
     #[test]
     fn undefined_branch_target_is_reported() {
         let e = parse_asm("bne x1, x0, nowhere\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
         assert!(e.message.contains("nowhere"));
     }
 
     #[test]
     fn duplicate_data_label_is_reported() {
         let e = parse_asm("a: .words 1\na: .words 2\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn duplicate_code_label_is_reported_with_its_line() {
+        let e = parse_asm("a:\n nop\na:\n halt").unwrap_err();
+        assert_eq!(e.line, 3);
         assert!(e.message.contains("duplicate"));
     }
 
@@ -673,5 +842,31 @@ mod tests {
         asm.halt();
         let built = asm.finish().unwrap();
         assert_eq!(parsed.insts, built.insts);
+    }
+
+    #[test]
+    fn exported_start_sets_the_entry() {
+        let p = parse_asm(r"
+        helper:
+            nop
+            halt
+        .globl _start
+        _start:
+            halt
+        ").unwrap();
+        assert_eq!(p.entry, p.addr_of(2));
+    }
+
+    #[test]
+    fn code_symbols_materialize_as_function_pointers() {
+        let m = run(r"
+            li x1, target
+            jalr x31, x1, 0
+            halt
+        target:
+            li x2, 9
+            halt
+        ");
+        assert_eq!(m.int_reg(x(2)), 9);
     }
 }

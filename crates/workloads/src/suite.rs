@@ -1,6 +1,7 @@
 //! Workload registry.
 
 use carf_isa::Program;
+use std::sync::Arc;
 
 /// Which benchmark suite a workload belongs to (SPECint- or SPECfp-like).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,10 +41,18 @@ pub struct Workload {
     pub suite: Suite,
     /// What the kernel stresses (for reports).
     pub description: &'static str,
-    builder: fn(u32) -> Program,
+    builder: Builder,
     test_size: u32,
     quick_size: u32,
     full_size: u32,
+}
+
+/// How a workload produces its program: the synthetic kernels are pure
+/// `fn(size)` builders; corpus programs are fixed, pre-linked images.
+#[derive(Clone)]
+enum Builder {
+    Synthetic(fn(u32) -> Program),
+    Fixed(Arc<Program>),
 }
 
 impl Workload {
@@ -58,17 +67,53 @@ impl Workload {
             name,
             suite,
             description,
-            builder,
+            builder: Builder::Synthetic(builder),
             test_size: sizes.0,
             quick_size: sizes.1,
             full_size: sizes.2,
         }
     }
 
+    /// Wraps a fixed, already-linked [`Program`] (e.g. an assembled corpus
+    /// kernel) as a workload so it can ride the standard suite machinery
+    /// (matrix runs, sampling, the result cache). The size parameter is
+    /// meaningless for a fixed image, so every [`SizeClass`] maps to the
+    /// same program; identity for caching comes from
+    /// [`Workload::content_fingerprint`] instead of the name alone.
+    pub fn from_program(
+        name: &'static str,
+        suite: Suite,
+        description: &'static str,
+        program: Program,
+    ) -> Self {
+        Self {
+            name,
+            suite,
+            description,
+            builder: Builder::Fixed(Arc::new(program)),
+            test_size: 1,
+            quick_size: 1,
+            full_size: 1,
+        }
+    }
+
     /// Builds the program at an explicit size parameter (roughly linear in
-    /// dynamic instruction count).
+    /// dynamic instruction count). Fixed-program workloads ignore `size`.
     pub fn build(&self, size: u32) -> Program {
-        (self.builder)(size.max(1))
+        match &self.builder {
+            Builder::Synthetic(f) => f(size.max(1)),
+            Builder::Fixed(p) => (**p).clone(),
+        }
+    }
+
+    /// For fixed-program workloads, the [`carf_isa::program_fingerprint`]
+    /// of the image (covers instruction text, entry point, and data);
+    /// `None` for synthetic builders, whose identity is `name` + size.
+    pub fn content_fingerprint(&self) -> Option<u64> {
+        match &self.builder {
+            Builder::Synthetic(_) => None,
+            Builder::Fixed(p) => Some(carf_isa::program_fingerprint(p)),
+        }
     }
 
     /// The calibrated size for a [`SizeClass`].
@@ -156,5 +201,21 @@ mod tests {
         let w = &int_suite()[0];
         let p = w.build(0); // clamps to 1
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn fixed_program_workloads_ignore_size_and_expose_content() {
+        let program = carf_isa::parse_asm("li x1, 7\nhalt\n").unwrap();
+        let fp = carf_isa::program_fingerprint(&program);
+        let w = Workload::from_program("fixed_demo", Suite::Int, "a fixed image", program);
+        assert_eq!(w.content_fingerprint(), Some(fp));
+        assert_eq!(
+            carf_isa::program_fingerprint(&w.build(1)),
+            carf_isa::program_fingerprint(&w.build(1_000_000)),
+        );
+        assert_eq!(w.fingerprint(SizeClass::Test), fp);
+        assert_eq!(w.fingerprint(SizeClass::Full), fp);
+        // Synthetic builders have no content fingerprint.
+        assert_eq!(int_suite()[0].content_fingerprint(), None);
     }
 }

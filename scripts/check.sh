@@ -41,6 +41,33 @@ CARF_RESULTS_DIR="$CMP_DIR" CARF_CACHE_REQUIRE_WARM=1 \
 cmp "$CMP_DIR/backend_compare.json" "$CMP_DIR/backend_compare.cold.json"
 echo "warm re-run: zero simulation, byte-identical record"
 
+echo "==> carf-as corpus smoke (assemble, link, run; cold then warm)"
+# The whole real-program corpus through the assembler, linker, and one
+# baseline+carf matrix; the warm re-run must serve every point from the
+# content-addressed cache, and both merged records must stay parseable.
+# (capture to a file rather than `| head`: head closing the pipe early
+# would SIGPIPE the binary mid-print)
+AS_DIR="$(mktemp -d)"
+CARF_RESULTS_DIR="$AS_DIR" \
+    cargo run --release -q -p carf-bench --bin carf-as -- \
+    --quick --jobs 2 --machine both corpus > "$AS_DIR/carf_as.out"
+head -n 2 "$AS_DIR/carf_as.out"
+CARF_RESULTS_DIR="$AS_DIR" CARF_CACHE_REQUIRE_WARM=1 \
+    cargo run --release -q -p carf-bench --bin carf-as -- \
+    --quick --jobs 2 --machine both corpus | grep "cache: served"
+python3 -c "import json; json.load(open('$AS_DIR/corpus_runs.json'))"
+
+echo "==> corpus demographics (fig1 --corpus)"
+CARF_RESULTS_DIR="$AS_DIR" \
+    cargo run --release -q -p carf-bench --bin fig1_value_distribution -- \
+    --quick --jobs 2 --corpus | tail -n 4
+python3 -c "
+import json
+recs = json.load(open('$AS_DIR/corpus_demographics.json'))
+r = next(x for x in recs if x['figure'] == 'fig1')
+assert len(r['corpus']) == 6 and len(r['delta_pp']) == 6, r
+"
+
 echo "==> scheduler hot-loop microbench (informational)"
 # Perf smoke: the Criterion microbench and a headline KIPS run. Both are
 # informational — they fail the gate only if the simulator crashes, never

@@ -12,7 +12,7 @@
 //! code-defined order — and the pinned canonical text locks that order
 //! independent of the struct declaration.
 
-use carf_bench::cache::{canonical_config, point_key, point_key_text};
+use carf_bench::cache::{canonical_config, point_key, point_key_text, workload_identity};
 use carf_bench::sample::SampleSpec;
 use carf_bench::Budget;
 use carf_core::{CarfParams, Policies, PortReducedParams};
@@ -222,6 +222,40 @@ fn key_text_names_its_parts() {
     {
         assert!(text.contains(needle), "key text missing `{needle}`: {text}");
     }
+}
+
+#[test]
+fn corpus_cache_identity_tracks_program_text_and_entry() {
+    // Corpus runs are keyed by a fingerprint over the *linked program*
+    // (instruction text, data image, entry point), not the display name:
+    // editing a source or relinking with a different entry symbol must
+    // miss the cache, while an identical reassembly must hit it.
+    let budget = quick_jobs1();
+    let cfg = SimConfig::paper_baseline();
+    let assemble = |src: &str, entry: &str| {
+        let unit = carf_isa::parse_object(src, "kernel.s").expect("parse");
+        carf_isa::link_with_entry(&[unit], Some(entry)).expect("link")
+    };
+    const SRC: &str = "first:\n li x1, 5\n halt\nsecond:\n li x1, 6\n halt\n";
+    let wrap = |p| carf_workloads::Workload::from_program("kernel", Suite::Int, "t", p);
+    let key = |w: &carf_workloads::Workload| {
+        point_key(&cfg, Suite::Int, &workload_identity(w), &budget)
+    };
+
+    let base = wrap(assemble(SRC, "first"));
+    let text_edit = wrap(assemble("first:\n li x1, 7\n halt\nsecond:\n li x1, 6\n halt\n", "first"));
+    let entry_edit = wrap(assemble(SRC, "second"));
+
+    assert_ne!(workload_identity(&base), workload_identity(&text_edit), "immediate edit");
+    assert_ne!(workload_identity(&base), workload_identity(&entry_edit), "entry symbol");
+    assert_ne!(key(&base), key(&text_edit), "immediate edit must change the cache key");
+    assert_ne!(key(&base), key(&entry_edit), "entry symbol must change the cache key");
+    // An identical reassembly shares the key — warm across processes.
+    assert_eq!(key(&base), key(&wrap(assemble(SRC, "first"))));
+    // Synthetic workloads still key by bare name, so the golden keys
+    // above are untouched by the corpus machinery.
+    let synthetic = &carf_workloads::int_suite()[0];
+    assert_eq!(workload_identity(synthetic), synthetic.name);
 }
 
 #[test]

@@ -1,0 +1,91 @@
+//! Differential coverage for the real-program corpus: every kernel under
+//! `corpus/` must halt within budget, leave a non-trivial checksum in
+//! `x10`, and retire **bit-identical architectural state** on the
+//! functional executor and all four timing backends — independent of the
+//! worker-pool dispatch width.
+
+use carf_bench::cli::MachineSet;
+use carf_bench::{corpus, parallel};
+use carf_isa::{x, Machine, DEFAULT_DATA_BASE};
+use carf_sim::AnySimulator;
+
+/// Every corpus kernel is sized well under the quick budget.
+const BUDGET: u64 = 200_000;
+
+fn corpus_programs() -> Vec<corpus::CorpusProgram> {
+    corpus::discover(&corpus::default_corpus_dir(), None).expect("corpus must assemble and link")
+}
+
+fn run_functional(p: &corpus::CorpusProgram) -> Machine {
+    let mut m = Machine::load(&p.program);
+    m.run(&p.program, BUDGET).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    assert!(m.is_halted(), "{} did not halt within {BUDGET} instructions", p.name);
+    m
+}
+
+#[test]
+fn corpus_kernels_halt_with_nonzero_checksums() {
+    let programs = corpus_programs();
+    assert!(programs.len() >= 6, "expected >= 6 kernels, found {}", programs.len());
+    assert!(
+        programs.iter().any(|p| p.files.len() >= 2),
+        "expected at least one multi-translation-unit kernel"
+    );
+    for p in &programs {
+        let m = run_functional(p);
+        assert_ne!(m.int_reg(x(10)), 0, "{} left a zero checksum in x10", p.name);
+    }
+}
+
+#[test]
+fn quicksort_really_sorts() {
+    let programs = corpus_programs();
+    let p = programs.iter().find(|p| p.name == "quicksort").expect("quicksort kernel");
+    let m = run_functional(p);
+    // main.s is the first translation unit, and `arr` its first data
+    // symbol, so the array sits at the start of the relocatable region.
+    let mut prev = 0u64;
+    for i in 0..512 {
+        let v = m.mem.read_u64(DEFAULT_DATA_BASE + i * 8);
+        assert!(v >= prev, "arr[{i}] = {v:#x} < arr[{}] = {prev:#x}", i - 1);
+        prev = v;
+    }
+}
+
+#[test]
+fn all_backends_retire_identical_state_at_any_dispatch_width() {
+    let programs = corpus_programs();
+    let configs = MachineSet::All.configs();
+
+    let reference: Vec<u64> =
+        programs.iter().map(|p| run_functional(p).checkpoint(&p.program).fingerprint()).collect();
+
+    let points: Vec<(usize, usize)> = (0..programs.len())
+        .flat_map(|pi| (0..configs.len()).map(move |ci| (pi, ci)))
+        .collect();
+    let fingerprints_at = |jobs: usize| -> Vec<u64> {
+        parallel::run_ordered(&points, jobs, |&(pi, ci)| {
+            let p = &programs[pi];
+            let (label, config) = &configs[ci];
+            let mut cfg = config.clone();
+            cfg.cosim = true; // self-checking against the reference at every commit
+            let mut sim = AnySimulator::new(cfg, &p.program);
+            let result = sim
+                .run(BUDGET)
+                .unwrap_or_else(|e| panic!("{} on {label}: {e}", p.name));
+            assert!(result.halted, "{} on {label} did not halt", p.name);
+            sim.arch_checkpoint().fingerprint()
+        })
+    };
+
+    let serial = fingerprints_at(1);
+    let pooled = fingerprints_at(4);
+    assert_eq!(serial, pooled, "dispatch width changed architectural results");
+    for (&(pi, ci), fp) in points.iter().zip(&serial) {
+        assert_eq!(
+            *fp, reference[pi],
+            "{} on {} diverged from the functional reference",
+            programs[pi].name, configs[ci].0
+        );
+    }
+}
