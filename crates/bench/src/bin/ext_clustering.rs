@@ -4,20 +4,29 @@
 //!   type (Table 4's corollary: >86%), so type-partitioned clusters would
 //!   see little inter-cluster traffic;
 //! * SMT sharing — the mean live Long count sits far below the provisioned
-//!   48 (paper: ≈12.7), so one Long file could feed several threads.
+//!   48 (paper: ≈12.7), so one Long file could feed several threads (the
+//!   claim `carf-smt` then measures in timing).
 
-use carf_bench::{mean, pct, print_table, run_suite};
+use carf_bench::cli::CliSpec;
+use carf_bench::{mean, pct, print_table, run_matrix_cached};
 use carf_core::CarfParams;
 use carf_sim::SimConfig;
 use carf_workloads::Suite;
 
+const SPEC: CliSpec = CliSpec::budget_only("ext_clustering");
+
 fn main() {
-    let budget = carf_bench::cli::budget_for(env!("CARGO_BIN_NAME"));
+    let parsed = SPEC.parse();
+    let budget = parsed.budget;
     println!("§6 extension measurements ({} run)", budget.label());
     let cfg = SimConfig::paper_carf(CarfParams::paper_default());
 
-    let int = run_suite(&cfg, Suite::Int, &budget);
-    let fp = run_suite(&cfg, Suite::Fp, &budget);
+    // Both suites through the content-addressed cache: a warm re-run
+    // serves every point from disk.
+    let points = vec![(cfg.clone(), Suite::Int), (cfg, Suite::Fp)];
+    let mut results = run_matrix_cached(&points, &budget).results.into_iter();
+    let int = results.next().expect("int suite");
+    let fp = results.next().expect("fp suite");
 
     let same_type = |r: &carf_bench::SuiteResult| {
         mean(r.runs.iter().map(|(_, s)| s.operand_mix.same_type_fraction()))

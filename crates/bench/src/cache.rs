@@ -31,7 +31,7 @@ use crate::sample::SampleSpec;
 use crate::statsio::{stats_from_json, stats_to_json, STATS_CODEC_VERSION};
 use crate::{Budget, SuiteResult};
 use carf_mem::{CacheConfig, HierarchyConfig};
-use carf_sim::{BpredConfig, MemDepPolicy, RegFileKind, SimConfig, SimStats};
+use carf_sim::{BpredConfig, MemDepPolicy, MultiSim, RegFileKind, SharingPolicy, SimConfig, SimStats};
 use carf_workloads::{SizeClass, Suite, Workload};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -564,6 +564,251 @@ pub fn cached_derived_f64(
     (v, CacheStatus::Miss)
 }
 
+// ---------------------------------------------------------------------
+// Multi-context points: one cache entry per co-simulation.
+// ---------------------------------------------------------------------
+
+/// Version tag for the packed multi-context entry encoding (the
+/// `threads` field of a `"kind":"multi"` entry). Bump alongside any
+/// change to [`MultiThreadRecord`]'s stored fields.
+pub const MULTI_CODEC_VERSION: u32 = 1;
+
+/// One multi-context co-simulation point: an **ordered** tuple of
+/// per-context (configuration, workload) pairs under one
+/// [`SharingPolicy`]. The order is part of the identity — context index
+/// decides fetch-arbitration priority and the round-robin rotation, so
+/// swapping two contexts is a different experiment.
+#[derive(Debug)]
+pub struct MultiPoint {
+    /// Human-readable label for tables and the cache index.
+    pub label: String,
+    /// The contexts, in arbitration order.
+    pub contexts: Vec<(SimConfig, Workload)>,
+    /// How the contexts share physical resources.
+    pub policy: SharingPolicy,
+    /// Shared-clock cycle ceiling.
+    pub max_cycles: u64,
+    /// Per-context committed-instruction quota.
+    pub per_thread_insts: u64,
+}
+
+/// The cached per-context outcome — exactly the fields IPC and the
+/// guard-stall shares derive from, so a warm record is byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiThreadRecord {
+    /// Instructions the context committed.
+    pub committed: u64,
+    /// The context's active cycles (already clamped to ≥ 1 by the
+    /// simulator, so [`MultiThreadRecord::ipc`] reproduces the live
+    /// value bit-for-bit).
+    pub cycles: u64,
+    /// Cycles issue stalled on the (possibly windowed) Long guard.
+    pub long_guard_stall_cycles: u64,
+}
+
+impl MultiThreadRecord {
+    /// IPC over the context's active cycles — the same division
+    /// `MultiSim::results` performs, on the same integers.
+    pub fn ipc(&self) -> f64 {
+        self.committed as f64 / self.cycles as f64
+    }
+
+    /// Guard-stall cycles as a fraction of the context's active cycles.
+    pub fn stall_share(&self) -> f64 {
+        self.long_guard_stall_cycles as f64 / self.cycles as f64
+    }
+
+    fn pack(&self) -> String {
+        format!("{}/{}/{}", self.committed, self.cycles, self.long_guard_stall_cycles)
+    }
+
+    fn unpack(text: &str) -> Option<Self> {
+        let mut it = text.split('/');
+        let committed = it.next()?.parse().ok()?;
+        let cycles = it.next()?.parse().ok()?;
+        let long_guard_stall_cycles = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self { committed, cycles, long_guard_stall_cycles })
+    }
+}
+
+/// The canonical key text of one multi-context point: the sharing
+/// policy, the run quotas, the budget, and the **ordered** tuple of
+/// per-context fingerprints — each context's full [`canonical_config`]
+/// plus its [`workload_identity`]. Any perturbation of any context (or
+/// of their order) is a different key.
+pub fn multi_key_text(point: &MultiPoint, budget: &Budget) -> String {
+    let mut out = format!(
+        "salt={CACHE_SALT};multicodec={MULTI_CODEC_VERSION};policy={};\
+         max_cycles={};per_thread={};{}n={};",
+        point.policy.canonical(),
+        point.max_cycles,
+        point.per_thread_insts,
+        canonical_budget(budget),
+        point.contexts.len(),
+    );
+    for (i, (config, workload)) in point.contexts.iter().enumerate() {
+        let _ = write!(
+            out,
+            "ctx{i}={}|{}",
+            workload_identity(workload),
+            canonical_config(config)
+        );
+    }
+    out
+}
+
+/// The content address of one multi-context point.
+pub fn multi_key(point: &MultiPoint, budget: &Budget) -> u128 {
+    fnv128(&multi_key_text(point, budget))
+}
+
+impl ResultCache {
+    /// Looks up a multi-context point: the per-context records, in
+    /// context order. Unreadable or malformed entries are misses.
+    pub fn load_multi(&self, key: u128) -> Option<Vec<MultiThreadRecord>> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        if json_field(&text, "key")? != format!("{key:032x}") {
+            return None;
+        }
+        let packed = json_field(&text, "threads")?;
+        let threads: Option<Vec<MultiThreadRecord>> =
+            packed.split(',').map(MultiThreadRecord::unpack).collect();
+        threads.filter(|t| !t.is_empty())
+    }
+
+    /// Stores a multi-context point (indexed under the first context's
+    /// configuration — the index is a human-readable ledger, not the
+    /// identity; the key already covers every context).
+    pub fn store_multi(
+        &self,
+        key: u128,
+        point: &MultiPoint,
+        budget: &Budget,
+        threads: &[MultiThreadRecord],
+    ) {
+        let hex = format!("{key:032x}");
+        let packed: Vec<String> = threads.iter().map(MultiThreadRecord::pack).collect();
+        let config = &point.contexts.first().expect("a multi point has contexts").0;
+        let entry = format!(
+            "{{\"key\":\"{hex}\",\"kind\":\"multi\",\"point\":\"{}\",\
+             \"policy\":\"{}\",\"config\":\"{}\",\"budget\":\"{}\",\
+             \"salt\":\"{CACHE_SALT}\",\"threads\":\"{}\"}}\n",
+            point.label,
+            point.policy.canonical(),
+            config.describe(),
+            budget.label(),
+            packed.join(","),
+        );
+        self.commit_entry(&hex, "multi", &point.label, config, budget, &entry);
+    }
+}
+
+/// The result of a cached multi-context run: per-point, per-context
+/// records (input order) plus the cache ledger.
+#[derive(Debug)]
+pub struct MultiOutcome {
+    /// One record vector per input point, one record per context.
+    pub results: Vec<Vec<MultiThreadRecord>>,
+    /// Co-simulations served from the cache.
+    pub served: usize,
+    /// Co-simulations that had to run.
+    pub simulated: usize,
+}
+
+impl MultiOutcome {
+    /// One summary line for experiment headers and CI greps.
+    pub fn summary(&self) -> String {
+        format!("cache: served {}, simulated {}", self.served, self.simulated)
+    }
+}
+
+/// Runs multi-context points behind the content-addressed cache: cold
+/// points co-simulate over the worker pool (each co-simulation is one
+/// work item — its contexts are lockstep-coupled and cannot split),
+/// warm points are served from disk. Prints the `cache: served N,
+/// simulated M` line; with `CARF_CACHE_REQUIRE_WARM` set, exits 3 if
+/// any point simulated.
+///
+/// Interval sampling does not apply to lockstep co-simulation;
+/// `budget.sample` is ignored here (it still participates in the key
+/// through the canonical budget, like every budget field).
+pub fn run_multi_cached(points: &[MultiPoint], budget: &Budget) -> MultiOutcome {
+    let cache = ResultCache::from_env();
+    let outcome = run_multi_with_cache(points, budget, cache.as_ref());
+    println!("{}", outcome.summary());
+    if outcome.simulated > 0 && require_warm() {
+        fail_cold(outcome.simulated);
+    }
+    outcome
+}
+
+/// [`run_multi_cached`] against an explicit cache (`None` = bypass),
+/// without printing or warm enforcement.
+pub fn run_multi_with_cache(
+    points: &[MultiPoint],
+    budget: &Budget,
+    cache: Option<&ResultCache>,
+) -> MultiOutcome {
+    parallel::note_run_start();
+    let mut results: Vec<Option<Vec<MultiThreadRecord>>> = Vec::with_capacity(points.len());
+    let mut cold: Vec<usize> = Vec::new();
+    for (pi, point) in points.iter().enumerate() {
+        match cache.and_then(|c| c.load_multi(multi_key(point, budget))) {
+            Some(threads) if threads.len() == point.contexts.len() => {
+                results.push(Some(threads));
+            }
+            _ => {
+                results.push(None);
+                cold.push(pi);
+            }
+        }
+    }
+
+    let simulated = cold.len();
+    let served = points.len() - simulated;
+    let fresh = parallel::run_ordered(&cold, budget.jobs, |pi| {
+        let point = &points[*pi];
+        let programs: Vec<_> = point
+            .contexts
+            .iter()
+            .map(|(_, w)| w.build(w.size(budget.size)))
+            .collect();
+        let contexts: Vec<_> = point
+            .contexts
+            .iter()
+            .zip(&programs)
+            .map(|((config, _), program)| (config.clone(), program))
+            .collect();
+        let mut multi = MultiSim::new(contexts, point.policy)
+            .unwrap_or_else(|e| panic!("{}: {e}", point.label));
+        let run = multi
+            .run(point.max_cycles, point.per_thread_insts)
+            .unwrap_or_else(|e| panic!("{}: {e}", point.label));
+        run.into_iter()
+            .map(|r| MultiThreadRecord {
+                committed: r.committed,
+                cycles: r.cycles,
+                long_guard_stall_cycles: r.long_guard_stall_cycles,
+            })
+            .collect::<Vec<_>>()
+    });
+    for (pi, threads) in cold.iter().zip(fresh) {
+        if let Some(c) = cache {
+            c.store_multi(multi_key(&points[*pi], budget), &points[*pi], budget, &threads);
+        }
+        results[*pi] = Some(threads);
+    }
+
+    MultiOutcome {
+        results: results.into_iter().map(|r| r.expect("every point is filled")).collect(),
+        served,
+        simulated,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,5 +962,99 @@ mod tests {
         let shard = p.parent().unwrap().file_name().unwrap().to_str().unwrap();
         assert_eq!(shard, "ab");
         assert!(p.file_name().unwrap().to_str().unwrap().ends_with(".json"));
+    }
+
+    fn multi_point(names: [&str; 2], policy: SharingPolicy) -> MultiPoint {
+        let pick = |name: &str| {
+            carf_workloads::all_workloads()
+                .into_iter()
+                .find(|w| w.name == name)
+                .unwrap_or_else(|| panic!("workload {name}"))
+        };
+        let cfg = SimConfig::paper_carf(CarfParams::paper_default());
+        MultiPoint {
+            label: format!("{}+{}", names[0], names[1]),
+            contexts: names.iter().map(|n| (cfg.clone(), pick(n))).collect(),
+            policy,
+            max_cycles: 2_000_000,
+            per_thread_insts: 3_000,
+        }
+    }
+
+    #[test]
+    fn multi_key_covers_policy_order_and_every_context() {
+        let budget = Budget::quick();
+        let p = multi_point(["pointer_chase", "hash_table"], SharingPolicy::shared_long(48));
+        let base = multi_key(&p, &budget);
+        // Reconstructing the same point reproduces the key.
+        assert_eq!(
+            base,
+            multi_key(
+                &multi_point(["pointer_chase", "hash_table"], SharingPolicy::shared_long(48)),
+                &budget
+            )
+        );
+        // Policy, context order, any context's config, and quotas all
+        // perturb the key.
+        assert_ne!(
+            base,
+            multi_key(
+                &multi_point(["pointer_chase", "hash_table"], SharingPolicy::shared_long(44)),
+                &budget
+            )
+        );
+        assert_ne!(
+            base,
+            multi_key(
+                &multi_point(["hash_table", "pointer_chase"], SharingPolicy::shared_long(48)),
+                &budget
+            )
+        );
+        let mut tweaked = multi_point(["pointer_chase", "hash_table"], SharingPolicy::shared_long(48));
+        tweaked.contexts[1].0.rob_size += 1;
+        assert_ne!(base, multi_key(&tweaked, &budget));
+        let mut quotas = multi_point(["pointer_chase", "hash_table"], SharingPolicy::shared_long(48));
+        quotas.per_thread_insts += 1;
+        assert_ne!(base, multi_key(&quotas, &budget));
+    }
+
+    #[test]
+    fn multi_records_round_trip() {
+        let cache = temp_cache("multi");
+        let budget = Budget::quick();
+        let point = multi_point(["pointer_chase", "hash_table"], SharingPolicy::shared_long(48));
+        let key = multi_key(&point, &budget);
+        assert!(cache.load_multi(key).is_none(), "cold cache misses");
+        let threads = vec![
+            MultiThreadRecord { committed: 3_000, cycles: 4_321, long_guard_stall_cycles: 17 },
+            MultiThreadRecord { committed: 3_000, cycles: 5_000, long_guard_stall_cycles: 0 },
+        ];
+        cache.store_multi(key, &point, &budget, &threads);
+        let back = cache.load_multi(key).expect("warm cache hits");
+        assert_eq!(back, threads);
+        // The derived IPC is the same division on the same integers.
+        assert_eq!(back[0].ipc().to_bits(), (3_000f64 / 4_321f64).to_bits());
+        let index = std::fs::read_to_string(cache.index_path()).unwrap();
+        assert!(index.contains("pointer_chase+hash_table"), "{index}");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn warm_multi_run_serves_identical_records_without_simulating() {
+        let cache = temp_cache("multi-run");
+        let mut budget = Budget::quick();
+        budget.size = SizeClass::Test;
+        budget.jobs = 1;
+        let points = vec![multi_point(
+            ["pointer_chase", "hash_table"],
+            SharingPolicy::shared_long(48),
+        )];
+        let cold = run_multi_with_cache(&points, &budget, Some(&cache));
+        assert_eq!((cold.served, cold.simulated), (0, 1));
+        assert_eq!(cold.results[0].len(), 2);
+        let warm = run_multi_with_cache(&points, &budget, Some(&cache));
+        assert_eq!((warm.served, warm.simulated), (1, 0));
+        assert_eq!(warm.results, cold.results);
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -13,7 +13,10 @@
 //! tier-1 test suite and the gate.
 
 use carf_core::CarfParams;
-use carf_sim::{AnySimulator, SimConfig, SimStats, TraceRecorder};
+use carf_sim::{
+    AnySimulator, FetchArbitration, MultiSim, SharingPolicy, SimConfig, SimStats, TraceRecorder,
+    Tracer,
+};
 use carf_workloads::{all_workloads, SizeClass, Workload};
 
 /// Committed-instruction cap per point: small enough to keep 3 configs ×
@@ -167,15 +170,24 @@ pub const PINNED: &[(&str, u64, u64)] = &[
 /// drifted point (name, got, pinned), so a gate failure is immediately
 /// actionable.
 pub fn check_pinned(got: &[(String, u64, u64)]) -> Result<(), String> {
-    if got.len() != PINNED.len() {
+    check_rows(got, PINNED)
+}
+
+/// Compares a [`multi_sweep`] result against [`MULTI_PINNED`].
+pub fn check_multi_pinned(got: &[(String, u64, u64)]) -> Result<(), String> {
+    check_rows(got, MULTI_PINNED)
+}
+
+fn check_rows(got: &[(String, u64, u64)], pinned: &[(&str, u64, u64)]) -> Result<(), String> {
+    if got.len() != pinned.len() {
         return Err(format!(
             "point count drifted from the pinned table: got {}, pinned {}",
             got.len(),
-            PINNED.len()
+            pinned.len()
         ));
     }
     let mut drift = Vec::new();
-    for ((name, cycles, hash), (p_name, p_cycles, p_hash)) in got.iter().zip(PINNED) {
+    for ((name, cycles, hash), (p_name, p_cycles, p_hash)) in got.iter().zip(pinned) {
         if name != p_name {
             return Err(format!("point order drifted: got `{name}`, pinned `{p_name}`"));
         }
@@ -192,11 +204,142 @@ pub fn check_pinned(got: &[(String, u64, u64)]) -> Result<(), String> {
         Err(format!(
             "{} of {} pinned fingerprints drifted:\n{}",
             drift.len(),
-            PINNED.len(),
+            pinned.len(),
             drift.join("\n")
         ))
     }
 }
+
+// ---------------------------------------------------------------------
+// Multi-context pinning: the shared-resource layer, frozen.
+// ---------------------------------------------------------------------
+
+/// One pinned multi-context scenario: a label, the ordered contexts,
+/// and the sharing policy.
+pub type MultiPointSpec = (&'static str, Vec<(SimConfig, Workload)>, SharingPolicy);
+
+/// The pinned multi-context scenarios. Two shapes cover the layer's
+/// moving parts:
+///
+/// * `smt4` — four content-aware contexts competitively sharing a
+///   44-entry Long window (under the 48 private entries, so the window
+///   binds) with 2-slot ICOUNT fetch: capacity windowing, the
+///   incremental live counter, and selection-based arbitration;
+/// * `l2x2` — a heterogeneous baseline+carf pair behind one shared L2
+///   with single-slot round-robin fetch: the shared hierarchy seam and
+///   rotation-based arbitration across *different* backends.
+#[must_use]
+pub fn multi_points() -> Vec<MultiPointSpec> {
+    let pick = |name: &str| {
+        all_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("workload {name} is registered"))
+    };
+    let carf = SimConfig::paper_carf(CarfParams::paper_default());
+    vec![
+        (
+            "smt4",
+            ["pointer_chase", "sparse_update", "hash_table", "matvec"]
+                .iter()
+                .map(|n| (carf.clone(), pick(n)))
+                .collect(),
+            SharingPolicy {
+                shared_long_capacity: Some(44),
+                shared_l2: false,
+                fetch: FetchArbitration::ICount { slots: 2 },
+            },
+        ),
+        (
+            "l2x2",
+            vec![
+                (SimConfig::paper_baseline(), pick("pointer_chase")),
+                (carf, pick("hash_table")),
+            ],
+            SharingPolicy {
+                shared_long_capacity: None,
+                shared_l2: true,
+                fetch: FetchArbitration::RoundRobin { slots: 1 },
+            },
+        ),
+    ]
+}
+
+fn multi_rows<T: Tracer>(
+    name: &str,
+    contexts: &[(SimConfig, Workload)],
+    multi: &mut MultiSim<T>,
+) -> Vec<(String, u64, u64)> {
+    let results = multi
+        .run(10_000_000, PINNED_MAX_INSTS)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    contexts
+        .iter()
+        .enumerate()
+        .map(|(i, (_, w))| {
+            (
+                format!("{name}/{i}:{}", w.name),
+                results[i].cycles,
+                stats_hash(multi.ctx(i).stats()),
+            )
+        })
+        .collect()
+}
+
+/// Runs one pinned multi-context scenario (optionally traced) and
+/// returns one `(scenario/ctx:workload, active-cycles, hash)` row per
+/// context. Tracing must not perturb timing, so traced and untraced
+/// sweeps check against the same [`MULTI_PINNED`] rows.
+///
+/// # Panics
+///
+/// On configuration or simulator errors.
+pub fn run_multi_point(
+    name: &str,
+    contexts: &[(SimConfig, Workload)],
+    policy: SharingPolicy,
+    traced: bool,
+) -> Vec<(String, u64, u64)> {
+    let programs: Vec<_> =
+        contexts.iter().map(|(_, w)| w.build_class(SizeClass::Test)).collect();
+    let ctxs: Vec<(SimConfig, &carf_isa::Program)> =
+        contexts.iter().map(|(c, _)| c.clone()).zip(programs.iter()).collect();
+    if traced {
+        let mut multi = MultiSim::with_tracers(ctxs, policy, TraceRecorder::new)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        multi_rows(name, contexts, &mut multi)
+    } else {
+        let mut multi =
+            MultiSim::new(ctxs, policy).unwrap_or_else(|e| panic!("{name}: {e}"));
+        multi_rows(name, contexts, &mut multi)
+    }
+}
+
+/// Runs every pinned multi-context scenario over `jobs` workers and
+/// returns the rows in [`multi_points`] order.
+pub fn multi_sweep(jobs: usize, traced: bool) -> Vec<(String, u64, u64)> {
+    let scenarios = multi_points();
+    crate::run_ordered(&scenarios, jobs, |(name, contexts, policy)| {
+        run_multi_point(name, contexts, *policy, traced)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Captured at the introduction of the multi-context layer; regenerate
+/// only for intentional timing-model changes (`cargo test -p carf-bench
+/// --test scheduler_equivalence -- --ignored --nocapture
+/// print_multi_pinned_table`).
+pub const MULTI_PINNED: &[(&str, u64, u64)] = &[
+    // (scenario/ctx:workload, active-cycles, fnv1a-of-fingerprint)
+    ("smt4/0:pointer_chase", 35661, 0xf4e07a309b132169),
+    ("smt4/1:sparse_update", 41375, 0xec202aff9d86f49f),
+    ("smt4/2:hash_table", 38496, 0xa77768322abea0ca),
+    ("smt4/3:matvec", 26523, 0xd80de611d2099a0b),
+    ("l2x2/0:pointer_chase", 8378, 0x2ecda20a70ca2d71),
+    ("l2x2/1:hash_table", 14078, 0x39466f25723ac459),
+];
 
 #[cfg(test)]
 mod tests {

@@ -35,8 +35,8 @@ pub mod serve;
 pub mod statsio;
 
 pub use cache::{
-    run_custom_cached, run_matrix_cached, workload_identity, CacheStatus, MatrixOutcome,
-    ResultCache,
+    run_custom_cached, run_matrix_cached, run_multi_cached, workload_identity, CacheStatus,
+    MatrixOutcome, MultiOutcome, MultiPoint, MultiThreadRecord, ResultCache,
 };
 pub use parallel::{
     geomean_kips, peak_kips, results_dir, run_ordered, timing_record, write_merged_record,

@@ -2,6 +2,7 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats, LineState};
 use crate::ports::PortMeter;
+use crate::shared_l2::SharedL2Handle;
 
 /// Configuration of the full hierarchy (paper Table 1 by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +84,11 @@ pub struct MemoryHierarchy {
     dl1_ports: PortMeter,
     memory_latency: u32,
     memory_accesses: u64,
+    /// When attached, the private `l2` array is bypassed and every L2
+    /// access (including dirty L1 write-backs) goes through this shared
+    /// array instead; [`MemoryHierarchy::stats`] then reports the shared
+    /// aggregate counters.
+    shared_l2: Option<SharedL2Handle>,
 }
 
 impl MemoryHierarchy {
@@ -95,7 +101,24 @@ impl MemoryHierarchy {
             dl1_ports: PortMeter::new(config.dl1_ports),
             memory_latency: config.memory_latency,
             memory_accesses: 0,
+            shared_l2: None,
         }
+    }
+
+    /// Replaces the private L2 with a [`SharedL2Handle`]: from here on,
+    /// every L1 miss and dirty write-back is routed to the shared array,
+    /// and [`MemoryHierarchy::stats`] reports its aggregate counters.
+    ///
+    /// The L1s stay private; the caller is responsible for giving every
+    /// sharer the same shared geometry (the multi-context layer builds
+    /// one handle and clones it per context).
+    pub fn attach_shared_l2(&mut self, handle: SharedL2Handle) {
+        self.shared_l2 = Some(handle);
+    }
+
+    /// The attached shared L2, if any.
+    pub fn shared_l2(&self) -> Option<&SharedL2Handle> {
+        self.shared_l2.as_ref()
     }
 
     /// Starts a new cycle (releases DL1 ports).
@@ -117,6 +140,9 @@ impl MemoryHierarchy {
     /// Latency of an L2 access at `addr` (including DRAM on miss), also
     /// absorbing any dirty victim from L1.
     fn l2_access(&mut self, addr: u64, is_write: bool) -> u32 {
+        if let Some(shared) = &self.shared_l2 {
+            return shared.access(addr, is_write);
+        }
         let state = self.l2.access(addr, is_write);
         let mut latency = self.l2.config().latency;
         if !state.is_hit() {
@@ -132,7 +158,11 @@ impl MemoryHierarchy {
             // The write-back installs the victim in L2 (write-allocate), off
             // the critical path: no latency is charged to the triggering
             // access.
-            let _ = self.l2.access(base, true);
+            if let Some(shared) = &self.shared_l2 {
+                shared.absorb_victim(base);
+            } else {
+                let _ = self.l2.access(base, true);
+            }
         }
     }
 
@@ -169,12 +199,14 @@ impl MemoryHierarchy {
 
     /// Aggregated hit/miss statistics.
     pub fn stats(&self) -> HierarchyStats {
-        HierarchyStats {
-            il1: *self.il1.stats(),
-            dl1: *self.dl1.stats(),
-            l2: *self.l2.stats(),
-            memory_accesses: self.memory_accesses,
-        }
+        let (l2, memory_accesses) = match &self.shared_l2 {
+            // Shared mode: the L2/DRAM counters are the *aggregate* over
+            // every sharer (there is one physical array; per-sharer
+            // attribution would be a fiction).
+            Some(shared) => shared.stats(),
+            None => (*self.l2.stats(), self.memory_accesses),
+        };
+        HierarchyStats { il1: *self.il1.stats(), dl1: *self.dl1.stats(), l2, memory_accesses }
     }
 
     /// Clears statistics but keeps cache contents (for warm-up discard).
@@ -183,6 +215,9 @@ impl MemoryHierarchy {
         self.dl1.reset_stats();
         self.l2.reset_stats();
         self.memory_accesses = 0;
+        if let Some(shared) = &self.shared_l2 {
+            shared.reset_stats();
+        }
     }
 }
 
@@ -256,6 +291,51 @@ mod tests {
         assert_eq!(h.stats().dl1.writebacks, 1);
         // 0x0 now hits in L2.
         assert_eq!(h.data_access(0x0, false), 1 + 4);
+    }
+
+    #[test]
+    fn shared_l2_is_one_array_across_hierarchies() {
+        let cfg = HierarchyConfig::tiny();
+        let shared = SharedL2Handle::new(cfg.l2, cfg.memory_latency);
+        let mut a = MemoryHierarchy::new(cfg);
+        let mut b = MemoryHierarchy::new(cfg);
+        a.attach_shared_l2(shared.clone());
+        b.attach_shared_l2(shared.clone());
+        // Core A's cold miss installs the line in the shared L2 …
+        assert_eq!(a.data_access(0x1000, false), 1 + 4 + 20);
+        // … so core B's DL1 miss hits there (constructive sharing).
+        assert_eq!(b.data_access(0x1000, false), 1 + 4);
+        // Both hierarchies report the same aggregate L2/DRAM counters.
+        assert_eq!(a.stats().l2, b.stats().l2);
+        assert_eq!(a.stats().memory_accesses, 1);
+        // Private L1 counters stay per-core.
+        assert_eq!(a.stats().dl1.misses, 1);
+        assert_eq!(b.stats().dl1.misses, 1);
+        assert_eq!(shared.sharers(), 3); // a, b, and the local handle
+    }
+
+    #[test]
+    fn shared_l2_absorbs_dirty_victims() {
+        let cfg = HierarchyConfig::tiny();
+        let shared = SharedL2Handle::new(cfg.l2, cfg.memory_latency);
+        let mut h = MemoryHierarchy::new(cfg);
+        h.attach_shared_l2(shared);
+        let set_stride = 256u64;
+        h.data_access(0x0, true); // dirty in DL1
+        h.data_access(set_stride, false);
+        h.data_access(2 * set_stride, false); // evicts dirty 0x0 into shared L2
+        assert_eq!(h.stats().dl1.writebacks, 1);
+        assert_eq!(h.data_access(0x0, false), 1 + 4); // shared-L2 hit
+    }
+
+    #[test]
+    fn unattached_hierarchy_is_byte_for_byte_private() {
+        // The Option field must not perturb the private path: same
+        // latencies and counters as the pre-shared-L2 code.
+        let mut h = MemoryHierarchy::new(HierarchyConfig::paper());
+        assert_eq!(h.data_access(0x1000, false), 1 + 10 + 100);
+        assert_eq!(h.data_access(0x1000, false), 1);
+        assert!(h.shared_l2().is_none());
     }
 
     #[test]

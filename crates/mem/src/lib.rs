@@ -38,8 +38,10 @@ mod cache;
 mod hierarchy;
 mod memory;
 mod ports;
+mod shared_l2;
 
 pub use cache::{Cache, CacheConfig, CacheStats, LineState};
 pub use hierarchy::{HierarchyConfig, HierarchyStats, MemoryHierarchy};
 pub use memory::{MemoryDelta, SparseMemory};
 pub use ports::PortMeter;
+pub use shared_l2::SharedL2Handle;

@@ -56,6 +56,7 @@ mod bpred;
 mod config;
 mod fu;
 mod lsq;
+mod multi;
 mod rename;
 mod sim;
 mod smt;
@@ -68,6 +69,8 @@ pub use fu::FuPool;
 pub use lsq::{LoadDecision, LoadStoreQueue, LsqEntry, LsqFull, MemDepPolicy};
 pub use rename::{Preg, RenameTables};
 pub use sim::{AnySimulator, InstTimeline, RegFileBackend, SimError, SimResult, Simulator, WarmEvent, WarmState};
+pub use multi::{ContentionStats, FetchArbitration, MultiSim, MultiThreadResult, SharingPolicy};
+#[allow(deprecated)]
 pub use smt::{SharedLongSmt, SmtThreadResult};
 pub use stats::{DispatchStalls, OperandMix, OracleData, SimStats};
 pub use trace::{

@@ -174,6 +174,21 @@ impl<T: Tracer> AnySimulator<T> {
         dispatch!(self, sim => sim.is_halted())
     }
 
+    /// See [`Simulator::set_fetch_slot`].
+    pub fn set_fetch_slot(&mut self, open: bool) {
+        dispatch!(self, sim => sim.set_fetch_slot(open));
+    }
+
+    /// See [`Simulator::in_flight`].
+    pub fn in_flight(&self) -> usize {
+        dispatch!(self, sim => sim.in_flight())
+    }
+
+    /// See [`Simulator::attach_shared_l2`].
+    pub fn attach_shared_l2(&mut self, handle: carf_mem::SharedL2Handle) {
+        dispatch!(self, sim => sim.attach_shared_l2(handle));
+    }
+
     /// See [`Simulator::record_timeline`].
     pub fn record_timeline(&mut self, limit: usize) {
         dispatch!(self, sim => sim.record_timeline(limit));

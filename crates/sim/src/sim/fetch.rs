@@ -14,6 +14,12 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
             }
             return Ok(());
         }
+        // Arbitrated-away fetch slot (multi-context SMT): skip this cycle
+        // without touching the IL1 or the predictor. Checked after the
+        // runaway test above so a wild machine is still diagnosed.
+        if !self.fetch_gate {
+            return Ok(());
+        }
         if self.fetch_q.len() >= 4 * self.config.fetch_width {
             return Ok(());
         }

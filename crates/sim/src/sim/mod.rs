@@ -357,6 +357,11 @@ pub struct Simulator<R: IntRegFile, T: Tracer = NopTracer> {
     fetch_pc: u64,
     fetch_resume_at: u64,
     fetch_wild: bool,
+    /// SMT fetch-slot gate: when `false`, [`Simulator::fetch`] inserts
+    /// nothing this cycle (the multi-context arbiter granted the slot to a
+    /// co-runner). Always `true` for solo runs — the gate is only ever
+    /// closed through [`Simulator::set_fetch_slot`].
+    fetch_gate: bool,
     fetch_q: VecDeque<Fetched>,
     bpred: BranchPredictor,
     // Rename and in-flight structures.
@@ -681,6 +686,7 @@ impl<R: RegFileBackend, T: Tracer> Simulator<R, T> {
             fetch_pc: program.entry,
             fetch_resume_at: 0,
             fetch_wild: false,
+            fetch_gate: true,
             fetch_q: VecDeque::new(),
             bpred: BranchPredictor::new(&config.bpred),
             rename,
@@ -798,6 +804,28 @@ impl<R: IntRegFile, T: Tracer> Simulator<R, T> {
     /// `true` once `halt` has committed.
     pub fn is_halted(&self) -> bool {
         self.halted
+    }
+
+    /// Opens or closes this machine's fetch slot for the *next* cycle
+    /// (multi-context fetch arbitration: round-robin/ICOUNT grant the slot
+    /// to a subset of contexts each cycle). A closed gate only suppresses
+    /// new fetches — everything already in flight proceeds normally. Solo
+    /// harnesses never call this; the gate defaults to open.
+    pub fn set_fetch_slot(&mut self, open: bool) {
+        self.fetch_gate = open;
+    }
+
+    /// Instructions currently in flight (fetched or renamed, not yet
+    /// retired) — the ICOUNT arbitration metric.
+    pub fn in_flight(&self) -> usize {
+        self.rob.len() + self.fetch_q.len()
+    }
+
+    /// Routes this machine's L2 traffic through a shared array (the
+    /// multi-context "2-core shared-L2" flavor); see
+    /// [`MemoryHierarchy::attach_shared_l2`].
+    pub fn attach_shared_l2(&mut self, handle: carf_mem::SharedL2Handle) {
+        self.hier.attach_shared_l2(handle);
     }
 
     /// Advances the machine one cycle (no-op once halted). External

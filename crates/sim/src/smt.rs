@@ -4,21 +4,16 @@
 //! The paper observes that the 48-entry Long file is provisioned for
 //! *peaks* while the mean demand is small, and suggests that "a smaller
 //! number of long registers can feed more than one thread". This module
-//! tests that claim with the cycle-level machine: two independent
-//! pipelines run side by side, and each cycle every thread's Long file is
-//! capped at `shared_capacity` minus the co-runners' live Long entries —
-//! a competitively shared physical array. Everything else (fetch, issue
-//! queues, caches, FUs) is private per thread, isolating the question the
-//! paper raises: is the *Long file* a multithreading bottleneck?
-//!
-//! This models the paper's "preliminary results" experiment, not a full
-//! SMT front end (fetch policies, shared queues, and cache interference
-//! are orthogonal to the Long-file question and are out of scope — see
-//! DESIGN.md §8).
+//! first tested that claim with a lockstep pair of content-aware
+//! pipelines; the machinery has since been generalized into the
+//! [`MultiSim`](crate::MultiSim) layer (any backend, shared L2, fetch
+//! arbitration — see `crates/sim/src/multi/`), and [`SharedLongSmt`] now
+//! survives only as a deprecated thin wrapper preserving the original
+//! API and its exact cycle-for-cycle semantics.
 
 use crate::config::{RegFileKind, SimConfig};
-use crate::sim::{SimError, Simulator};
-use carf_core::{ContentAwareRegFile, IntRegFile};
+use crate::multi::{MultiSim, SharingPolicy};
+use crate::sim::SimError;
 use carf_isa::Program;
 
 /// Per-thread outcome of a shared-Long-file run.
@@ -40,26 +35,32 @@ pub struct SmtThreadResult {
 ///
 /// ```no_run
 /// use carf_core::CarfParams;
-/// use carf_sim::{SharedLongSmt, SimConfig};
+/// use carf_sim::{MultiSim, SharingPolicy, SimConfig};
 /// use carf_workloads::{int_suite, SizeClass};
 ///
+/// // SharedLongSmt is deprecated; the same experiment through MultiSim:
 /// let wls = int_suite();
 /// let a = wls[0].build_class(SizeClass::Test);
 /// let b = wls[1].build_class(SizeClass::Test);
 /// let cfg = SimConfig::paper_carf(CarfParams::paper_default());
-/// let mut smt = SharedLongSmt::new(vec![(cfg.clone(), &a), (cfg, &b)], 48).unwrap();
-/// let results = smt.run(200_000, 100_000).unwrap();
+/// let mut smt = MultiSim::new(
+///     vec![(cfg.clone(), &a), (cfg, &b)],
+///     SharingPolicy::shared_long(48),
+/// )?;
+/// let results = smt.run(200_000, 100_000)?;
 /// assert_eq!(results.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(
+    note = "use carf_sim::MultiSim with SharingPolicy::shared_long — the general \
+            N-context layer over every backend"
+)]
 #[derive(Debug)]
 pub struct SharedLongSmt {
-    threads: Vec<Simulator<ContentAwareRegFile>>,
-    done: Vec<bool>,
-    finish_cycle: Vec<u64>,
-    shared_capacity: usize,
-    cycles: u64,
+    inner: MultiSim,
 }
 
+#[allow(deprecated)]
 impl SharedLongSmt {
     /// Builds the co-simulation. Every configuration must use the
     /// content-aware register file (the experiment is about its Long
@@ -76,29 +77,15 @@ impl SharedLongSmt {
         threads: Vec<(SimConfig, &Program)>,
         shared_capacity: usize,
     ) -> Result<Self, String> {
-        let mut sims = Vec::with_capacity(threads.len());
-        for (config, program) in threads {
-            match &config.regfile {
-                RegFileKind::ContentAware(params, _) => {
-                    if params.long_entries < shared_capacity {
-                        return Err(format!(
-                            "thread's long file ({}) smaller than the shared capacity \
-                             ({shared_capacity})",
-                            params.long_entries
-                        ));
-                    }
-                }
-                _ => return Err("shared-Long SMT requires content-aware threads".into()),
+        // MultiSim accepts any backend (no-Long backends are control
+        // rows); this legacy API was documented as content-aware-only, so
+        // keep the stricter check.
+        for (config, _) in &threads {
+            if !matches!(config.regfile, RegFileKind::ContentAware(..)) {
+                return Err("shared-Long SMT requires content-aware threads".into());
             }
-            sims.push(Simulator::new(config, program));
         }
-        let done = vec![false; sims.len()];
-        let finish_cycle = vec![0; sims.len()];
-        Ok(Self { threads: sims, done, finish_cycle, shared_capacity, cycles: 0 })
-    }
-
-    fn long_live(sim: &Simulator<ContentAwareRegFile>) -> usize {
-        sim.int_regfile().long_live_count()
+        Ok(Self { inner: MultiSim::new(threads, SharingPolicy::shared_long(shared_capacity))? })
     }
 
     /// Advances every unfinished thread one cycle under the shared budget.
@@ -107,25 +94,7 @@ impl SharedLongSmt {
     ///
     /// Propagates any thread's [`SimError`].
     pub fn step(&mut self, per_thread_insts: u64) -> Result<(), SimError> {
-        // Competitive sharing: each thread sees the physical array minus
-        // everyone else's live entries.
-        let lives: Vec<usize> = self.threads.iter().map(Self::long_live).collect();
-        let total: usize = lives.iter().sum();
-        for (i, sim) in self.threads.iter_mut().enumerate() {
-            if self.done[i] {
-                continue;
-            }
-            let others = total - lives[i];
-            let budget = self.shared_capacity.saturating_sub(others);
-            sim.int_regfile_mut().set_long_capacity_limit(budget);
-            sim.step_cycle()?;
-            if sim.is_halted() || sim.stats().committed >= per_thread_insts {
-                self.done[i] = true;
-                self.finish_cycle[i] = self.cycles + 1;
-            }
-        }
-        self.cycles += 1;
-        Ok(())
+        self.inner.step(per_thread_insts)
     }
 
     /// Runs until every thread halts or reaches `per_thread_insts`, or the
@@ -139,36 +108,27 @@ impl SharedLongSmt {
         max_cycles: u64,
         per_thread_insts: u64,
     ) -> Result<Vec<SmtThreadResult>, SimError> {
-        while self.cycles < max_cycles && self.done.iter().any(|d| !d) {
-            self.step(per_thread_insts)?;
-        }
         Ok(self
-            .threads
-            .iter()
-            .enumerate()
-            .map(|(i, sim)| {
-                let stats = sim.stats();
-                // A thread's IPC is measured over *its own* active cycles
-                // (a co-runner finishing late must not dilute it).
-                let cycles =
-                    if self.done[i] { self.finish_cycle[i] } else { self.cycles }.max(1);
-                SmtThreadResult {
-                    committed: stats.committed,
-                    cycles,
-                    ipc: stats.committed as f64 / cycles as f64,
-                    long_guard_stall_cycles: stats.long_guard_stall_cycles,
-                }
+            .inner
+            .run(max_cycles, per_thread_insts)?
+            .into_iter()
+            .map(|r| SmtThreadResult {
+                committed: r.committed,
+                cycles: r.cycles,
+                ipc: r.ipc,
+                long_guard_stall_cycles: r.long_guard_stall_cycles,
             })
             .collect())
     }
 
     /// The shared clock.
     pub fn cycles(&self) -> u64 {
-        self.cycles
+        self.inner.cycles()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use carf_core::{CarfParams, Policies};

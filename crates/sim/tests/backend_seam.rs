@@ -8,7 +8,11 @@ use carf_core::{
     BaselineRegFile, CarfParams, CompressedRegFile, ContentAwareRegFile, PortReducedParams,
     PortReducedRegFile, ValueClass,
 };
-use carf_sim::{AnySimulator, SharedLongSmt, SimConfig, SimStats, Simulator};
+// `SharedLongSmt` is deprecated (a thin wrapper over `MultiSim`); this
+// file keeps one test against it so the compatibility shim stays covered.
+#[allow(deprecated)]
+use carf_sim::SharedLongSmt;
+use carf_sim::{AnySimulator, SimConfig, SimStats, Simulator};
 use carf_workloads::{random_program, RandomProgramParams};
 use carf_isa::Program;
 
@@ -199,6 +203,7 @@ fn baseline_backend_rejects_a_carf_config() {
 /// deterministic, and an aggressive shared capacity must actually bite
 /// (more Long-guard stalls than private files).
 #[test]
+#[allow(deprecated)]
 fn smt_shared_long_capacity_still_bites_through_the_hooks() {
     let mk = |seed: u64| {
         random_program(&RandomProgramParams {

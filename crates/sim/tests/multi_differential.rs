@@ -1,0 +1,204 @@
+//! Differential fuzzing of the multi-context layer: arbitrary
+//! terminating programs co-simulated under shared-resource policies must
+//! produce **bit-identical architectural state** to (a) the same
+//! programs run on N independent simulators and (b) the functional
+//! executor. Sharing may change *when* things happen (that is its job),
+//! never *what* the program computes.
+//!
+//! The proptest stub derives its RNG seed deterministically from the
+//! test name, so every run fuzzes the same program set — the CI smoke
+//! (`scripts/check.sh`) relies on that to keep the gate reproducible.
+
+use carf_core::{CarfParams, Policies, PortReducedParams};
+use carf_isa::{Machine, Program};
+use carf_sim::{
+    AnySimulator, FetchArbitration, MultiSim, RegFileKind, SharingPolicy, SimConfig,
+};
+use carf_workloads::{random_program, RandomProgramParams};
+use proptest::prelude::*;
+
+/// All four register-file backends, in fixed order: every 4-context
+/// co-simulation below runs one of each, so each fuzz case covers the
+/// whole zoo (heterogeneous contexts on one clock).
+fn backend_zoo() -> Vec<SimConfig> {
+    let mut configs = Vec::new();
+    for kind in 0u8..4 {
+        let mut cfg = SimConfig::test_small();
+        cfg.cosim = true;
+        match kind {
+            0 => {}
+            1 => {
+                cfg.regfile = RegFileKind::ContentAware(
+                    CarfParams { simple_entries: 64, ..CarfParams::paper_default() },
+                    Policies::default(),
+                );
+            }
+            2 => {
+                cfg.regfile = RegFileKind::Compressed(CarfParams {
+                    simple_entries: 64,
+                    ..CarfParams::paper_default()
+                });
+            }
+            _ => {
+                cfg.regfile = RegFileKind::PortReduced(PortReducedParams {
+                    read_ports: 2,
+                    capture_entries: 4,
+                });
+            }
+        }
+        configs.push(cfg);
+    }
+    configs
+}
+
+fn program_for(seed: u64, body_len: usize, iterations: u64) -> Program {
+    random_program(&RandomProgramParams { seed, body_len, iterations, ..Default::default() })
+}
+
+/// The tightest coupling every backend accepts: a shared 44-entry Long
+/// window (under the 48-entry private files, so it actually binds),
+/// one shared L2, and 2-slot ICOUNT fetch.
+fn shared_everything() -> SharingPolicy {
+    SharingPolicy {
+        shared_long_capacity: Some(44),
+        shared_l2: true,
+        fetch: FetchArbitration::ICount { slots: 2 },
+    }
+}
+
+fn policy_for(kind: u8) -> SharingPolicy {
+    match kind % 5 {
+        0 => SharingPolicy::isolated(),
+        1 => SharingPolicy::shared_long(44),
+        2 => SharingPolicy::shared_l2(),
+        3 => SharingPolicy {
+            fetch: FetchArbitration::RoundRobin { slots: 1 },
+            ..SharingPolicy::isolated()
+        },
+        _ => shared_everything(),
+    }
+}
+
+/// Runs `programs[i]` on `configs[i]` as one co-simulation to
+/// completion; returns per-context (arch fingerprint, retired).
+fn run_shared(
+    configs: &[SimConfig],
+    programs: &[Program],
+    policy: SharingPolicy,
+) -> Vec<(u64, u64)> {
+    let contexts: Vec<(SimConfig, &Program)> =
+        configs.iter().cloned().zip(programs.iter()).collect();
+    let mut multi = MultiSim::new(contexts, policy).expect("valid co-simulation");
+    // Run to halt (no instruction quota): under a quota, arbitration
+    // changes which cycle crosses it and therefore the overshoot — only
+    // completed programs are architecturally comparable.
+    multi.run(5_000_000, u64::MAX).expect("co-simulation completes");
+    assert!(multi.all_done(), "every random program terminates");
+    (0..programs.len())
+        .map(|i| (multi.ctx(i).arch_checkpoint().fingerprint(), multi.ctx(i).retired()))
+        .collect()
+}
+
+/// The same programs on N fully independent simulators.
+fn run_isolated(configs: &[SimConfig], programs: &[Program]) -> Vec<(u64, u64)> {
+    configs
+        .iter()
+        .zip(programs)
+        .map(|(cfg, program)| {
+            let mut sim = AnySimulator::new(cfg.clone(), program);
+            let result = sim.run(u64::MAX).expect("isolated run completes");
+            assert!(result.halted);
+            (sim.arch_checkpoint().fingerprint(), sim.retired())
+        })
+        .collect()
+}
+
+/// The same programs on the functional golden model.
+fn run_functional(programs: &[Program]) -> Vec<u64> {
+    programs
+        .iter()
+        .map(|program| {
+            let mut m = Machine::load(program);
+            m.run(program, 50_000_000).expect("functional run completes");
+            assert!(m.is_halted());
+            m.checkpoint(program).fingerprint()
+        })
+        .collect()
+}
+
+proptest! {
+    // 16 cases x 4 contexts = 64 random programs through the full
+    // backend zoo under maximum sharing, each checked three ways.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// shared == isolated == functional, for every context of every case.
+    #[test]
+    fn shared_isolated_and_functional_states_agree(
+        seed in any::<u64>(),
+        body_len in 20usize..50,
+        iterations in 5u64..25,
+    ) {
+        let configs = backend_zoo();
+        let programs: Vec<Program> = (0..configs.len() as u64)
+            .map(|i| program_for(seed.wrapping_add(i), body_len, iterations))
+            .collect();
+
+        let shared = run_shared(&configs, &programs, shared_everything());
+        let isolated = run_isolated(&configs, &programs);
+        let functional = run_functional(&programs);
+
+        for (i, ((s, iso), f)) in shared.iter().zip(&isolated).zip(&functional).enumerate() {
+            prop_assert_eq!(s.0, iso.0, "seed {} ctx {}: shared vs isolated state", seed, i);
+            prop_assert_eq!(s.1, iso.1, "seed {} ctx {}: shared vs isolated retired", seed, i);
+            prop_assert_eq!(s.0, *f, "seed {} ctx {}: shared vs functional state", seed, i);
+        }
+    }
+
+    /// Every sharing-policy shape (isolated, shared-Long, shared-L2,
+    /// starved round-robin, shared-everything) leaves architectural
+    /// state untouched.
+    #[test]
+    fn no_policy_perturbs_architectural_state(
+        seed in any::<u64>(),
+        policy_kind in 0u8..5,
+        body_len in 20usize..40,
+    ) {
+        let configs = backend_zoo();
+        let programs: Vec<Program> = (0..configs.len() as u64)
+            .map(|i| program_for(seed.wrapping_add(i), body_len, 8))
+            .collect();
+        let shared = run_shared(&configs, &programs, policy_for(policy_kind));
+        let isolated = run_isolated(&configs, &programs);
+        for (i, (s, iso)) in shared.iter().zip(&isolated).enumerate() {
+            prop_assert_eq!(
+                s, iso,
+                "seed {} policy {} ctx {}", seed, policy_for(policy_kind).canonical(), i
+            );
+        }
+    }
+
+    /// Co-simulation is worker-count independent: the same co-simulation
+    /// on the calling thread (jobs=1) and four times concurrently
+    /// (jobs=4) must be bit-identical — MultiSim holds no hidden global
+    /// state (the shared-L2 handle is per-instance).
+    #[test]
+    fn co_simulation_is_bit_identical_across_job_counts(
+        seed in any::<u64>(),
+        body_len in 20usize..40,
+    ) {
+        let configs = backend_zoo();
+        let programs: Vec<Program> = (0..configs.len() as u64)
+            .map(|i| program_for(seed.wrapping_add(i), body_len, 8))
+            .collect();
+        let solo = run_shared(&configs, &programs, shared_everything());
+        let concurrent: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| run_shared(&configs, &programs, shared_everything())))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        for run in concurrent {
+            prop_assert_eq!(&run, &solo, "seed {}", seed);
+        }
+    }
+}

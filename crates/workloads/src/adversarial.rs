@@ -1,0 +1,214 @@
+//! Adversarial kernels: worst-case inputs for the content-aware file.
+//!
+//! Where the default suites model *representative* programs and
+//! `extended` widens the behavior space, these kernels are deliberately
+//! hostile — each one attacks a specific structural weakness of the
+//! content-aware organization, for the multi-context contention studies
+//! (`carf-smt`) and the differential fuzz harness:
+//!
+//! * [`short_thrash`] — address-cluster churn: pointer values that all
+//!   collide in one direct-indexed Short slot while cycling distinct
+//!   high-bit clusters, so the 2^n-entry Short file keeps evicting and
+//!   every spill lands in the Long file;
+//! * [`long_storm`] — Long-file exhaustion: two dozen concurrent
+//!   full-width LCG streams keep live Long demand pinned near the
+//!   issue-width stall threshold;
+//! * [`phase_flip`] — a value-class phase change mid-run: narrow
+//!   arithmetic (Simple/Short) flips to full-width values (Long) every
+//!   repetition, defeating any steady-state provisioning.
+//!
+//! Like `extended`, these are *not* part of
+//! [`crate::int_suite`]/[`crate::fp_suite`] (whose composition the
+//! recorded experiment results depend on); harnesses opt in through
+//! [`adversarial_suite`].
+
+use crate::gen::{rng, GLOBALS_BASE, HEAP_BASE};
+use crate::suite::{Suite, Workload};
+use carf_isa::{x, Asm, Program};
+use rand::Rng;
+
+/// The three hostile kernels (all integer).
+pub fn adversarial_suite() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "short_thrash",
+            Suite::Int,
+            "address-cluster churn: one Short slot, rotating high-bit clusters",
+            short_thrash,
+            (2, 30, 300),
+        ),
+        Workload::new(
+            "long_storm",
+            Suite::Int,
+            "Long-file exhaustion: 24 live full-width LCG streams near the stall threshold",
+            long_storm,
+            (2, 30, 300),
+        ),
+        Workload::new(
+            "phase_flip",
+            Suite::Int,
+            "value-class phase change: narrow arithmetic flips to full-width every rep",
+            phase_flip,
+            (2, 30, 300),
+        ),
+    ]
+}
+
+fn epilogue_int(asm: &mut Asm) {
+    asm.li(x(28), GLOBALS_BASE);
+    asm.st(x(1), x(28), 0);
+    asm.halt();
+}
+
+/// Rotates stores/loads through `CLUSTERS` addresses that agree in value
+/// bits `[d, d+n)` (one Short slot for the paper's d=17, n=3 geometry)
+/// but differ above bit 20, so every access belongs to a *different*
+/// (64-d)-similarity cluster. The direct-indexed Short file can hold only
+/// one cluster per slot: each rotation evicts the last, and the churned
+/// addresses spill to the Long file.
+fn short_thrash(size: u32) -> Program {
+    const CLUSTERS: u64 = 16;
+    // 1 MiB apart: bits [0, 20) identical (same Short index, same page
+    // offset), bit 20 onward distinct (different high-bit cluster).
+    const CLUSTER_STRIDE: u64 = 1 << 20;
+    let iters = u64::from(size) * 400;
+
+    let mut asm = Asm::new();
+    asm.li(x(10), HEAP_BASE);
+    asm.li(x(11), CLUSTER_STRIDE);
+    asm.li(x(12), CLUSTERS);
+    asm.li(x(1), 0); // checksum
+    asm.li(x(20), iters);
+    asm.label("iter");
+    asm.li(x(2), 0); // cluster index
+    asm.add(x(3), x(10), x(0)); // addr = base
+    asm.label("cluster");
+    // The address write is the adversarial payload: a pointer value whose
+    // Short-slot index never changes while its high bits always do.
+    asm.st(x(1), x(3), 0);
+    asm.ld(x(4), x(3), 0);
+    asm.add(x(1), x(1), x(4));
+    asm.addi(x(1), x(1), 1);
+    asm.add(x(3), x(3), x(11)); // next cluster, same slot
+    asm.addi(x(2), x(2), 1);
+    asm.blt(x(2), x(12), "cluster");
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "iter");
+    epilogue_int(&mut asm);
+    asm.finish().expect("short_thrash assembles")
+}
+
+/// Keeps 24 architectural registers holding live full-width LCG values,
+/// refreshed every iteration: with renaming in flight, live Long demand
+/// sits near the provisioned capacity, so the free-entry guard (stall at
+/// `long_free_stall` ≈ issue width) fires continuously — the Long-file
+/// analogue of a register-pressure storm.
+fn long_storm(size: u32) -> Program {
+    const STREAMS: u8 = 24; // x3..=x26
+    let iters = u64::from(size) * 150;
+    let mut seed_rng = rng(0x106_5708);
+
+    let mut asm = Asm::new();
+    asm.li(x(27), 6364136223846793005); // LCG multiplier
+    asm.li(x(2), 1442695040888963407); // LCG increment
+    for s in 0..STREAMS {
+        // Full-width seeds: every stream starts (and stays) Long-class.
+        asm.li(x(3 + s), seed_rng.gen::<u64>() | (1 << 63));
+    }
+    asm.li(x(20), iters);
+    asm.label("storm");
+    for s in 0..STREAMS {
+        // xi = xi * A + C: a full-width product every time, and the old
+        // value stays live until the new one commits.
+        asm.mul(x(3 + s), x(3 + s), x(27));
+        asm.add(x(3 + s), x(3 + s), x(2));
+    }
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "storm");
+    // Fold the streams into the checksum.
+    asm.li(x(1), 0);
+    for s in 0..STREAMS {
+        asm.xor(x(1), x(1), x(3 + s));
+    }
+    epilogue_int(&mut asm);
+    asm.finish().expect("long_storm assembles")
+}
+
+/// Alternates a narrow phase (small-immediate arithmetic: every value
+/// sign-extends from its low d+n bits, all Simple/Short) with a wide
+/// phase (full-width LCG streams, all Long) each repetition. The
+/// demographics any sampler sees in one phase are wrong for the next —
+/// the stress case for capacity windowing and for interval sampling.
+fn phase_flip(size: u32) -> Program {
+    const STREAMS: u8 = 12; // x3..=x14
+    let reps = u64::from(size) * 4;
+    let narrow_iters = 300u64;
+    let wide_iters = 150u64;
+    let mut seed_rng = rng(0xF11B);
+    let seeds: Vec<u64> = (0..STREAMS).map(|_| seed_rng.gen::<u64>() | (1 << 63)).collect();
+
+    let mut asm = Asm::new();
+    asm.li(x(27), 6364136223846793005);
+    asm.li(x(26), 1442695040888963407);
+    asm.li(x(1), 0); // checksum
+    asm.li(x(21), reps);
+    asm.label("rep");
+    // ---- narrow phase: everything fits in the low d+n bits ----
+    for s in 0..STREAMS {
+        asm.li(x(3 + s), u64::from(s) * 37 + 5);
+    }
+    asm.li(x(20), narrow_iters);
+    asm.label("narrow");
+    for s in 0..STREAMS {
+        asm.addi(x(3 + s), x(3 + s), 7);
+        asm.andi(x(3 + s), x(3 + s), 0x7fff); // clamp to 15 bits: Simple
+    }
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "narrow");
+    for s in 0..STREAMS {
+        asm.add(x(1), x(1), x(3 + s));
+    }
+    // ---- wide phase: the same registers flip to full-width ----
+    for (s, seed) in (0u8..).zip(seeds.iter()) {
+        asm.li(x(3 + s), *seed);
+    }
+    asm.li(x(20), wide_iters);
+    asm.label("wide");
+    for s in 0..STREAMS {
+        asm.mul(x(3 + s), x(3 + s), x(27));
+        asm.add(x(3 + s), x(3 + s), x(26));
+    }
+    asm.addi(x(20), x(20), -1);
+    asm.bne(x(20), x(0), "wide");
+    for s in 0..STREAMS {
+        asm.xor(x(1), x(1), x(3 + s));
+    }
+    asm.addi(x(21), x(21), -1);
+    asm.bne(x(21), x(0), "rep");
+    epilogue_int(&mut asm);
+    asm.finish().expect("phase_flip assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_assemble_and_are_deterministic() {
+        for w in adversarial_suite() {
+            let a = w.build(2);
+            let b = w.build(2);
+            assert_eq!(a.insts, b.insts, "{} must be deterministic", w.name);
+            assert!(!a.insts.is_empty());
+        }
+    }
+
+    #[test]
+    fn not_in_default_suites() {
+        let defaults: Vec<&str> =
+            crate::all_workloads().iter().map(|w| w.name).collect();
+        for w in adversarial_suite() {
+            assert!(!defaults.contains(&w.name), "{} leaked into a default suite", w.name);
+        }
+    }
+}

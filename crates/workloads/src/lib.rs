@@ -33,6 +33,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod adversarial;
 mod extended;
 mod fp;
 mod gen;
@@ -40,6 +41,7 @@ mod int;
 mod random;
 mod suite;
 
+pub use adversarial::adversarial_suite;
 pub use extended::extended_suite;
 pub use random::{random_program, RandomProgramParams};
 pub use suite::{all_workloads, fp_suite, int_suite, SizeClass, Suite, Workload};

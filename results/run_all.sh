@@ -23,11 +23,12 @@ headline_summary
 detail_per_workload
 ext_clustering
 ext_smt_sharing
-ext_smt_timing
 ablations
 "
 for b in $BINS; do
   echo "[$(date +%H:%M:%S)] $b"
   cargo run -p carf-bench --release --bin "$b" -- --full > "results/$b.txt" 2>&1
 done
+echo "[$(date +%H:%M:%S)] carf-smt"
+cargo run -p carf-bench --release --bin carf-smt -- --full > "results/carf-smt.txt" 2>&1
 echo "[$(date +%H:%M:%S)] all experiments complete"

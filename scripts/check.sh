@@ -41,6 +41,29 @@ CARF_RESULTS_DIR="$CMP_DIR" CARF_CACHE_REQUIRE_WARM=1 \
 cmp "$CMP_DIR/backend_compare.json" "$CMP_DIR/backend_compare.cold.json"
 echo "warm re-run: zero simulation, byte-identical record"
 
+echo "==> carf-smt smoke test (multi-context capacity sweep, cold then warm)"
+# A 2-context shared-Long co-simulation across the capacity sweep:
+# exercises the MultiSim layer, ICOUNT arbitration, the capacity window,
+# and the multi-context cache keys. The warm re-run must serve every
+# co-simulation from disk and leave the merged record byte-identical.
+SMT_DIR="$(mktemp -d)"
+CARF_RESULTS_DIR="$SMT_DIR" \
+    cargo run --release -q -p carf-bench --bin carf-smt -- \
+    --quick --jobs 2 --machine carf --threads 2 | tail -n 6
+cp "$SMT_DIR/smt_scaling.json" "$SMT_DIR/smt_scaling.cold.json"
+CARF_RESULTS_DIR="$SMT_DIR" CARF_CACHE_REQUIRE_WARM=1 \
+    cargo run --release -q -p carf-bench --bin carf-smt -- \
+    --quick --jobs 2 --machine carf --threads 2 | grep "cache: served"
+cmp "$SMT_DIR/smt_scaling.json" "$SMT_DIR/smt_scaling.cold.json"
+echo "warm re-run: zero co-simulation, byte-identical record"
+
+echo "==> multi-context differential fuzz smoke"
+# Bounded differential fuzz: random programs co-simulated under maximum
+# sharing must match N isolated simulators and the functional executor
+# bit-for-bit. The vendored proptest stub seeds its RNG from the test
+# name, so this checks the same fixed program set on every run.
+cargo test --release -q -p carf-sim --test multi_differential
+
 echo "==> carf-as corpus smoke (assemble, link, run; cold then warm)"
 # The whole real-program corpus through the assembler, linker, and one
 # baseline+carf matrix; the warm re-run must serve every point from the
